@@ -1,0 +1,239 @@
+//! MXM: matrix multiplication `Z = X · Y` (Section 6.2).
+//!
+//! The outermost loop over the rows of `Z` is parallelized; the rows of
+//! `Z` and `X` are BLOCK-distributed with the iterations and `Y` is
+//! replicated (WHOLE). Work per iteration is uniform: `C · R2`
+//! multiply-accumulates. When iterations move, only the corresponding rows
+//! of `X` travel (`Z` rows are produced at the new owner; the paper ships
+//! only `X`).
+//!
+//! Paper data sizes: `Z = R×C`, `X = R×R2`, `Y = R2×C`, with `R2 = 400`,
+//! `R/processor ∈ {100, 200}` and `C ∈ {400, 800}`.
+
+use crate::calibrate::ops_to_seconds;
+use dlb_core::arrays::{DataDistribution, DlbArray};
+use dlb_core::work::UniformLoop;
+use serde::{Deserialize, Serialize};
+
+/// Problem size of one MXM experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MxmConfig {
+    /// Rows of `Z` and `X` — the parallel loop's iteration count.
+    pub r: u64,
+    /// Columns of `Z` and `Y`.
+    pub c: u64,
+    /// Inner dimension (columns of `X`, rows of `Y`).
+    pub r2: u64,
+}
+
+impl MxmConfig {
+    pub fn new(r: u64, c: u64, r2: u64) -> Self {
+        assert!(r > 0 && c > 0 && r2 > 0, "matrix dimensions must be positive");
+        Self { r, c, r2 }
+    }
+
+    /// The four data sizes the paper runs on `p` processors (Figs. 5/6):
+    /// `R/processor ∈ {100, 200}` × `C ∈ {400, 800}`, `R2 = 400`.
+    pub fn paper_configs(p: usize) -> Vec<MxmConfig> {
+        let p = p as u64;
+        vec![
+            MxmConfig::new(100 * p, 400, 400),
+            MxmConfig::new(100 * p, 800, 400),
+            MxmConfig::new(200 * p, 400, 400),
+            MxmConfig::new(200 * p, 800, 400),
+        ]
+    }
+
+    /// Human-readable label matching the figures' x-axis
+    /// (`R=400,C=400,R2=400`).
+    pub fn label(&self) -> String {
+        format!("R={},C={},R2={}", self.r, self.c, self.r2)
+    }
+
+    /// Basic operations per outer iteration: `C · R2` multiply-adds.
+    pub fn ops_per_iteration(&self) -> f64 {
+        (self.c * self.r2) as f64
+    }
+
+    /// Bytes shipped per moved iteration: one row of `X` (`R2` doubles).
+    pub fn bytes_per_iteration(&self) -> u64 {
+        self.r2 * 8
+    }
+
+    /// The work model for the simulator and the analytic model.
+    pub fn workload(&self) -> UniformLoop {
+        UniformLoop::new(
+            self.r,
+            ops_to_seconds(self.ops_per_iteration()),
+            self.bytes_per_iteration(),
+        )
+    }
+
+    /// The shared-array descriptors the compiler fills in (`DLB_array`).
+    pub fn arrays(&self) -> Vec<DlbArray> {
+        vec![
+            DlbArray {
+                name: "Z".into(),
+                dims: vec![self.r, self.c],
+                elem_bytes: 8,
+                distribution: DataDistribution::Block { dim: 0 },
+                moves_with_work: false, // produced at the new owner
+            },
+            DlbArray::block_2d("X", self.r, self.r2, 8),
+            DlbArray::whole("Y", vec![self.r2, self.c], 8),
+        ]
+    }
+}
+
+/// Real MXM kernel data: deterministic matrices, row-wise computation.
+#[derive(Debug, Clone)]
+pub struct MxmData {
+    cfg: MxmConfig,
+    /// `X`, row-major `r × r2`.
+    pub x: Vec<f64>,
+    /// `Y`, row-major `r2 × c`.
+    pub y: Vec<f64>,
+}
+
+impl MxmData {
+    /// Deterministically filled inputs (value depends only on indices), so
+    /// any distribution of the work yields the same result.
+    pub fn new(cfg: MxmConfig) -> Self {
+        let x = (0..cfg.r * cfg.r2)
+            .map(|idx| {
+                let (i, k) = (idx / cfg.r2, idx % cfg.r2);
+                ((i * 31 + k * 17) % 97) as f64 / 97.0
+            })
+            .collect();
+        let y = (0..cfg.r2 * cfg.c)
+            .map(|idx| {
+                let (k, j) = (idx / cfg.c, idx % cfg.c);
+                ((k * 13 + j * 7) % 89) as f64 / 89.0
+            })
+            .collect();
+        Self { cfg, x, y }
+    }
+
+    pub fn config(&self) -> MxmConfig {
+        self.cfg
+    }
+
+    /// Compute one row of `Z` (one loop iteration): `z[j] = Σ_k X[i,k]·Y[k,j]`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn compute_row(&self, i: u64) -> Vec<f64> {
+        assert!(i < self.cfg.r, "row {i} out of range");
+        let (c, r2) = (self.cfg.c as usize, self.cfg.r2 as usize);
+        let xrow = &self.x[(i as usize) * r2..(i as usize + 1) * r2];
+        let mut z = vec![0.0f64; c];
+        for (k, &xv) in xrow.iter().enumerate() {
+            let yrow = &self.y[k * c..(k + 1) * c];
+            for (zj, &yv) in z.iter_mut().zip(yrow) {
+                *zj += xv * yv;
+            }
+        }
+        z
+    }
+
+    /// Sequential reference: checksum of the full product (sum of all
+    /// entries of `Z`, plus an index-weighted component to catch row
+    /// permutation bugs).
+    pub fn sequential_checksum(&self) -> f64 {
+        (0..self.cfg.r).map(|i| Self::row_checksum(i, &self.compute_row(i))).sum()
+    }
+
+    /// Checksum contribution of row `i` with contents `z` — sum over rows
+    /// must equal [`MxmData::sequential_checksum`] regardless of who
+    /// computed which rows.
+    pub fn row_checksum(i: u64, z: &[f64]) -> f64 {
+        let s: f64 = z.iter().sum();
+        s * (1.0 + (i as f64) * 1e-6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlb_core::work::LoopWorkload;
+
+    #[test]
+    fn paper_configs_match_section_6_2() {
+        let p4 = MxmConfig::paper_configs(4);
+        assert_eq!(p4[0], MxmConfig::new(400, 400, 400));
+        assert_eq!(p4[3], MxmConfig::new(800, 800, 400));
+        let p16 = MxmConfig::paper_configs(16);
+        assert_eq!(p16[0], MxmConfig::new(1600, 400, 400));
+        assert_eq!(p16[3], MxmConfig::new(3200, 800, 400));
+    }
+
+    #[test]
+    fn workload_shape() {
+        let cfg = MxmConfig::new(400, 400, 400);
+        let wl = cfg.workload();
+        assert_eq!(wl.iterations(), 400);
+        assert!(wl.is_uniform());
+        // 160k ops at 5 Mops/s = 32 ms per iteration.
+        assert!((wl.iter_cost(0) - 32e-3).abs() < 1e-12);
+        assert_eq!(wl.bytes_per_iter(), 3200);
+    }
+
+    #[test]
+    fn arrays_match_distribution_annotations() {
+        let arrays = MxmConfig::new(400, 800, 400).arrays();
+        assert_eq!(arrays.len(), 3);
+        let x = &arrays[1];
+        assert_eq!(x.bytes_per_iteration(), 3200);
+        let y = &arrays[2];
+        assert_eq!(y.bytes_per_iteration(), 0);
+        // Only X travels.
+        assert_eq!(dlb_core::arrays::bytes_per_iteration(&arrays), 3200);
+    }
+
+    #[test]
+    fn kernel_row_matches_naive_product() {
+        let data = MxmData::new(MxmConfig::new(8, 5, 6));
+        let z2 = data.compute_row(2);
+        for (j, &got) in z2.iter().enumerate() {
+            let mut want = 0.0;
+            for k in 0..6usize {
+                want += data.x[2 * 6 + k] * data.y[k * 5 + j];
+            }
+            assert!((got - want).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn checksum_is_order_independent() {
+        let data = MxmData::new(MxmConfig::new(16, 8, 8));
+        let forward: f64 = (0..16).map(|i| MxmData::row_checksum(i, &data.compute_row(i))).sum();
+        let backward: f64 =
+            (0..16).rev().map(|i| MxmData::row_checksum(i, &data.compute_row(i))).sum();
+        assert!((forward - backward).abs() < 1e-9);
+        assert!((forward - data.sequential_checksum()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn checksum_detects_row_swap() {
+        let data = MxmData::new(MxmConfig::new(4, 4, 4));
+        let honest = data.sequential_checksum();
+        // Attribute row 1's contents to row 2 and vice versa.
+        let mut swapped = 0.0;
+        for i in 0..4u64 {
+            let src = match i {
+                1 => 2,
+                2 => 1,
+                other => other,
+            };
+            swapped += MxmData::row_checksum(i, &data.compute_row(src));
+        }
+        assert!((honest - swapped).abs() > 1e-9, "checksum must be index-sensitive");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn row_out_of_range_rejected() {
+        let data = MxmData::new(MxmConfig::new(4, 4, 4));
+        let _ = data.compute_row(4);
+    }
+}

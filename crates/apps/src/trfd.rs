@@ -1,0 +1,321 @@
+//! TRFD (Perfect Benchmarks): two-electron integral transformation
+//! (Section 6.3).
+//!
+//! The paper's structure: two main computation loops with an intervening
+//! sequential transpose; one major array of size `[n(n+1)/2] × [n(n+1)/2]`
+//! distributed column-block; loop iterations operate on columns. Loop 1 is
+//! uniform with `n(n+1)/2` iterations and `n³ + 3n² + n` basic operations
+//! each. Loop 2 is triangular, with per-iteration work
+//! `n³ + 3n² + n(1 + i/2 − i²/2) + (i − i²)` where
+//! `i = (1 + √(8j − 7))/2` and `j` is the outer index; it is transformed
+//! into a (near-)uniform loop with ~`n(n+1)/4` iterations by bitonic
+//! folding ([`dlb_core::FoldedLoop`]), combining iterations `i` and
+//! `n(n+1)/2 − i + 1`.
+//!
+//! The real kernel here is a synthetic re-implementation of that documented
+//! structure (the Perfect source is not redistributable): each iteration
+//! performs its documented operation count as floating-point sweeps over
+//! its column(s). See DESIGN.md, S8.
+
+use crate::calibrate::ops_to_seconds;
+use dlb_core::arrays::{DataDistribution, DlbArray};
+use dlb_core::work::{CostFnLoop, FoldedLoop, UniformLoop};
+use serde::{Deserialize, Serialize};
+
+/// Problem size of one TRFD experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TrfdConfig {
+    /// The input parameter `n` (paper: 30, 40, 50).
+    pub n: u64,
+}
+
+impl TrfdConfig {
+    pub fn new(n: u64) -> Self {
+        assert!(n >= 2, "TRFD needs n >= 2");
+        Self { n }
+    }
+
+    /// The paper's input sizes with their array dimensions
+    /// (30 → 465, 40 → 820, 50 → 1275).
+    pub fn paper_configs() -> Vec<TrfdConfig> {
+        vec![TrfdConfig::new(30), TrfdConfig::new(40), TrfdConfig::new(50)]
+    }
+
+    /// `n(n+1)/2` — the array dimension and loop-1 iteration count.
+    pub fn msize(&self) -> u64 {
+        self.n * (self.n + 1) / 2
+    }
+
+    /// Figure label, e.g. `N=30 (465)`.
+    pub fn label(&self) -> String {
+        format!("N={} ({})", self.n, self.msize())
+    }
+
+    /// Basic operations of one loop-1 iteration: `n³ + 3n² + n`.
+    pub fn loop1_ops(&self) -> f64 {
+        let n = self.n as f64;
+        n * n * n + 3.0 * n * n + n
+    }
+
+    /// Basic operations of loop-2 iteration `j` (0-based outer index),
+    /// before folding.
+    pub fn loop2_ops(&self, j: u64) -> f64 {
+        assert!(j < self.msize(), "loop-2 iteration out of range");
+        let n = self.n as f64;
+        let j1 = (j + 1) as f64; // the paper's 1-based j
+        let i = (1.0 + (8.0 * j1 - 7.0).sqrt()) / 2.0;
+        let w = n * n * n + 3.0 * n * n + n * (1.0 + i / 2.0 - i * i / 2.0) + (i - i * i);
+        assert!(w > 0.0, "loop-2 work must stay positive (n={}, j={j})", self.n);
+        w
+    }
+
+    /// Bytes moved per iteration: one column of the `msize × msize` array.
+    pub fn bytes_per_iteration(&self) -> u64 {
+        self.msize() * 8
+    }
+
+    /// Loop 1: uniform work model.
+    pub fn loop1_workload(&self) -> UniformLoop {
+        UniformLoop::new(
+            self.msize(),
+            ops_to_seconds(self.loop1_ops()),
+            self.bytes_per_iteration(),
+        )
+    }
+
+    /// Loop 2 *before* the compiler's bitonic transformation: triangular.
+    pub fn loop2_raw_workload(&self) -> CostFnLoop {
+        let cfg = *self;
+        CostFnLoop::new(self.msize(), self.bytes_per_iteration(), move |j| {
+            ops_to_seconds(cfg.loop2_ops(j))
+        })
+    }
+
+    /// Loop 2 as actually run: bitonic-folded to ~`n(n+1)/4` near-uniform
+    /// iterations.
+    pub fn loop2_workload(&self) -> FoldedLoop<CostFnLoop> {
+        FoldedLoop::new(self.loop2_raw_workload())
+    }
+
+    /// The distributed array descriptor (column-block, moves with work).
+    pub fn arrays(&self) -> Vec<DlbArray> {
+        vec![DlbArray {
+            name: "XIJ".into(),
+            dims: vec![self.msize(), self.msize()],
+            elem_bytes: 8,
+            distribution: DataDistribution::Block { dim: 1 },
+            moves_with_work: true,
+        }]
+    }
+}
+
+/// Synthetic TRFD kernel: columns of a deterministic `msize × msize`
+/// matrix, transformed in two loop nests with the documented operation
+/// counts, with a sequential transpose in between.
+#[derive(Debug, Clone)]
+pub struct TrfdData {
+    cfg: TrfdConfig,
+    /// Column-major `msize × msize` matrix (column `j` is contiguous).
+    pub m: Vec<f64>,
+}
+
+impl TrfdData {
+    pub fn new(cfg: TrfdConfig) -> Self {
+        let s = cfg.msize();
+        let m = (0..s * s)
+            .map(|idx| {
+                let (j, i) = (idx / s, idx % s);
+                ((i * 23 + j * 41) % 101) as f64 / 101.0
+            })
+            .collect();
+        Self { cfg, m }
+    }
+
+    pub fn config(&self) -> TrfdConfig {
+        self.cfg
+    }
+
+    fn column(&self, j: u64) -> &[f64] {
+        let s = self.cfg.msize() as usize;
+        &self.m[(j as usize) * s..(j as usize + 1) * s]
+    }
+
+    /// One loop-1 iteration: transform column `j`, performing
+    /// `≈ loop1_ops` floating-point operations (≈ `2n + 4` passes over the
+    /// column, the paper's "linear in the array size" figure).
+    pub fn loop1_column(&self, j: u64) -> Vec<f64> {
+        self.sweep_column(self.column(j), self.cfg.loop1_ops(), j)
+    }
+
+    /// One *folded* loop-2 iteration `k`: transforms the two constituent
+    /// columns `k` and `msize-1-k` with their respective op counts and
+    /// returns them (second is `None` for the odd middle).
+    pub fn loop2_folded_columns(&self, k: u64) -> (Vec<f64>, Option<Vec<f64>>) {
+        let s = self.cfg.msize();
+        let a = k;
+        let b = s - 1 - k;
+        let ca = self.sweep_column(self.column(a), self.cfg.loop2_ops(a), a);
+        if a == b {
+            (ca, None)
+        } else {
+            let cb = self.sweep_column(self.column(b), self.cfg.loop2_ops(b), b);
+            (ca, Some(cb))
+        }
+    }
+
+    /// A deterministic compute sweep performing `ops` floating-point
+    /// operations over a column (2 flops per element per pass).
+    fn sweep_column(&self, col: &[f64], ops: f64, j: u64) -> Vec<f64> {
+        let mut v = col.to_vec();
+        let passes = ((ops / (2.0 * v.len() as f64)).ceil() as u64).max(1);
+        let scale = 1.0 + 1.0 / (j as f64 + 2.0) * 1e-3;
+        for p in 0..passes {
+            let add = ((p % 7) as f64 - 3.0) * 1e-6;
+            for x in v.iter_mut() {
+                *x = *x * scale + add;
+            }
+        }
+        v
+    }
+
+    /// In-place sequential transpose (performed by the master between the
+    /// loops).
+    pub fn transpose(&mut self) {
+        let s = self.cfg.msize() as usize;
+        for j in 0..s {
+            for i in (j + 1)..s {
+                self.m.swap(j * s + i, i * s + j);
+            }
+        }
+    }
+
+    /// Order-independent checksum contribution of a transformed column.
+    pub fn column_checksum(j: u64, col: &[f64]) -> f64 {
+        let s: f64 = col.iter().sum();
+        s * (1.0 + (j as f64) * 1e-6)
+    }
+
+    /// Sequential reference for loop 1: all columns transformed serially.
+    pub fn loop1_sequential_checksum(&self) -> f64 {
+        (0..self.cfg.msize())
+            .map(|j| Self::column_checksum(j, &self.loop1_column(j)))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlb_core::work::LoopWorkload;
+
+    #[test]
+    fn paper_sizes() {
+        let cfgs = TrfdConfig::paper_configs();
+        let sizes: Vec<u64> = cfgs.iter().map(TrfdConfig::msize).collect();
+        assert_eq!(sizes, vec![465, 820, 1275]);
+    }
+
+    #[test]
+    fn loop1_is_uniform_linear_in_array_size() {
+        let cfg = TrfdConfig::new(30);
+        let wl = cfg.loop1_workload();
+        assert!(wl.is_uniform());
+        assert_eq!(wl.iterations(), 465);
+        // Work per iteration / array size ≈ 2n + 4 (paper's figure).
+        let per_elem = cfg.loop1_ops() / cfg.msize() as f64;
+        assert!(
+            (per_elem - (2.0 * 30.0 + 4.0)).abs() < 2.0,
+            "per-element work {per_elem} should be ≈ 64"
+        );
+    }
+
+    #[test]
+    fn loop2_is_triangular_before_folding() {
+        let cfg = TrfdConfig::new(30);
+        let first = cfg.loop2_ops(0);
+        let last = cfg.loop2_ops(cfg.msize() - 1);
+        assert!(first > last * 1.5, "work must decrease: {first} vs {last}");
+        // All positive.
+        for j in 0..cfg.msize() {
+            assert!(cfg.loop2_ops(j) > 0.0);
+        }
+    }
+
+    #[test]
+    fn folded_loop2_is_near_uniform() {
+        let cfg = TrfdConfig::new(40);
+        let wl = cfg.loop2_workload();
+        assert_eq!(wl.iterations(), cfg.msize().div_ceil(2));
+        let costs: Vec<f64> = (0..wl.iterations() - 1).map(|k| wl.iter_cost(k)).collect();
+        let max = costs.iter().cloned().fold(0.0, f64::max);
+        let min = costs.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(
+            max / min < 1.15,
+            "folded costs should be within 15%: min {min}, max {max}"
+        );
+    }
+
+    #[test]
+    fn loop2_per_iteration_roughly_double_loop1() {
+        // Section 6.3: "Loop 2 has almost double the work per iteration
+        // than in loop 1" (after folding).
+        let cfg = TrfdConfig::new(40);
+        let l1 = cfg.loop1_workload().iter_cost(0);
+        let l2 = cfg.loop2_workload().iter_cost(10);
+        let ratio = l2 / l1;
+        assert!((1.2..2.5).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn kernel_checksum_order_independent() {
+        let data = TrfdData::new(TrfdConfig::new(5));
+        let fwd: f64 = (0..data.config().msize())
+            .map(|j| TrfdData::column_checksum(j, &data.loop1_column(j)))
+            .sum();
+        let bwd: f64 = (0..data.config().msize())
+            .rev()
+            .map(|j| TrfdData::column_checksum(j, &data.loop1_column(j)))
+            .sum();
+        assert!((fwd - bwd).abs() < 1e-9);
+        assert!((fwd - data.loop1_sequential_checksum()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transpose_is_involution() {
+        let mut data = TrfdData::new(TrfdConfig::new(4));
+        let orig = data.m.clone();
+        data.transpose();
+        assert_ne!(data.m, orig, "transpose must change a non-symmetric matrix");
+        data.transpose();
+        assert_eq!(data.m, orig);
+    }
+
+    #[test]
+    fn folded_kernel_covers_all_columns() {
+        let data = TrfdData::new(TrfdConfig::new(4)); // msize = 10
+        let wl = data.config().loop2_workload();
+        let mut seen = [false; 10];
+        for k in 0..wl.iterations() {
+            let (a, b) = wl.constituents(k);
+            seen[a as usize] = true;
+            seen[b as usize] = true;
+            let (_, cb) = data.loop2_folded_columns(k);
+            assert_eq!(cb.is_some(), a != b);
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn bytes_per_iteration_is_column_size() {
+        let cfg = TrfdConfig::new(30);
+        assert_eq!(cfg.bytes_per_iteration(), 465 * 8);
+        assert_eq!(cfg.arrays()[0].bytes_per_iteration(), 465 * 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn loop2_ops_out_of_range_rejected() {
+        let cfg = TrfdConfig::new(5);
+        let _ = cfg.loop2_ops(cfg.msize());
+    }
+}

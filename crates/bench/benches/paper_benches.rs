@@ -1,0 +1,179 @@
+//! Criterion benchmarks: one group per paper artifact (Fig. 4–8,
+//! Tables 1–2, ablations) plus microbenchmarks of the hot paths.
+//!
+//! The figure/table groups run scaled-down versions of the same
+//! experiment code the harness binaries use, so `cargo bench` exercises
+//! every regeneration path; the binaries remain the source of the actual
+//! paper numbers.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dlb_apps::{MxmConfig, TrfdConfig};
+use dlb_bench::{mxm_experiment, trfd_experiment, trfd_loop_experiment, TrfdLoop};
+use dlb_core::balance::balance_group;
+use dlb_core::profile::PerfProfile;
+use dlb_core::work::UniformLoop;
+use dlb_core::{plan_transfers, Distribution, Strategy, StrategyConfig};
+use dlb_model::{choose_strategy, SystemModel};
+use now_net::{characterize, measure_pattern, polyfit, NetworkParams, Pattern};
+use now_sim::{run_dlb, run_no_dlb, ClusterSpec};
+use std::hint::black_box;
+
+// ---------------------------------------------------------------------
+// paper artifacts (scaled down for bench cadence)
+
+fn bench_fig4_characterization(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_comm_cost");
+    g.bench_function("characterize_p16", |b| {
+        b.iter(|| characterize(NetworkParams::paper_ethernet(), black_box(16), 64))
+    });
+    g.bench_function("measure_aa_p16", |b| {
+        b.iter(|| {
+            measure_pattern(NetworkParams::paper_ethernet(), Pattern::AllToAll, black_box(16), 64)
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig5_mxm_p4(c: &mut Criterion) {
+    c.benchmark_group("fig5_mxm_p4")
+        .sample_size(10)
+        .bench_function("cell_r100", |b| {
+            b.iter(|| mxm_experiment(4, MxmConfig::new(black_box(100), 400, 400)))
+        });
+}
+
+fn bench_fig6_mxm_p16(c: &mut Criterion) {
+    c.benchmark_group("fig6_mxm_p16")
+        .sample_size(10)
+        .bench_function("cell_r400", |b| {
+            b.iter(|| mxm_experiment(16, MxmConfig::new(black_box(400), 400, 400)))
+        });
+}
+
+fn bench_fig7_fig8_trfd(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_fig8_trfd");
+    g.sample_size(10);
+    g.bench_function("totals_n14_p4", |b| {
+        b.iter(|| trfd_experiment(4, TrfdConfig::new(black_box(14))))
+    });
+    g.bench_function("totals_n14_p16", |b| {
+        b.iter(|| trfd_experiment(16, TrfdConfig::new(black_box(14))))
+    });
+    g.finish();
+}
+
+fn bench_table1_order(c: &mut Criterion) {
+    c.benchmark_group("table1_mxm_order")
+        .sample_size(10)
+        .bench_function("actual_vs_predicted_cell", |b| {
+            b.iter(|| {
+                let r = mxm_experiment(4, MxmConfig::new(black_box(80), 200, 200));
+                (r.actual_order(), r.predicted_order())
+            })
+        });
+}
+
+fn bench_table2_order(c: &mut Criterion) {
+    c.benchmark_group("table2_trfd_order")
+        .sample_size(10)
+        .bench_function("loop2_cell", |b| {
+            b.iter(|| {
+                let r = trfd_loop_experiment(4, TrfdConfig::new(black_box(12)), TrfdLoop::L2);
+                (r.actual_order(), r.predicted_order())
+            })
+        });
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    let wl = UniformLoop::new(200, 0.005, 512);
+    let cluster = ClusterSpec::paper_homogeneous(4, 3, 0.25);
+    g.bench_function("interrupt_trigger", |b| {
+        b.iter(|| run_dlb(&cluster, &wl, StrategyConfig::paper(Strategy::Gddlb, 2)))
+    });
+    g.bench_function("periodic_trigger", |b| {
+        b.iter(|| {
+            now_sim::run_dlb_periodic(
+                &cluster,
+                &wl,
+                StrategyConfig::paper(Strategy::Gddlb, 2),
+                0.1,
+            )
+        })
+    });
+    g.finish();
+}
+
+// ---------------------------------------------------------------------
+// microbenchmarks of the hot paths
+
+fn bench_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    let wl = UniformLoop::new(1000, 0.001, 256);
+    let cluster = ClusterSpec::paper_homogeneous(8, 7, 0.1);
+    g.bench_function("no_dlb_1000_iters", |b| b.iter(|| run_no_dlb(&cluster, &wl)));
+    g.bench_function("gddlb_1000_iters", |b| {
+        b.iter(|| run_dlb(&cluster, &wl, StrategyConfig::paper(Strategy::Gddlb, 4)))
+    });
+    g.finish();
+}
+
+fn bench_balancer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("balancer");
+    let profiles: Vec<PerfProfile> = (0..16)
+        .map(|i| PerfProfile {
+            proc: i,
+            iters_done: 100 + (i as u64 * 37) % 200,
+            elapsed: 1.0,
+            remaining: 100 + (i as u64 * 53) % 300,
+        })
+        .collect();
+    let cfg = StrategyConfig::paper(Strategy::Gddlb, 16);
+    g.bench_function("balance_group_p16", |b| {
+        b.iter(|| balance_group(black_box(&profiles), &cfg, |_| 0.0))
+    });
+    let old = Distribution::from_counts((0..16u64).map(|i| 100 + (i * 31) % 200).collect());
+    let new = Distribution::proportional(old.total(), &[1.0; 16]);
+    g.bench_function("plan_transfers_p16", |b| {
+        b.iter_batched(
+            || (old.clone(), new.clone()),
+            |(o, n)| plan_transfers(black_box(&o), black_box(&n)),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_model(c: &mut Criterion) {
+    let mut g = c.benchmark_group("model");
+    g.sample_size(20);
+    let cluster = ClusterSpec::paper_homogeneous(16, 5, 0.5);
+    let system = SystemModel::from_specs(cluster.speeds.clone(), &cluster.loads, cluster.net);
+    let wl = UniformLoop::new(1600, 0.002, 512);
+    g.bench_function("choose_strategy_p16", |b| {
+        b.iter(|| choose_strategy(black_box(&system), &wl, 8))
+    });
+    g.finish();
+}
+
+fn bench_polyfit(c: &mut Criterion) {
+    let xs: Vec<f64> = (2..=64).map(|i| i as f64).collect();
+    let ys: Vec<f64> = xs.iter().map(|x| 0.1 + 0.2 * x + 0.003 * x * x).collect();
+    c.bench_function("polyfit_deg2_63pts", |b| {
+        b.iter(|| polyfit(black_box(&xs), black_box(&ys), 2))
+    });
+}
+
+criterion_group!(
+    paper,
+    bench_fig4_characterization,
+    bench_fig5_mxm_p4,
+    bench_fig6_mxm_p16,
+    bench_fig7_fig8_trfd,
+    bench_table1_order,
+    bench_table2_order,
+    bench_ablations,
+);
+criterion_group!(micro, bench_engine, bench_balancer, bench_model, bench_polyfit);
+criterion_main!(paper, micro);

@@ -1,0 +1,46 @@
+//! Fig. 4 — communication cost of the all-to-all (AA), all-to-one (AO) and
+//! one-to-all (OA) patterns vs. number of processors: measured points and
+//! the polynomial fits, plus the §6.1 latency/bandwidth
+//! micro-measurements.
+
+use dlb_bench::{format_table, Align};
+use now_net::charact::{characterize, measure_latency_bandwidth};
+use now_net::NetworkParams;
+
+fn main() {
+    let params = NetworkParams::paper_ethernet();
+    let (lat, bw) = measure_latency_bandwidth(params);
+    println!("Fig. 4 — Communication cost (simulated PVM/Ethernet)\n");
+    println!("§6.1 characterization: latency = {:.1} µs  (paper: 2414.5 µs)", lat * 1e6);
+    println!(
+        "                       bandwidth = {:.2} MB/s (paper: 0.96 MB/s)\n",
+        bw / 1e6
+    );
+
+    let rep = characterize(params, 16, 64);
+    let mut rows = Vec::new();
+    for i in 0..rep.oa_samples.len() {
+        let n = rep.oa_samples[i].procs;
+        rows.push(vec![
+            n.to_string(),
+            format!("{:.4}", rep.aa_samples[i].seconds),
+            format!("{:.4}", rep.model.aa.eval(n as f64)),
+            format!("{:.4}", rep.ao_samples[i].seconds),
+            format!("{:.4}", rep.model.ao.eval(n as f64)),
+            format!("{:.4}", rep.oa_samples[i].seconds),
+            format!("{:.4}", rep.model.oa.eval(n as f64)),
+        ]);
+    }
+    let header =
+        ["NPROCS", "AA(exp)", "AA(fit)", "AO(exp)", "AO(fit)", "OA(exp)", "OA(fit)"];
+    let aligns = [Align::Right; 7];
+    println!("{}", format_table(&header, &aligns, &rows));
+    println!("Fitted polynomials (seconds, x = processors):");
+    for (name, poly) in
+        [("AA", &rep.model.aa), ("AO", &rep.model.ao), ("OA", &rep.model.oa)]
+    {
+        let c = poly.coeffs();
+        println!("  {name}(x) = {:+.3e} {:+.3e}·x {:+.3e}·x²", c[0], c[1], c[2]);
+    }
+    println!("\nPaper shape: AA well above AO above OA; AA superlinear in P.");
+}

@@ -1,0 +1,34 @@
+//! Fig. 5 — MXM normalized execution time on P = 4 processors, for the
+//! four paper data sizes, under noDLB and the four DLB strategies.
+
+use dlb_apps::MxmConfig;
+use dlb_bench::{format_table, mxm_experiment, Align};
+
+fn main() {
+    let p = 4;
+    println!("Fig. 5 — Matrix multiplication (P={p}), normalized execution time");
+    println!("(simulated NOW; normalized to the noDLB run of each data size)\n");
+    let mut rows = Vec::new();
+    for cfg in MxmConfig::paper_configs(p) {
+        let result = mxm_experiment(p, cfg);
+        let mut row = vec![result.label.clone()];
+        for (_, t) in result.mean_normalized() {
+            row.push(format!("{t:.3}"));
+        }
+        row.push(format!("{:.2}s", result.mean_no_dlb_time()));
+        rows.push(row);
+    }
+    let header = ["Data Size", "noDLB", "GC", "GD", "LC", "LD", "noDLB abs"];
+    let aligns = [
+        Align::Left,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+    ];
+    println!("{}", format_table(&header, &aligns, &rows));
+    println!("Paper shape: GDDLB best, GCDLB close behind, then LDDLB, then LCDLB;");
+    println!("all four far below noDLB.");
+}

@@ -1,0 +1,26 @@
+//! Fig. 7 — TRFD normalized total execution time on P = 4 processors for
+//! N = 30, 40, 50 (array sizes 465, 820, 1275).
+
+use dlb_apps::TrfdConfig;
+use dlb_bench::{format_table, trfd_experiment, Align};
+
+fn main() {
+    let p = 4;
+    println!("Fig. 7 — TRFD (P={p}), normalized total execution time");
+    println!("(loop1 + sequential transpose + loop2; normalized to noDLB)\n");
+    let mut rows = Vec::new();
+    for cfg in TrfdConfig::paper_configs() {
+        let totals = trfd_experiment(p, cfg);
+        let mut row = vec![totals.label.clone()];
+        for (_, t) in &totals.rows {
+            row.push(format!("{t:.3}"));
+        }
+        rows.push(row);
+    }
+    let header = ["Data Size", "noDLB", "GC", "GD", "LC", "LD"];
+    let aligns =
+        [Align::Left, Align::Right, Align::Right, Align::Right, Align::Right, Align::Right];
+    println!("{}", format_table(&header, &aligns, &rows));
+    println!("Paper shape: LDDLB best at small N, shifting toward GDDLB as the");
+    println!("data size (work per iteration) grows; GCDLB above both, LCDLB last.");
+}

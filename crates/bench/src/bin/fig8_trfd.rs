@@ -1,0 +1,25 @@
+//! Fig. 8 — TRFD normalized total execution time on P = 16 processors.
+
+use dlb_apps::TrfdConfig;
+use dlb_bench::{format_table, trfd_experiment, Align};
+
+fn main() {
+    let p = 16;
+    println!("Fig. 8 — TRFD (P={p}), normalized total execution time");
+    println!("(loop1 + sequential transpose + loop2; normalized to noDLB)\n");
+    let mut rows = Vec::new();
+    for cfg in TrfdConfig::paper_configs() {
+        let totals = trfd_experiment(p, cfg);
+        let mut row = vec![totals.label.clone()];
+        for (_, t) in &totals.rows {
+            row.push(format!("{t:.3}"));
+        }
+        rows.push(row);
+    }
+    let header = ["Data Size", "noDLB", "GC", "GD", "LC", "LD"];
+    let aligns =
+        [Align::Left, Align::Right, Align::Right, Align::Right, Align::Right, Align::Right];
+    println!("{}", format_table(&header, &aligns, &rows));
+    println!("Paper shape: LDDLB best (small compute/communication ratio at P=16);");
+    println!("distributed schemes beat centralized ones.");
+}

@@ -1,0 +1,28 @@
+//! Experiment harness: regenerates every table and figure of the paper.
+//!
+//! Binaries (one per artifact, see DESIGN.md's experiment index):
+//!
+//! | binary              | artifact |
+//! |---------------------|----------|
+//! | `fig4_comm_cost`    | Fig. 4 — communication cost, measured + polyfit |
+//! | `fig5_mxm`          | Fig. 5 — MXM normalized execution time, P = 4 |
+//! | `fig6_mxm`          | Fig. 6 — MXM, P = 16 |
+//! | `fig7_trfd`         | Fig. 7 — TRFD, P = 4 |
+//! | `fig8_trfd`         | Fig. 8 — TRFD, P = 16 |
+//! | `table1_mxm_order`  | Table 1 — MXM actual vs predicted order |
+//! | `table2_trfd_order` | Table 2 — TRFD actual vs predicted order per loop |
+//! | `ablations`         | design-choice ablations (DESIGN.md §4) |
+//!
+//! The library part holds the shared experiment definitions so the
+//! binaries, the integration tests and the Criterion benches all run the
+//! *same* configurations.
+
+pub mod experiments;
+pub mod table;
+
+pub use experiments::{
+    persistence_for, assert_work_conserved, paper_group_size, EPOCHS_PER_RUN, REPLICAS as CELL_REPLICAS,
+    mxm_experiment, trfd_experiment, trfd_loop_experiment, ExperimentResult, TrfdLoop,
+    LOAD_PERSISTENCE, LOAD_SEED,
+};
+pub use table::{format_table, Align};

@@ -1,0 +1,76 @@
+//! Minimal fixed-width table rendering for the harness binaries.
+
+/// Column alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Align {
+    Left,
+    Right,
+}
+
+/// Render rows as a fixed-width text table with a header row and a rule.
+///
+/// # Panics
+/// Panics if any row's width differs from the header's.
+pub fn format_table(header: &[&str], aligns: &[Align], rows: &[Vec<String>]) -> String {
+    assert_eq!(header.len(), aligns.len(), "one alignment per column");
+    for r in rows {
+        assert_eq!(r.len(), header.len(), "row width must match header");
+    }
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let fmt_row = |cells: &[String]| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            match aligns[i] {
+                Align::Left => line.push_str(&format!("{cell:<width$}", width = widths[i])),
+                Align::Right => line.push_str(&format!("{cell:>width$}", width = widths[i])),
+            }
+        }
+        line.trim_end().to_string()
+    };
+    let mut out = String::new();
+    out.push_str(&fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>()));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let t = format_table(
+            &["name", "value"],
+            &[Align::Left, Align::Right],
+            &[
+                vec!["a".into(), "1.00".into()],
+                vec!["long-name".into(), "12.34".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].ends_with("1.00"));
+        assert!(lines[3].starts_with("long-name"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn ragged_rows_rejected() {
+        let _ = format_table(&["a", "b"], &[Align::Left, Align::Left], &[vec!["x".into()]]);
+    }
+}

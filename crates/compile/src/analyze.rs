@@ -1,0 +1,385 @@
+//! Semantic analysis and symbolic cost extraction.
+//!
+//! Beyond validation, this pass produces what the paper's compiler hands
+//! to the run-time system (Section 5.1): "The compiler also helps to
+//! generate symbolic cost functions for the iteration cost and
+//! communication cost." Here those are:
+//!
+//! * `W(i)` — basic operations of iteration `i` of each balanced loop,
+//!   counted from the statement operators times the (possibly
+//!   index-dependent) inner trip counts;
+//! * `DC` — bytes of array data per moved iteration, from the
+//!   `distribute(...)`/`moves` annotations;
+//! * the *uniformity* of each balanced loop (a triangular loop — any
+//!   inner bound referencing the balanced index — is flagged for the
+//!   bitonic transformation).
+
+use crate::ast::{DimDist, Expr, Loop, Node, Program};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A compilation error with its source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl CompileError {
+    pub fn at(line: usize, message: String) -> Self {
+        Self { line, message }
+    }
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// A validated program with per-loop analysis results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalyzedProgram {
+    pub program: Program,
+    /// One entry per top-level loop, in source order.
+    pub loops: Vec<LoopInfo>,
+}
+
+/// Analysis results for one top-level loop nest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoopInfo {
+    /// Balanced-loop index variable.
+    pub var: String,
+    /// Whether the loop carries the `balance` annotation.
+    pub balance: bool,
+    /// Whether every iteration has the same operation count.
+    pub uniform: bool,
+    /// Arrays whose slices travel with moved iterations.
+    pub moving_arrays: Vec<String>,
+    /// Human-readable symbolic form of the per-iteration work.
+    pub work_desc: String,
+}
+
+/// Validate `program` and extract per-loop information.
+///
+/// # Errors
+/// Returns the first semantic error found.
+pub fn analyze(program: Program) -> Result<AnalyzedProgram, CompileError> {
+    // Array dimension expressions may only use parameters.
+    for a in &program.arrays {
+        for d in &a.dims {
+            let mut vars = Vec::new();
+            d.free_vars(&mut vars);
+            for v in &vars {
+                if !program.params.contains(v) {
+                    return Err(CompileError::at(
+                        a.line,
+                        format!("array {}: dimension uses undeclared parameter '{v}'", a.name),
+                    ));
+                }
+            }
+        }
+        let n_dist = a.dist.iter().filter(|d| **d != DimDist::Whole).count();
+        if n_dist > 1 {
+            return Err(CompileError::at(
+                a.line,
+                format!("array {}: at most one distributed dimension is supported", a.name),
+            ));
+        }
+        if a.moves && n_dist == 0 {
+            return Err(CompileError::at(
+                a.line,
+                format!("array {}: a fully replicated array cannot move", a.name),
+            ));
+        }
+    }
+
+    let mut infos = Vec::new();
+    for l in &program.loops {
+        let mut scope: Vec<String> = program.params.clone();
+        check_loop(&program, l, &mut scope, true)?;
+        let uniform = !bounds_mention(&l.body, &l.var);
+        let moving: Vec<String> = program
+            .arrays
+            .iter()
+            .filter(|a| a.moves)
+            .map(|a| a.name.clone())
+            .collect();
+        infos.push(LoopInfo {
+            var: l.var.clone(),
+            balance: l.balance,
+            uniform,
+            moving_arrays: moving,
+            work_desc: describe_work(l),
+        });
+    }
+    Ok(AnalyzedProgram { program, loops: infos })
+}
+
+fn check_loop(
+    program: &Program,
+    l: &Loop,
+    scope: &mut Vec<String>,
+    top: bool,
+) -> Result<(), CompileError> {
+    if l.balance && !top {
+        return Err(CompileError::at(
+            l.line,
+            "only the outermost loop of a nest can be balanced".into(),
+        ));
+    }
+    for b in [&l.lo, &l.hi] {
+        let mut vars = Vec::new();
+        b.free_vars(&mut vars);
+        for v in &vars {
+            if !scope.contains(v) {
+                return Err(CompileError::at(
+                    l.line,
+                    format!("loop bound uses unknown variable '{v}'"),
+                ));
+            }
+        }
+    }
+    scope.push(l.var.clone());
+    for node in &l.body {
+        match node {
+            Node::Loop(inner) => check_loop(program, inner, scope, false)?,
+            Node::Stmt(s) => {
+                for e in [&s.target, &s.value] {
+                    check_refs(program, e, scope, s.line)?;
+                }
+            }
+        }
+    }
+    scope.pop();
+    Ok(())
+}
+
+fn check_refs(
+    program: &Program,
+    e: &Expr,
+    scope: &[String],
+    line: usize,
+) -> Result<(), CompileError> {
+    match e {
+        Expr::Int(_) => Ok(()),
+        Expr::Var(v) => {
+            if scope.contains(v) {
+                Ok(())
+            } else {
+                Err(CompileError::at(line, format!("unknown variable '{v}'")))
+            }
+        }
+        Expr::ArrayRef(name, idx) => {
+            let Some(decl) = program.arrays.iter().find(|a| a.name == *name) else {
+                return Err(CompileError::at(line, format!("unknown array '{name}'")));
+            };
+            if decl.dims.len() != idx.len() {
+                return Err(CompileError::at(
+                    line,
+                    format!(
+                        "array {name}: {} subscripts for {} dimensions",
+                        idx.len(),
+                        decl.dims.len()
+                    ),
+                ));
+            }
+            for i in idx {
+                check_refs(program, i, scope, line)?;
+            }
+            Ok(())
+        }
+        Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) | Expr::Div(a, b) => {
+            check_refs(program, a, scope, line)?;
+            check_refs(program, b, scope, line)
+        }
+    }
+}
+
+/// Does any loop bound in `body` reference `var`? (Triangularity test.)
+pub fn bounds_mention(body: &[Node], var: &str) -> bool {
+    body.iter().any(|n| match n {
+        Node::Loop(l) => {
+            l.lo.mentions(var) || l.hi.mentions(var) || bounds_mention(&l.body, var)
+        }
+        Node::Stmt(_) => false,
+    })
+}
+
+/// Basic operations executed by one iteration of `l` (the balanced index
+/// bound in `env`), interpreting nested loops. Inner loops whose own index
+/// does not influence deeper trip counts are multiplied out; truly
+/// index-dependent ones are summed.
+pub fn ops_of_body(body: &[Node], env: &mut BTreeMap<String, i64>) -> f64 {
+    let mut total = 0.0;
+    for node in body {
+        match node {
+            Node::Stmt(s) => {
+                let mut ops = s.value.op_count() + s.target.op_count();
+                if s.accumulate {
+                    ops += 1;
+                }
+                total += ops as f64;
+            }
+            Node::Loop(l) => {
+                let lo = l.lo.eval(env);
+                let hi = l.hi.eval(env);
+                let trip = (hi - lo).max(0);
+                if trip == 0 {
+                    continue;
+                }
+                if bounds_mention(&l.body, &l.var) {
+                    // Deeper bounds depend on this index: sum exactly.
+                    for i in lo..hi {
+                        env.insert(l.var.clone(), i);
+                        total += ops_of_body(&l.body, env);
+                    }
+                    env.remove(&l.var);
+                } else {
+                    env.insert(l.var.clone(), lo);
+                    let per = ops_of_body(&l.body, env);
+                    env.remove(&l.var);
+                    total += trip as f64 * per;
+                }
+            }
+        }
+    }
+    total
+}
+
+/// Render the symbolic per-iteration work of a balanced loop, e.g.
+/// `(C - 0)·(R2 - 0)·2 ops` for MXM.
+fn describe_work(l: &Loop) -> String {
+    fn go(body: &[Node], parts: &mut Vec<String>) -> u64 {
+        let mut stmt_ops = 0;
+        for node in body {
+            match node {
+                Node::Stmt(s) => {
+                    stmt_ops += s.value.op_count() + s.target.op_count() + u64::from(s.accumulate);
+                }
+                Node::Loop(l) => {
+                    parts.push(format!("({} - {})", l.hi, l.lo));
+                    stmt_ops += go(&l.body, parts);
+                }
+            }
+        }
+        stmt_ops
+    }
+    let mut parts = Vec::new();
+    let ops = go(&l.body, &mut parts);
+    parts.push(format!("{ops} ops"));
+    parts.join(" · ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse;
+
+    fn analyzed(src: &str) -> AnalyzedProgram {
+        analyze(parse(&lex(src).unwrap()).unwrap()).unwrap()
+    }
+
+    fn analyze_err(src: &str) -> CompileError {
+        analyze(parse(&lex(src).unwrap()).unwrap()).unwrap_err()
+    }
+
+    const MXM: &str = r#"
+        param R; param C; param R2;
+        array Z[R][C]  distribute(block, whole);
+        array X[R][R2] distribute(block, whole) moves;
+        array Y[R2][C] replicate;
+        balance for i = 0..R {
+          for j = 0..C { for k = 0..R2 { Z[i][j] += X[i][k] * Y[k][j]; } }
+        }
+    "#;
+
+    #[test]
+    fn mxm_is_uniform_with_one_moving_array() {
+        let a = analyzed(MXM);
+        assert_eq!(a.loops.len(), 1);
+        let l = &a.loops[0];
+        assert!(l.balance);
+        assert!(l.uniform);
+        assert_eq!(l.moving_arrays, vec!["X"]);
+        assert!(l.work_desc.contains("ops"), "{}", l.work_desc);
+    }
+
+    #[test]
+    fn mxm_op_count_is_two_per_inner_iteration() {
+        let a = analyzed(MXM);
+        let l = &a.program.loops[0];
+        let mut env: BTreeMap<String, i64> =
+            [("R", 8i64), ("C", 5), ("R2", 3)].map(|(k, v)| (k.to_string(), v)).into();
+        env.insert("i".into(), 0);
+        let ops = ops_of_body(&l.body, &mut env);
+        // mul + accumulate-add per innermost statement.
+        assert!((ops - (5.0 * 3.0 * 2.0)).abs() < 1e-9, "ops = {ops}");
+    }
+
+    #[test]
+    fn triangular_loop_detected() {
+        let a = analyzed(
+            "param N; array A[N][N] distribute(whole, block) moves;\nbalance for i = 0..N { for j = 0..i { A[j][i] += A[i][j] * 2; } }",
+        );
+        assert!(!a.loops[0].uniform, "inner bound 0..i must flag non-uniform");
+    }
+
+    #[test]
+    fn triangular_ops_grow_with_index() {
+        let a = analyzed(
+            "param N; array A[N][N] distribute(whole, block) moves;\nbalance for i = 0..N { for j = 0..i { A[j][i] += A[i][j] * 2; } }",
+        );
+        let l = &a.program.loops[0];
+        let mut env: BTreeMap<String, i64> = [("N".to_string(), 10i64)].into();
+        env.insert("i".into(), 2);
+        let at2 = ops_of_body(&l.body, &mut env);
+        env.insert("i".into(), 8);
+        let at8 = ops_of_body(&l.body, &mut env);
+        assert!((at2 - 4.0).abs() < 1e-9);
+        assert!((at8 - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_unknown_parameter_in_dims() {
+        let e = analyze_err("array A[Q] distribute(block);");
+        assert!(e.message.contains("undeclared parameter"), "{e}");
+    }
+
+    #[test]
+    fn rejects_unknown_array() {
+        let e = analyze_err("param N; array A[N] distribute(block);\nfor i = 0..N { B[i] = 1; }");
+        assert!(e.message.contains("unknown array"), "{e}");
+    }
+
+    #[test]
+    fn rejects_subscript_arity_mismatch() {
+        let e = analyze_err("param N; array A[N] distribute(block);\nfor i = 0..N { A[i][i] = 1; }");
+        assert!(e.message.contains("subscripts"), "{e}");
+    }
+
+    #[test]
+    fn rejects_moving_replicated_array() {
+        let e = analyze_err("param N; array A[N] replicate moves;");
+        assert!(e.message.contains("cannot move"), "{e}");
+    }
+
+    #[test]
+    fn rejects_nested_balance() {
+        let e = analyze_err(
+            "param N; array A[N] distribute(block);\nbalance for i = 0..N { balance for j = 0..N { A[j] = 1; } }",
+        );
+        assert!(e.message.contains("outermost"), "{e}");
+    }
+
+    #[test]
+    fn rejects_out_of_scope_loop_variable() {
+        let e = analyze_err(
+            "param N; array A[N] distribute(block);\nfor i = 0..N { A[i] = 1; }\nfor j = 0..i { A[j] = 1; }",
+        );
+        assert!(e.message.contains("unknown variable"), "{e}");
+    }
+}

@@ -1,0 +1,213 @@
+//! Abstract syntax of the annotated loop-nest language.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Arithmetic expression over integer literals, parameters and loop
+/// indices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    Int(u64),
+    /// A parameter or a loop index.
+    Var(String),
+    /// An array element reference (only valid inside statements).
+    ArrayRef(String, Vec<Expr>),
+    Add(Box<Expr>, Box<Expr>),
+    Sub(Box<Expr>, Box<Expr>),
+    Mul(Box<Expr>, Box<Expr>),
+    Div(Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Evaluate with an environment of parameter/index values. Array
+    /// references evaluate to 0 (they carry no compile-time value — only
+    /// their *presence* matters for operation counting).
+    ///
+    /// # Panics
+    /// Panics on an unbound variable (analysis validates bindings first).
+    pub fn eval(&self, env: &BTreeMap<String, i64>) -> i64 {
+        match self {
+            Expr::Int(v) => *v as i64,
+            Expr::Var(name) => *env
+                .get(name)
+                .unwrap_or_else(|| panic!("unbound variable '{name}' in expression")),
+            Expr::ArrayRef(..) => 0,
+            Expr::Add(a, b) => a.eval(env) + b.eval(env),
+            Expr::Sub(a, b) => a.eval(env) - b.eval(env),
+            Expr::Mul(a, b) => a.eval(env) * b.eval(env),
+            Expr::Div(a, b) => {
+                let d = b.eval(env);
+                assert!(d != 0, "division by zero in bound expression");
+                a.eval(env) / d
+            }
+        }
+    }
+
+    /// All free variable names (parameters and indices), excluding array
+    /// names.
+    pub fn free_vars(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Int(_) => {}
+            Expr::Var(v) => {
+                if !out.contains(v) {
+                    out.push(v.clone());
+                }
+            }
+            Expr::ArrayRef(_, idx) => {
+                for e in idx {
+                    e.free_vars(out);
+                }
+            }
+            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) | Expr::Div(a, b) => {
+                a.free_vars(out);
+                b.free_vars(out);
+            }
+        }
+    }
+
+    /// Does this expression mention `name` as a variable?
+    pub fn mentions(&self, name: &str) -> bool {
+        let mut vars = Vec::new();
+        self.free_vars(&mut vars);
+        vars.iter().any(|v| v == name)
+    }
+
+    /// Count arithmetic operators (the "basic operations" of the model's
+    /// `W_ij`), recursing through the whole tree.
+    pub fn op_count(&self) -> u64 {
+        match self {
+            Expr::Int(_) | Expr::Var(_) => 0,
+            Expr::ArrayRef(_, idx) => idx.iter().map(Expr::op_count).sum(),
+            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) | Expr::Div(a, b) => {
+                1 + a.op_count() + b.op_count()
+            }
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Int(v) => write!(f, "{v}"),
+            Expr::Var(v) => write!(f, "{v}"),
+            Expr::ArrayRef(name, idx) => {
+                write!(f, "{name}")?;
+                for e in idx {
+                    write!(f, "[{e}]")?;
+                }
+                Ok(())
+            }
+            Expr::Add(a, b) => write!(f, "({a} + {b})"),
+            Expr::Sub(a, b) => write!(f, "({a} - {b})"),
+            Expr::Mul(a, b) => write!(f, "({a} * {b})"),
+            Expr::Div(a, b) => write!(f, "({a} / {b})"),
+        }
+    }
+}
+
+/// Per-dimension distribution annotation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DimDist {
+    Block,
+    Cyclic,
+    Whole,
+}
+
+/// `array NAME[dim]... distribute(...)? moves? ;`
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrayDecl {
+    pub name: String,
+    pub dims: Vec<Expr>,
+    /// One entry per dimension; `replicate` yields all-`Whole`.
+    pub dist: Vec<DimDist>,
+    /// Whether this array's slices travel with moved iterations.
+    pub moves: bool,
+    pub line: usize,
+}
+
+/// An assignment statement inside a loop body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stmt {
+    pub target: Expr,
+    /// `+=` counts one extra add.
+    pub accumulate: bool,
+    pub value: Expr,
+    pub line: usize,
+}
+
+/// One `for` loop (possibly annotated `balance`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Loop {
+    pub var: String,
+    pub lo: Expr,
+    pub hi: Expr,
+    pub balance: bool,
+    pub body: Vec<Node>,
+    pub line: usize,
+}
+
+/// Body node: nested loop or statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Node {
+    Loop(Loop),
+    Stmt(Stmt),
+}
+
+/// A whole translation unit.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    pub params: Vec<String>,
+    pub arrays: Vec<ArrayDecl>,
+    pub loops: Vec<Loop>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env(pairs: &[(&str, i64)]) -> BTreeMap<String, i64> {
+        pairs.iter().map(|&(k, v)| (k.to_string(), v)).collect()
+    }
+
+    #[test]
+    fn eval_arithmetic() {
+        // (R + 2) * C
+        let e = Expr::Mul(
+            Box::new(Expr::Add(Box::new(Expr::Var("R".into())), Box::new(Expr::Int(2)))),
+            Box::new(Expr::Var("C".into())),
+        );
+        assert_eq!(e.eval(&env(&[("R", 3), ("C", 10)])), 50);
+    }
+
+    #[test]
+    fn op_count_counts_operators() {
+        // Z[i][j] + X[i][k] * Y[k][j] : one add, one mul
+        let e = Expr::Add(
+            Box::new(Expr::ArrayRef("Z".into(), vec![Expr::Var("i".into())])),
+            Box::new(Expr::Mul(
+                Box::new(Expr::ArrayRef("X".into(), vec![])),
+                Box::new(Expr::ArrayRef("Y".into(), vec![])),
+            )),
+        );
+        assert_eq!(e.op_count(), 2);
+    }
+
+    #[test]
+    fn mentions_finds_index_vars() {
+        let e = Expr::Sub(Box::new(Expr::Var("i".into())), Box::new(Expr::Int(1)));
+        assert!(e.mentions("i"));
+        assert!(!e.mentions("j"));
+    }
+
+    #[test]
+    fn display_roundtrips_shape() {
+        let e = Expr::Mul(Box::new(Expr::Var("C".into())), Box::new(Expr::Var("R2".into())));
+        assert_eq!(e.to_string(), "(C * R2)");
+    }
+
+    #[test]
+    #[should_panic(expected = "unbound variable")]
+    fn eval_unbound_panics() {
+        Expr::Var("Q".into()).eval(&BTreeMap::new());
+    }
+}

@@ -1,0 +1,251 @@
+//! Tokenizer for the annotated loop-nest language.
+
+use crate::analyze::CompileError;
+
+/// A lexical token with its source line (for diagnostics).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub line: usize,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    Ident(String),
+    Int(u64),
+    // keywords
+    Param,
+    Array,
+    Distribute,
+    Replicate,
+    Moves,
+    Balance,
+    For,
+    Block,
+    Cyclic,
+    Whole,
+    // punctuation
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    LParen,
+    RParen,
+    Semi,
+    Comma,
+    Assign,
+    PlusAssign,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    DotDot,
+    Eof,
+}
+
+/// Tokenize `source`.
+///
+/// # Errors
+/// Returns [`CompileError`] on unrecognized characters or malformed
+/// integers.
+pub fn lex(source: &str) -> Result<Vec<Token>, CompileError> {
+    let mut out = Vec::new();
+    let mut line = 1usize;
+    let mut chars = source.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            '\n' => {
+                line += 1;
+                chars.next();
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '/' if {
+                let mut it = chars.clone();
+                it.next();
+                it.peek() == Some(&'/')
+            } =>
+            {
+                // line comment
+                for c in chars.by_ref() {
+                    if c == '\n' {
+                        line += 1;
+                        break;
+                    }
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_alphanumeric() || c == '_' {
+                        s.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let kind = match s.as_str() {
+                    "param" => TokenKind::Param,
+                    "array" => TokenKind::Array,
+                    "distribute" => TokenKind::Distribute,
+                    "replicate" => TokenKind::Replicate,
+                    "moves" => TokenKind::Moves,
+                    "balance" => TokenKind::Balance,
+                    "for" => TokenKind::For,
+                    "block" => TokenKind::Block,
+                    "cyclic" => TokenKind::Cyclic,
+                    "whole" => TokenKind::Whole,
+                    _ => TokenKind::Ident(s),
+                };
+                out.push(Token { kind, line });
+                continue;
+            }
+            c if c.is_ascii_digit() => {
+                let mut s = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_digit() {
+                        s.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let v: u64 = s
+                    .parse()
+                    .map_err(|_| CompileError::at(line, format!("integer overflow: {s}")))?;
+                out.push(Token { kind: TokenKind::Int(v), line });
+                continue;
+            }
+            '.' => {
+                chars.next();
+                if chars.peek() == Some(&'.') {
+                    chars.next();
+                    out.push(Token { kind: TokenKind::DotDot, line });
+                } else {
+                    return Err(CompileError::at(line, "expected '..'".to_string()));
+                }
+            }
+            '+' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    out.push(Token { kind: TokenKind::PlusAssign, line });
+                } else {
+                    out.push(Token { kind: TokenKind::Plus, line });
+                }
+            }
+            '=' => {
+                chars.next();
+                out.push(Token { kind: TokenKind::Assign, line });
+            }
+            '-' => {
+                chars.next();
+                out.push(Token { kind: TokenKind::Minus, line });
+            }
+            '*' => {
+                chars.next();
+                out.push(Token { kind: TokenKind::Star, line });
+            }
+            '/' => {
+                chars.next();
+                out.push(Token { kind: TokenKind::Slash, line });
+            }
+            '{' => {
+                chars.next();
+                out.push(Token { kind: TokenKind::LBrace, line });
+            }
+            '}' => {
+                chars.next();
+                out.push(Token { kind: TokenKind::RBrace, line });
+            }
+            '[' => {
+                chars.next();
+                out.push(Token { kind: TokenKind::LBracket, line });
+            }
+            ']' => {
+                chars.next();
+                out.push(Token { kind: TokenKind::RBracket, line });
+            }
+            '(' => {
+                chars.next();
+                out.push(Token { kind: TokenKind::LParen, line });
+            }
+            ')' => {
+                chars.next();
+                out.push(Token { kind: TokenKind::RParen, line });
+            }
+            ';' => {
+                chars.next();
+                out.push(Token { kind: TokenKind::Semi, line });
+            }
+            ',' => {
+                chars.next();
+                out.push(Token { kind: TokenKind::Comma, line });
+            }
+            other => {
+                return Err(CompileError::at(line, format!("unexpected character '{other}'")));
+            }
+        }
+    }
+    out.push(Token { kind: TokenKind::Eof, line });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_keywords_and_idents() {
+        let k = kinds("param R; balance for i");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Param,
+                TokenKind::Ident("R".into()),
+                TokenKind::Semi,
+                TokenKind::Balance,
+                TokenKind::For,
+                TokenKind::Ident("i".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_range_and_ops() {
+        let k = kinds("0..R a += b * 2");
+        assert!(k.contains(&TokenKind::DotDot));
+        assert!(k.contains(&TokenKind::PlusAssign));
+        assert!(k.contains(&TokenKind::Star));
+        assert!(k.contains(&TokenKind::Int(2)));
+    }
+
+    #[test]
+    fn skips_comments() {
+        let k = kinds("param R; // a comment\nparam C;");
+        assert_eq!(k.iter().filter(|t| **t == TokenKind::Param).count(), 2);
+    }
+
+    #[test]
+    fn tracks_line_numbers() {
+        let toks = lex("param R;\nparam C;").unwrap();
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[3].line, 2);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(lex("param %$").is_err());
+    }
+
+    #[test]
+    fn single_dot_is_error() {
+        assert!(lex("0.5").is_err());
+    }
+}

@@ -1,0 +1,321 @@
+//! Recursive-descent parser for the annotated loop-nest language.
+
+use crate::analyze::CompileError;
+use crate::ast::{ArrayDecl, DimDist, Expr, Loop, Node, Program, Stmt};
+use crate::lexer::{Token, TokenKind};
+
+struct Parser<'t> {
+    tokens: &'t [Token],
+    pos: usize,
+}
+
+/// Parse a token stream into a [`Program`].
+///
+/// # Errors
+/// Returns [`CompileError`] with the offending line on syntax errors.
+pub fn parse(tokens: &[Token]) -> Result<Program, CompileError> {
+    let mut p = Parser { tokens, pos: 0 };
+    let mut program = Program::default();
+    loop {
+        match p.peek() {
+            TokenKind::Eof => break,
+            TokenKind::Param => {
+                p.bump();
+                let name = p.expect_ident()?;
+                p.expect(&TokenKind::Semi)?;
+                program.params.push(name);
+            }
+            TokenKind::Array => program.arrays.push(p.array_decl()?),
+            TokenKind::Balance | TokenKind::For => program.loops.push(p.loop_nest()?),
+            other => {
+                return Err(p.err(format!("expected item, found {other:?}")));
+            }
+        }
+    }
+    Ok(program)
+}
+
+impl<'t> Parser<'t> {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn line(&self) -> usize {
+        self.tokens[self.pos].line
+    }
+
+    fn bump(&mut self) -> &TokenKind {
+        let k = &self.tokens[self.pos].kind;
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        k
+    }
+
+    fn err(&self, msg: String) -> CompileError {
+        CompileError::at(self.line(), msg)
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<(), CompileError> {
+        if self.peek() == kind {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {kind:?}, found {:?}", self.peek())))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, CompileError> {
+        if let TokenKind::Ident(s) = self.peek() {
+            let s = s.clone();
+            self.bump();
+            Ok(s)
+        } else {
+            Err(self.err(format!("expected identifier, found {:?}", self.peek())))
+        }
+    }
+
+    fn array_decl(&mut self) -> Result<ArrayDecl, CompileError> {
+        let line = self.line();
+        self.expect(&TokenKind::Array)?;
+        let name = self.expect_ident()?;
+        let mut dims = Vec::new();
+        while *self.peek() == TokenKind::LBracket {
+            self.bump();
+            dims.push(self.expr()?);
+            self.expect(&TokenKind::RBracket)?;
+        }
+        if dims.is_empty() {
+            return Err(self.err(format!("array {name} needs at least one dimension")));
+        }
+        let dist = match self.peek() {
+            TokenKind::Distribute => {
+                self.bump();
+                self.expect(&TokenKind::LParen)?;
+                let mut d = Vec::new();
+                loop {
+                    d.push(match self.bump() {
+                        TokenKind::Block => DimDist::Block,
+                        TokenKind::Cyclic => DimDist::Cyclic,
+                        TokenKind::Whole => DimDist::Whole,
+                        other => {
+                            return Err(CompileError::at(
+                                line,
+                                format!("expected block/cyclic/whole, found {other:?}"),
+                            ))
+                        }
+                    });
+                    if *self.peek() == TokenKind::Comma {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                self.expect(&TokenKind::RParen)?;
+                if d.len() != dims.len() {
+                    return Err(CompileError::at(
+                        line,
+                        format!(
+                            "array {name}: {} distribution annotations for {} dimensions",
+                            d.len(),
+                            dims.len()
+                        ),
+                    ));
+                }
+                d
+            }
+            TokenKind::Replicate => {
+                self.bump();
+                vec![DimDist::Whole; dims.len()]
+            }
+            other => {
+                return Err(self.err(format!(
+                    "array {name} needs distribute(...) or replicate, found {other:?}"
+                )))
+            }
+        };
+        let moves = if *self.peek() == TokenKind::Moves {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        self.expect(&TokenKind::Semi)?;
+        Ok(ArrayDecl { name, dims, dist, moves, line })
+    }
+
+    fn loop_nest(&mut self) -> Result<Loop, CompileError> {
+        let line = self.line();
+        let balance = if *self.peek() == TokenKind::Balance {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        self.expect(&TokenKind::For)?;
+        let var = self.expect_ident()?;
+        self.expect(&TokenKind::Assign)?;
+        let lo = self.expr()?;
+        self.expect(&TokenKind::DotDot)?;
+        let hi = self.expr()?;
+        self.expect(&TokenKind::LBrace)?;
+        let mut body = Vec::new();
+        while *self.peek() != TokenKind::RBrace {
+            match self.peek() {
+                TokenKind::For | TokenKind::Balance => body.push(Node::Loop(self.loop_nest()?)),
+                _ => body.push(Node::Stmt(self.stmt()?)),
+            }
+        }
+        self.expect(&TokenKind::RBrace)?;
+        Ok(Loop { var, lo, hi, balance, body, line })
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, CompileError> {
+        let line = self.line();
+        let target = self.primary()?;
+        if !matches!(target, Expr::ArrayRef(..) | Expr::Var(..)) {
+            return Err(CompileError::at(line, "assignment target must be a reference".into()));
+        }
+        let accumulate = match self.bump() {
+            TokenKind::Assign => false,
+            TokenKind::PlusAssign => true,
+            other => {
+                return Err(CompileError::at(
+                    line,
+                    format!("expected = or +=, found {other:?}"),
+                ))
+            }
+        };
+        let value = self.expr()?;
+        self.expect(&TokenKind::Semi)?;
+        Ok(Stmt { target, accumulate, value, line })
+    }
+
+    fn expr(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.term()?;
+        loop {
+            match self.peek() {
+                TokenKind::Plus => {
+                    self.bump();
+                    lhs = Expr::Add(Box::new(lhs), Box::new(self.term()?));
+                }
+                TokenKind::Minus => {
+                    self.bump();
+                    lhs = Expr::Sub(Box::new(lhs), Box::new(self.term()?));
+                }
+                _ => return Ok(lhs),
+            }
+        }
+    }
+
+    fn term(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.primary()?;
+        loop {
+            match self.peek() {
+                TokenKind::Star => {
+                    self.bump();
+                    lhs = Expr::Mul(Box::new(lhs), Box::new(self.primary()?));
+                }
+                TokenKind::Slash => {
+                    self.bump();
+                    lhs = Expr::Div(Box::new(lhs), Box::new(self.primary()?));
+                }
+                _ => return Ok(lhs),
+            }
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr, CompileError> {
+        match self.peek().clone() {
+            TokenKind::Int(v) => {
+                self.bump();
+                Ok(Expr::Int(v))
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                if *self.peek() == TokenKind::LBracket {
+                    let mut idx = Vec::new();
+                    while *self.peek() == TokenKind::LBracket {
+                        self.bump();
+                        idx.push(self.expr()?);
+                        self.expect(&TokenKind::RBracket)?;
+                    }
+                    Ok(Expr::ArrayRef(name, idx))
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(e)
+            }
+            other => Err(self.err(format!("expected expression, found {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> Program {
+        parse(&lex(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn parses_params_and_arrays() {
+        let p = parse_src(
+            "param R; param C;\narray A[R][C] distribute(block, whole) moves;\narray B[C] replicate;",
+        );
+        assert_eq!(p.params, vec!["R", "C"]);
+        assert_eq!(p.arrays.len(), 2);
+        assert!(p.arrays[0].moves);
+        assert_eq!(p.arrays[0].dist, vec![DimDist::Block, DimDist::Whole]);
+        assert_eq!(p.arrays[1].dist, vec![DimDist::Whole]);
+    }
+
+    #[test]
+    fn parses_nested_balanced_loop() {
+        let p = parse_src(
+            "param N; array A[N] distribute(block) moves;\nbalance for i = 0..N { for j = 0..i { A[i] += A[j] * 2; } }",
+        );
+        assert_eq!(p.loops.len(), 1);
+        let l = &p.loops[0];
+        assert!(l.balance);
+        assert_eq!(l.var, "i");
+        assert_eq!(l.body.len(), 1);
+        let Node::Loop(inner) = &l.body[0] else { panic!("expected inner loop") };
+        assert!(!inner.balance);
+        assert!(inner.hi.mentions("i"), "triangular bound must reference i");
+    }
+
+    #[test]
+    fn parses_accumulate_statement() {
+        let p = parse_src("param N; array A[N] distribute(block);\nfor i = 0..N { A[i] = i + 1; }");
+        let Node::Stmt(s) = &p.loops[0].body[0] else { panic!() };
+        assert!(!s.accumulate);
+    }
+
+    #[test]
+    fn rejects_mismatched_distribution_arity() {
+        let toks = lex("array A[N][M] distribute(block);").unwrap();
+        assert!(parse(&toks).is_err());
+    }
+
+    #[test]
+    fn rejects_missing_semicolon() {
+        let toks = lex("param R param C;").unwrap();
+        assert!(parse(&toks).is_err());
+    }
+
+    #[test]
+    fn precedence_mul_binds_tighter() {
+        let p = parse_src("param N; array A[N] distribute(block);\nfor i = 0..N { A[i] = 1 + 2 * 3; }");
+        let Node::Stmt(s) = &p.loops[0].body[0] else { panic!() };
+        // 1 + (2*3) = 7
+        assert_eq!(s.value.eval(&Default::default()), 7);
+    }
+}

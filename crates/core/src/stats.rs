@@ -1,0 +1,79 @@
+//! Run statistics ("number of redistributions, number of synchronizations,
+//! amount of work moved, etc." — the DLB statistics the master collects at
+//! the end of a run, Section 5.2).
+
+use crate::balance::BalanceVerdict;
+use serde::{Deserialize, Serialize};
+
+/// Counters accumulated by a DLB run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct DlbStats {
+    /// Synchronization episodes (`τ` in the model).
+    pub syncs: u64,
+    /// Synchronizations that ended in a redistribution.
+    pub redistributions: u64,
+    /// Moves cancelled by the profitability analysis.
+    pub unprofitable: u64,
+    /// Moves cancelled by the minimum-work threshold.
+    pub below_threshold: u64,
+    /// Total iterations moved (`Σ_j δ(j)`).
+    pub iters_moved: u64,
+    /// Work-transfer messages sent (`Σ_j μ(j)`).
+    pub transfer_messages: u64,
+    /// Control messages sent (interrupts, profiles, instructions).
+    pub control_messages: u64,
+    /// Bytes of array data moved.
+    pub bytes_moved: u64,
+}
+
+impl DlbStats {
+    /// Record one balancer decision.
+    pub fn record_verdict(&mut self, verdict: BalanceVerdict) {
+        match verdict {
+            BalanceVerdict::Move => self.redistributions += 1,
+            BalanceVerdict::Unprofitable => self.unprofitable += 1,
+            BalanceVerdict::BelowThreshold => self.below_threshold += 1,
+            BalanceVerdict::Finished => {}
+        }
+    }
+
+    /// Merge counters from another run segment (e.g. per-group stats).
+    pub fn merge(&mut self, other: &DlbStats) {
+        self.syncs += other.syncs;
+        self.redistributions += other.redistributions;
+        self.unprofitable += other.unprofitable;
+        self.below_threshold += other.below_threshold;
+        self.iters_moved += other.iters_moved;
+        self.transfer_messages += other.transfer_messages;
+        self.control_messages += other.control_messages;
+        self.bytes_moved += other.bytes_moved;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verdicts_route_to_counters() {
+        let mut s = DlbStats::default();
+        s.record_verdict(BalanceVerdict::Move);
+        s.record_verdict(BalanceVerdict::Move);
+        s.record_verdict(BalanceVerdict::Unprofitable);
+        s.record_verdict(BalanceVerdict::BelowThreshold);
+        s.record_verdict(BalanceVerdict::Finished);
+        assert_eq!(s.redistributions, 2);
+        assert_eq!(s.unprofitable, 1);
+        assert_eq!(s.below_threshold, 1);
+    }
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = DlbStats { syncs: 1, iters_moved: 10, ..Default::default() };
+        let b = DlbStats { syncs: 2, iters_moved: 5, bytes_moved: 100, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.syncs, 3);
+        assert_eq!(a.iters_moved, 15);
+        assert_eq!(a.bytes_moved, 100);
+    }
+}

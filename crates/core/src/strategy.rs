@@ -1,0 +1,286 @@
+//! Strategy taxonomy and configuration (Section 3.5).
+
+use serde::{Deserialize, Serialize};
+
+/// Information scope of the balancing decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Scope {
+    /// All `P` processors synchronize and exchange profiles.
+    Global,
+    /// Processors are partitioned into groups of `K`; decisions are made
+    /// within a group only.
+    Local,
+}
+
+/// Location of the load balancer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Control {
+    /// One master processor hosts the balancer (and also computes).
+    Centralized,
+    /// The balancer is fully replicated on every processor.
+    Distributed,
+}
+
+/// The four strategies at the extreme points of the two axes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Strategy {
+    /// Global Centralized DLB.
+    Gcdlb,
+    /// Global Distributed DLB.
+    Gddlb,
+    /// Local Centralized DLB (one central balancer serving all groups
+    /// asynchronously — the source of the *delay factor*).
+    Lcdlb,
+    /// Local Distributed DLB.
+    Lddlb,
+}
+
+impl Strategy {
+    /// All four strategies, in the paper's reporting order.
+    pub const ALL: [Strategy; 4] = [Strategy::Gcdlb, Strategy::Gddlb, Strategy::Lcdlb, Strategy::Lddlb];
+
+    pub fn scope(&self) -> Scope {
+        match self {
+            Strategy::Gcdlb | Strategy::Gddlb => Scope::Global,
+            Strategy::Lcdlb | Strategy::Lddlb => Scope::Local,
+        }
+    }
+
+    pub fn control(&self) -> Control {
+        match self {
+            Strategy::Gcdlb | Strategy::Lcdlb => Control::Centralized,
+            Strategy::Gddlb | Strategy::Lddlb => Control::Distributed,
+        }
+    }
+
+    /// Full name as used in the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Strategy::Gcdlb => "GCDLB",
+            Strategy::Gddlb => "GDDLB",
+            Strategy::Lcdlb => "LCDLB",
+            Strategy::Lddlb => "LDDLB",
+        }
+    }
+
+    /// Two-letter abbreviation as used in Tables 1 and 2 ("GC", "GD", …).
+    pub fn abbrev(&self) -> &'static str {
+        match self {
+            Strategy::Gcdlb => "GC",
+            Strategy::Gddlb => "GD",
+            Strategy::Lcdlb => "LC",
+            Strategy::Lddlb => "LD",
+        }
+    }
+}
+
+impl std::fmt::Display for Strategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// How group membership is formed for the local strategies (Section 3.5).
+/// The paper implements and evaluates the K-block fixed-group approach;
+/// random fixed groups are kept for the ablation study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Grouping {
+    /// Consecutive processor ids per group (`K`-block), fixed for the run.
+    KBlock,
+    /// Random membership (seeded), fixed for the run.
+    Random { seed: u64 },
+}
+
+/// Tunables of the DLB runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StrategyConfig {
+    /// Which of the four schemes to run.
+    pub strategy: Strategy,
+    /// Group size `K` for the local schemes (ignored when global — the
+    /// global schemes are the `K = P` instance).
+    pub group_size: usize,
+    /// How groups are formed.
+    pub grouping: Grouping,
+    /// Required predicted improvement to move work: the paper uses 10 %.
+    pub profitability_margin: f64,
+    /// Below this fraction of the remaining work, a planned move is
+    /// considered noise ("the system is almost balanced, or only a small
+    /// portion of the work remains") and cancelled.
+    pub min_move_fraction: f64,
+    /// Whether profitability includes the estimated cost of the actual work
+    /// movement. The paper found it "generally better to exclude" it
+    /// (Section 3.4); `false` is the paper's setting, `true` is ablation
+    /// A1.2.
+    pub include_move_cost: bool,
+    /// Balancer distribution-calculation cost `ξ` in seconds (Section 4.2
+    /// calls it "usually quite small").
+    pub calc_cost: f64,
+}
+
+impl StrategyConfig {
+    /// The paper's settings for a given strategy and group size.
+    pub fn paper(strategy: Strategy, group_size: usize) -> Self {
+        Self {
+            strategy,
+            group_size,
+            grouping: Grouping::KBlock,
+            profitability_margin: 0.10,
+            min_move_fraction: 0.02,
+            include_move_cost: false,
+            calc_cost: 1e-3,
+        }
+    }
+
+    /// Partition processors `0..p` into groups according to the strategy:
+    /// global schemes yield one group of `P`; local schemes yield
+    /// `⌈P/K⌉` groups.
+    ///
+    /// # Panics
+    /// Panics if `p == 0`, or if a local strategy has `group_size == 0`.
+    pub fn groups(&self, p: usize) -> Vec<Vec<usize>> {
+        assert!(p > 0, "need at least one processor");
+        match self.strategy.scope() {
+            Scope::Global => vec![(0..p).collect()],
+            Scope::Local => {
+                let k = self.group_size;
+                assert!(k > 0, "local strategies need a positive group size");
+                match self.grouping {
+                    Grouping::KBlock => {
+                        (0..p).step_by(k).map(|s| (s..(s + k).min(p)).collect()).collect()
+                    }
+                    Grouping::Random { seed } => {
+                        let mut ids: Vec<usize> = (0..p).collect();
+                        // Fisher-Yates with a splitmix-style inline mixer to
+                        // avoid a rand dependency in the core crate.
+                        let mut state = seed;
+                        let mut next = move || {
+                            state = state.wrapping_add(0x9E3779B97F4A7C15);
+                            let mut z = state;
+                            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                            z ^ (z >> 31)
+                        };
+                        for i in (1..p).rev() {
+                            let j = (next() % (i as u64 + 1)) as usize;
+                            ids.swap(i, j);
+                        }
+                        ids.chunks(k).map(<[usize]>::to_vec).collect()
+                    }
+                }
+            }
+        }
+    }
+
+    /// The group index of processor `proc` under this configuration.
+    pub fn group_of(&self, p: usize, proc: usize) -> usize {
+        self.groups(p)
+            .iter()
+            .position(|g| g.contains(&proc))
+            .expect("every processor belongs to a group")
+    }
+
+    /// Validate ranges; called by runtimes before a run.
+    ///
+    /// # Panics
+    /// Panics on out-of-range parameters.
+    pub fn validate(&self) {
+        assert!(
+            (0.0..1.0).contains(&self.profitability_margin),
+            "profitability margin must be in [0,1)"
+        );
+        assert!(
+            (0.0..1.0).contains(&self.min_move_fraction),
+            "min_move_fraction must be in [0,1)"
+        );
+        assert!(self.calc_cost >= 0.0 && self.calc_cost.is_finite());
+        if self.strategy.scope() == Scope::Local {
+            assert!(self.group_size > 0, "local strategies need a positive group size");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axes_classification() {
+        assert_eq!(Strategy::Gcdlb.scope(), Scope::Global);
+        assert_eq!(Strategy::Gcdlb.control(), Control::Centralized);
+        assert_eq!(Strategy::Gddlb.control(), Control::Distributed);
+        assert_eq!(Strategy::Lcdlb.scope(), Scope::Local);
+        assert_eq!(Strategy::Lddlb.scope(), Scope::Local);
+        assert_eq!(Strategy::Lddlb.control(), Control::Distributed);
+    }
+
+    #[test]
+    fn names_match_paper() {
+        let names: Vec<&str> = Strategy::ALL.iter().map(|s| s.abbrev()).collect();
+        assert_eq!(names, ["GC", "GD", "LC", "LD"]);
+    }
+
+    #[test]
+    fn global_schemes_form_one_group() {
+        let cfg = StrategyConfig::paper(Strategy::Gddlb, 2);
+        let g = cfg.groups(16);
+        assert_eq!(g.len(), 1);
+        assert_eq!(g[0].len(), 16);
+    }
+
+    #[test]
+    fn kblock_grouping_partitions() {
+        let cfg = StrategyConfig::paper(Strategy::Lddlb, 8);
+        let g = cfg.groups(16);
+        assert_eq!(g.len(), 2);
+        assert_eq!(g[0], (0..8).collect::<Vec<_>>());
+        assert_eq!(g[1], (8..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn uneven_kblock_last_group_smaller() {
+        let cfg = StrategyConfig::paper(Strategy::Lcdlb, 4);
+        let g = cfg.groups(10);
+        assert_eq!(g.len(), 3);
+        assert_eq!(g[2], vec![8, 9]);
+    }
+
+    #[test]
+    fn random_grouping_is_a_partition() {
+        let mut cfg = StrategyConfig::paper(Strategy::Lddlb, 3);
+        cfg.grouping = Grouping::Random { seed: 7 };
+        let g = cfg.groups(10);
+        let mut all: Vec<usize> = g.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+        assert!(g.iter().all(|grp| grp.len() <= 3));
+    }
+
+    #[test]
+    fn random_grouping_deterministic_per_seed() {
+        let mut cfg = StrategyConfig::paper(Strategy::Lddlb, 4);
+        cfg.grouping = Grouping::Random { seed: 42 };
+        assert_eq!(cfg.groups(12), cfg.groups(12));
+    }
+
+    #[test]
+    fn group_of_locates_processor() {
+        let cfg = StrategyConfig::paper(Strategy::Lddlb, 8);
+        assert_eq!(cfg.group_of(16, 3), 0);
+        assert_eq!(cfg.group_of(16, 11), 1);
+    }
+
+    #[test]
+    fn paper_defaults() {
+        let cfg = StrategyConfig::paper(Strategy::Gcdlb, 16);
+        assert!((cfg.profitability_margin - 0.10).abs() < 1e-12);
+        assert!(!cfg.include_move_cost);
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "positive group size")]
+    fn local_zero_group_rejected() {
+        let cfg = StrategyConfig::paper(Strategy::Lddlb, 0);
+        cfg.groups(8);
+    }
+}

@@ -1,0 +1,295 @@
+//! Synchronization-episode planning.
+//!
+//! One synchronization (Fig. 1 of the paper) is a causal sequence of
+//! messages. [`plan_sync`] turns a balancer decision into a
+//! [`SyncScript`] — the logical messages with their causal stage — which a
+//! transport (the discrete-event simulator or the threaded runtime)
+//! executes with real timings:
+//!
+//! * stage 0 — the first-finishing processor **interrupts** the other
+//!   members of its group;
+//! * stage 1 — every member sends its **profile** to the balancer
+//!   (centralized: all-to-one to the master; distributed: all-to-all
+//!   within the group);
+//! * *calculation* — the balancer(s) compute the new distribution
+//!   (`calc_cost` seconds; replicated in the distributed schemes);
+//! * stage 2 — centralized only: the balancer sends **instructions** to
+//!   the processors that must donate work ("instructions are only sent to
+//!   the processors which have to send data");
+//! * stage 3 — donors ship **work** (iterations + array rows) directly to
+//!   receivers; receivers "just wait till they have collected the amount
+//!   of work they need".
+//!
+//! A transport must not release a node's stage-`k` messages until that node
+//! has received every earlier-stage message addressed to it.
+
+use crate::balance::BalanceOutcome;
+use crate::profile::PerfProfile;
+use crate::strategy::{Control, StrategyConfig};
+use serde::{Deserialize, Serialize};
+
+/// Payload classification of a logical message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MsgKind {
+    /// Receiver-initiated interrupt from the first finisher.
+    Interrupt,
+    /// Performance profile.
+    Profile,
+    /// Redistribution instruction (centralized schemes only).
+    Instruction,
+    /// Work shipment carrying `iters` iterations and their array rows.
+    Work { iters: u64 },
+}
+
+impl MsgKind {
+    /// Wire size of the message for a given bytes-per-iteration figure.
+    pub fn bytes(&self, bytes_per_iter: u64) -> usize {
+        match self {
+            MsgKind::Interrupt => 8,
+            MsgKind::Profile => PerfProfile::WIRE_BYTES,
+            MsgKind::Instruction => 24,
+            MsgKind::Work { iters } => 16 + (iters * bytes_per_iter) as usize,
+        }
+    }
+}
+
+/// One logical message of a synchronization episode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LogicalMsg {
+    /// Causal stage (0 = interrupt, 1 = profile, 2 = instruction,
+    /// 3 = work).
+    pub stage: u8,
+    pub from: usize,
+    pub to: usize,
+    pub kind: MsgKind,
+    /// Payload size in bytes.
+    pub bytes: usize,
+}
+
+/// The full plan of one synchronization episode.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SyncScript {
+    /// Messages in stage order (stable within a stage).
+    pub msgs: Vec<LogicalMsg>,
+    /// Nodes that perform the distribution calculation between stages 1
+    /// and 2 (the master, or every member when distributed).
+    pub calc_at: Vec<usize>,
+    /// The decision the episode realizes.
+    pub outcome: BalanceOutcome,
+}
+
+impl SyncScript {
+    /// Messages of a given stage.
+    pub fn stage(&self, stage: u8) -> impl Iterator<Item = &LogicalMsg> {
+        self.msgs.iter().filter(move |m| m.stage == stage)
+    }
+
+    /// Count of control messages (everything but work shipments).
+    pub fn control_message_count(&self) -> u64 {
+        self.msgs.iter().filter(|m| !matches!(m.kind, MsgKind::Work { .. })).count() as u64
+    }
+
+    /// Count of work-transfer messages (`μ`).
+    pub fn transfer_message_count(&self) -> u64 {
+        self.msgs.iter().filter(|m| matches!(m.kind, MsgKind::Work { .. })).count() as u64
+    }
+
+    /// Total bytes of array data shipped.
+    pub fn work_bytes(&self) -> u64 {
+        self.msgs
+            .iter()
+            .filter(|m| matches!(m.kind, MsgKind::Work { .. }))
+            .map(|m| m.bytes as u64)
+            .sum()
+    }
+}
+
+/// Plan one synchronization episode for a group.
+///
+/// * `members` — the group's processors (global ids).
+/// * `initiator` — the first finisher (must be a member).
+/// * `master` — the centralized balancer's processor (used only by the
+///   centralized schemes; it need not be a group member for LCDLB).
+/// * `outcome` — the balancer decision for this group.
+/// * `bytes_per_iter` — array bytes that travel with each moved iteration.
+///
+/// # Panics
+/// Panics if `initiator` is not a member.
+pub fn plan_sync(
+    cfg: &StrategyConfig,
+    members: &[usize],
+    initiator: usize,
+    master: usize,
+    outcome: BalanceOutcome,
+    bytes_per_iter: u64,
+) -> SyncScript {
+    assert!(members.contains(&initiator), "initiator must belong to the group");
+    let mut msgs = Vec::new();
+    let push = |msgs: &mut Vec<LogicalMsg>, stage: u8, from: usize, to: usize, kind: MsgKind| {
+        if from != to {
+            msgs.push(LogicalMsg { stage, from, to, kind, bytes: kind.bytes(bytes_per_iter) });
+        }
+    };
+
+    // Stage 0: interrupt the other active members.
+    for &m in members {
+        push(&mut msgs, 0, initiator, m, MsgKind::Interrupt);
+    }
+
+    // Stage 1: profiles to the balancer(s).
+    let calc_at: Vec<usize> = match cfg.strategy.control() {
+        Control::Centralized => {
+            for &m in members {
+                push(&mut msgs, 1, m, master, MsgKind::Profile);
+            }
+            vec![master]
+        }
+        Control::Distributed => {
+            for &from in members {
+                for &to in members {
+                    push(&mut msgs, 1, from, to, MsgKind::Profile);
+                }
+            }
+            members.to_vec()
+        }
+    };
+
+    // Stage 2: instructions to donors (centralized only).
+    if cfg.strategy.control() == Control::Centralized {
+        let mut donors: Vec<usize> = outcome.transfers.iter().map(|t| t.from).collect();
+        donors.sort_unstable();
+        donors.dedup();
+        for d in donors {
+            push(&mut msgs, 2, master, d, MsgKind::Instruction);
+        }
+    }
+
+    // Stage 3: the work itself, donor -> receiver.
+    for t in &outcome.transfers {
+        push(&mut msgs, 3, t.from, t.to, MsgKind::Work { iters: t.iters });
+    }
+
+    SyncScript { msgs, calc_at, outcome }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::balance::{balance_group, BalanceVerdict};
+    use crate::strategy::{Strategy, StrategyConfig};
+
+    fn prof(proc: usize, done: u64, remaining: u64) -> PerfProfile {
+        PerfProfile { proc, iters_done: done, elapsed: 1.0, remaining }
+    }
+
+    fn outcome_move(members: &[usize]) -> BalanceOutcome {
+        // First member 4x faster.
+        let profiles: Vec<PerfProfile> = members
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| prof(p, if i == 0 { 400 } else { 100 }, 100))
+            .collect();
+        let cfg = StrategyConfig::paper(Strategy::Gcdlb, members.len());
+        balance_group(&profiles, &cfg, |_| 0.0)
+    }
+
+    #[test]
+    fn gcdlb_script_shape() {
+        let cfg = StrategyConfig::paper(Strategy::Gcdlb, 4);
+        let members = [0, 1, 2, 3];
+        let out = outcome_move(&members);
+        assert_eq!(out.verdict, BalanceVerdict::Move);
+        let script = plan_sync(&cfg, &members, 2, 0, out, 800);
+        // Interrupts: to the 3 other members.
+        assert_eq!(script.stage(0).count(), 3);
+        // Profiles: all-to-one (master 0 keeps its own locally): 3 msgs.
+        assert_eq!(script.stage(1).count(), 3);
+        assert!(script.stage(1).all(|m| m.to == 0));
+        // Calculation at the master only.
+        assert_eq!(script.calc_at, vec![0]);
+        // Instructions go to donors only.
+        for m in script.stage(2) {
+            assert_eq!(m.from, 0);
+            assert_eq!(m.kind, MsgKind::Instruction);
+        }
+        // Work messages match the plan.
+        assert_eq!(script.transfer_message_count(), script.outcome.transfers.len() as u64);
+    }
+
+    #[test]
+    fn gddlb_script_broadcasts_profiles() {
+        let cfg = StrategyConfig::paper(Strategy::Gddlb, 4);
+        let members = [0, 1, 2, 3];
+        let out = outcome_move(&members);
+        let script = plan_sync(&cfg, &members, 1, 0, out, 800);
+        // All-to-all profiles: 4*3 messages.
+        assert_eq!(script.stage(1).count(), 12);
+        // No instruction messages.
+        assert_eq!(script.stage(2).count(), 0);
+        // Everyone calculates.
+        assert_eq!(script.calc_at, members.to_vec());
+    }
+
+    #[test]
+    fn lcdlb_profiles_go_to_global_master_outside_group() {
+        let cfg = StrategyConfig::paper(Strategy::Lcdlb, 2);
+        let members = [2, 3]; // master is processor 0, outside this group
+        let out = outcome_move(&members);
+        let script = plan_sync(&cfg, &members, 3, 0, out, 800);
+        assert_eq!(script.stage(1).count(), 2);
+        assert!(script.stage(1).all(|m| m.to == 0));
+        assert_eq!(script.calc_at, vec![0]);
+    }
+
+    #[test]
+    fn lddlb_profiles_stay_in_group() {
+        let cfg = StrategyConfig::paper(Strategy::Lddlb, 2);
+        let members = [2, 3];
+        let out = outcome_move(&members);
+        let script = plan_sync(&cfg, &members, 3, 0, out, 800);
+        assert_eq!(script.stage(1).count(), 2); // 2*(2-1)
+        assert!(script.stage(1).all(|m| members.contains(&m.from) && members.contains(&m.to)));
+        assert_eq!(script.calc_at, vec![2, 3]);
+    }
+
+    #[test]
+    fn work_bytes_scale_with_iterations() {
+        let cfg = StrategyConfig::paper(Strategy::Gcdlb, 2);
+        let members = [0, 1];
+        let out = outcome_move(&members);
+        let moved = out.moved;
+        let script = plan_sync(&cfg, &members, 1, 0, out, 1000);
+        assert_eq!(
+            script.work_bytes(),
+            moved * 1000 + 16 * script.transfer_message_count()
+        );
+    }
+
+    #[test]
+    fn no_move_means_no_work_messages() {
+        let cfg = StrategyConfig::paper(Strategy::Gddlb, 2);
+        let members = [0, 1];
+        let profiles = [prof(0, 100, 50), prof(1, 100, 50)];
+        let out = balance_group(&profiles, &cfg, |_| 0.0);
+        let script = plan_sync(&cfg, &members, 0, 0, out, 800);
+        assert_eq!(script.transfer_message_count(), 0);
+        assert!(script.control_message_count() > 0);
+    }
+
+    #[test]
+    fn no_self_messages() {
+        let cfg = StrategyConfig::paper(Strategy::Gddlb, 4);
+        let members = [0, 1, 2, 3];
+        let out = outcome_move(&members);
+        let script = plan_sync(&cfg, &members, 0, 0, out, 8);
+        assert!(script.msgs.iter().all(|m| m.from != m.to));
+    }
+
+    #[test]
+    #[should_panic(expected = "initiator")]
+    fn foreign_initiator_rejected() {
+        let cfg = StrategyConfig::paper(Strategy::Gcdlb, 2);
+        let out = outcome_move(&[0, 1]);
+        let _ = plan_sync(&cfg, &[0, 1], 9, 0, out, 8);
+    }
+}

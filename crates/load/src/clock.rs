@@ -1,0 +1,171 @@
+//! Work/time conversion under a load function.
+//!
+//! The discrete-event simulator needs two primitives for a processor of
+//! relative speed `S` under load function `ℓ`:
+//!
+//! * **forward**: starting at wall time `t`, how long until `w` seconds of
+//!   *base-processor work* complete? (The paper measures work in time on the
+//!   base processor: an iteration costs `T_ij` base seconds and executes in
+//!   `T_ij · (ℓ+1) / S` wall seconds.)
+//! * **inverse**: how much base work completes in a wall-time window?
+//!
+//! Both walk persistence-interval boundaries, so they are exact for the
+//! piecewise-constant load functions in this crate.
+
+use crate::effective::inverse_slowdown_integral;
+use crate::func::LoadFunction;
+use std::sync::Arc;
+
+/// A processor's work clock: speed `S` relative to the base processor plus
+/// its external load function.
+#[derive(Clone)]
+pub struct WorkClock {
+    load: Arc<dyn LoadFunction>,
+    speed: f64,
+}
+
+impl WorkClock {
+    /// # Panics
+    /// Panics if `speed` is not positive and finite.
+    pub fn new(load: Arc<dyn LoadFunction>, speed: f64) -> Self {
+        assert!(speed > 0.0 && speed.is_finite(), "speed must be positive, got {speed}");
+        Self { load, speed }
+    }
+
+    /// Relative speed `S` of this processor.
+    pub fn speed(&self) -> f64 {
+        self.speed
+    }
+
+    /// The load function driving this clock.
+    pub fn load(&self) -> &Arc<dyn LoadFunction> {
+        &self.load
+    }
+
+    /// Instantaneous application-visible speed at time `t`: `S/(ℓ(t)+1)`.
+    pub fn rate_at(&self, t: f64) -> f64 {
+        self.speed / self.load.slowdown_at(t)
+    }
+
+    /// Wall-clock instant at which `work` base-seconds of work, started at
+    /// `start`, finish. Exact across load-level changes.
+    ///
+    /// # Panics
+    /// Panics if `work` is negative or not finite.
+    pub fn finish_time(&self, start: f64, work: f64) -> f64 {
+        assert!(work >= 0.0 && work.is_finite(), "work must be non-negative, got {work}");
+        let mut remaining = work / self.speed; // base time on *this* processor
+        let mut t = start;
+        loop {
+            let slow = self.load.slowdown_at(t);
+            let boundary = self.load.next_change_after(t);
+            let span = boundary - t;
+            let doable = span / slow;
+            if doable >= remaining {
+                return t + remaining * slow;
+            }
+            remaining -= doable;
+            t = boundary;
+        }
+    }
+
+    /// Base-seconds of work this processor completes during `[t0, t1]`.
+    pub fn work_in_window(&self, t0: f64, t1: f64) -> f64 {
+        self.speed * inverse_slowdown_integral(self.load.as_ref(), t0, t1)
+    }
+}
+
+impl std::fmt::Debug for WorkClock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkClock").field("speed", &self.speed).finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::func::{ConstantLoad, DiscreteRandomLoad, TraceLoad, ZeroLoad};
+
+    fn clock(load: impl LoadFunction + 'static, speed: f64) -> WorkClock {
+        WorkClock::new(Arc::new(load), speed)
+    }
+
+    #[test]
+    fn unloaded_unit_speed_is_identity() {
+        let c = clock(ZeroLoad, 1.0);
+        assert!((c.finish_time(2.0, 3.5) - 5.5).abs() < 1e-12);
+        assert!((c.work_in_window(2.0, 5.5) - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speed_scales_time() {
+        let c = clock(ZeroLoad, 2.0);
+        // 4 base-seconds of work at speed 2 -> 2 wall seconds.
+        assert!((c.finish_time(0.0, 4.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_load_scales_time() {
+        let c = clock(ConstantLoad::new(1), 1.0); // slowdown 2
+        assert!((c.finish_time(0.0, 3.0) - 6.0).abs() < 1e-12);
+        assert!((c.work_in_window(0.0, 6.0) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn finish_time_crosses_load_boundaries() {
+        // slowdown 1 for [0,1), then 2 for [1,2), then 1 after.
+        let c = clock(TraceLoad::new(vec![0, 1, 0], 1.0), 1.0);
+        // 1.75 base-seconds: 1.0 done by t=1, 0.5 done during [1,2) (takes
+        // 1.0 wall), remaining 0.25 done at full speed -> t = 2.25.
+        let t = c.finish_time(0.0, 1.75);
+        assert!((t - 2.25).abs() < 1e-12, "t = {t}");
+    }
+
+    #[test]
+    fn finish_and_window_are_inverse() {
+        let load = DiscreteRandomLoad::new(77, 5, 0.3);
+        let c = WorkClock::new(Arc::new(load), 1.7);
+        for &(start, work) in &[(0.0, 0.5), (0.2, 3.0), (1.9, 10.0), (5.0, 0.0)] {
+            let end = c.finish_time(start, work);
+            let back = c.work_in_window(start, end);
+            assert!((back - work).abs() < 1e-9, "work {work} -> window {back}");
+        }
+    }
+
+    #[test]
+    fn zero_work_finishes_immediately() {
+        let c = clock(ConstantLoad::new(5), 1.0);
+        assert_eq!(c.finish_time(3.0, 0.0), 3.0);
+    }
+
+    #[test]
+    fn rate_at_tracks_load() {
+        let c = clock(TraceLoad::new(vec![0, 4], 1.0), 2.0);
+        assert!((c.rate_at(0.5) - 2.0).abs() < 1e-12);
+        assert!((c.rate_at(1.5) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn work_in_window_monotone_in_t1() {
+        let c = clock(DiscreteRandomLoad::new(3, 5, 0.25), 1.0);
+        let mut prev = 0.0;
+        for i in 1..40 {
+            let w = c.work_in_window(0.0, i as f64 * 0.1);
+            assert!(w >= prev);
+            prev = w;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "speed")]
+    fn non_positive_speed_rejected() {
+        let _ = clock(ZeroLoad, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "work")]
+    fn negative_work_rejected() {
+        let c = clock(ZeroLoad, 1.0);
+        let _ = c.finish_time(0.0, -1.0);
+    }
+}

@@ -1,0 +1,198 @@
+//! The decision process — using the model (Section 4.3).
+//!
+//! "Initially at run-time, no strategy is chosen for the application. Work
+//! is partitioned equally among all the processors, and the program is run
+//! till the first synchronization point. … At this time we also know the
+//! load function and average effective speed of the processors. This load
+//! function combined with all the other parameters, can be plugged into
+//! the model to obtain quantitative information on the behavior of the
+//! different schemes. This information is then used to commit to the best
+//! strategy after this stage."
+
+use crate::predict::{predict_all, predict_no_dlb, Prediction};
+use crate::system::SystemModel;
+use dlb_core::strategy::Strategy;
+use dlb_core::work::LoopWorkload;
+use serde::{Deserialize, Serialize};
+
+/// Outcome of running the model over all four strategies.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecisionReport {
+    /// Every strategy's prediction.
+    pub predictions: Vec<Prediction>,
+    /// Strategies ranked best-first — the "Predicted" columns of Tables 1
+    /// and 2.
+    pub order: Vec<Strategy>,
+    /// The committed (best) strategy.
+    pub chosen: Strategy,
+    /// Predicted no-DLB baseline, for normalization.
+    pub no_dlb_time: f64,
+}
+
+/// Rank strategies best-first by predicted total time (ties broken in the
+/// paper's reporting order).
+pub fn predicted_order(predictions: &[Prediction]) -> Vec<Strategy> {
+    let mut v: Vec<(Strategy, f64)> =
+        predictions.iter().map(|p| (p.strategy, p.total_time)).collect();
+    v.sort_by(|a, b| {
+        a.1.total_cmp(&b.1).then_with(|| {
+            let pos = |s: Strategy| Strategy::ALL.iter().position(|&x| x == s).unwrap();
+            pos(a.0).cmp(&pos(b.0))
+        })
+    });
+    v.into_iter().map(|(s, _)| s).collect()
+}
+
+/// Run the full decision process: evaluate the model for every strategy
+/// and commit to the best.
+pub fn choose_strategy(
+    system: &SystemModel,
+    workload: &dyn LoopWorkload,
+    group_size: usize,
+) -> DecisionReport {
+    let predictions = predict_all(system, workload, group_size);
+    let order = predicted_order(&predictions);
+    DecisionReport {
+        chosen: order[0],
+        order,
+        no_dlb_time: predict_no_dlb(system, workload),
+        predictions,
+    }
+}
+
+/// Agreement between two strategy rankings in `[0, 1]`:
+/// `1 − normalized Kendall-tau distance` (1 = identical orders, 0 =
+/// exactly reversed). Used by EXPERIMENTS.md to score Tables 1 and 2.
+///
+/// # Panics
+/// Panics if the rankings are not permutations of the same strategies.
+pub fn rank_agreement(actual: &[Strategy], predicted: &[Strategy]) -> f64 {
+    assert_eq!(actual.len(), predicted.len(), "rankings must have equal length");
+    let n = actual.len();
+    if n < 2 {
+        return 1.0;
+    }
+    let pos = |list: &[Strategy], s: Strategy| {
+        list.iter().position(|&x| x == s).expect("rankings must contain the same strategies")
+    };
+    let mut discordant = 0usize;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let (a, b) = (actual[i], actual[j]);
+            // actual has a before b; is the predicted order the same?
+            if pos(predicted, a) > pos(predicted, b) {
+                discordant += 1;
+            }
+        }
+    }
+    let pairs = n * (n - 1) / 2;
+    1.0 - discordant as f64 / pairs as f64
+}
+
+/// Fraction of total work guaranteed done at the first synchronization
+/// point with the initial equal distribution — the paper shows it is at
+/// least `1/P` (Section 4.3), which is why deferring the decision to the
+/// first sync costs little.
+pub fn first_sync_progress(system: &SystemModel, workload: &dyn LoopWorkload) -> f64 {
+    let p = system.processors();
+    let total = workload.iterations();
+    let dist = dlb_core::Distribution::equal_block(total, p);
+    let clocks = system.clocks();
+    // Mean per-iteration cost (the decision stage's approximation).
+    let mean = workload.range_cost(0, total) / total.max(1) as f64;
+    // First finisher under the initial distribution.
+    let t1 = (0..p)
+        .map(|i| clocks[i].finish_time(0.0, dist.count(i) as f64 * mean))
+        .fold(f64::INFINITY, f64::min);
+    // Work everyone has completed by t1.
+    let done: f64 = (0..p)
+        .map(|i| (clocks[i].work_in_window(0.0, t1) / mean).min(dist.count(i) as f64))
+        .sum();
+    done / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlb_core::work::UniformLoop;
+    use now_load::LoadSpec;
+    use now_net::NetworkParams;
+
+    fn system(p: usize, seed: u64) -> SystemModel {
+        SystemModel::from_specs(
+            vec![1.0; p],
+            &(0..p)
+                .map(|i| LoadSpec::paper_for_processor(seed, i, 0.5))
+                .collect::<Vec<_>>(),
+            NetworkParams::paper_ethernet(),
+        )
+    }
+
+    #[test]
+    fn choose_commits_to_minimum_prediction() {
+        let sys = system(4, 17);
+        let wl = UniformLoop::new(400, 0.01, 800);
+        let report = choose_strategy(&sys, &wl, 2);
+        assert_eq!(report.order.len(), 4);
+        assert_eq!(report.chosen, report.order[0]);
+        let best = report
+            .predictions
+            .iter()
+            .min_by(|a, b| a.total_time.total_cmp(&b.total_time))
+            .unwrap();
+        assert_eq!(report.chosen, best.strategy);
+        assert!(report.no_dlb_time > 0.0);
+    }
+
+    #[test]
+    fn rank_agreement_identical_is_one() {
+        use Strategy::*;
+        let order = [Gddlb, Gcdlb, Lddlb, Lcdlb];
+        assert!((rank_agreement(&order, &order) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rank_agreement_reversed_is_zero() {
+        use Strategy::*;
+        let a = [Gddlb, Gcdlb, Lddlb, Lcdlb];
+        let b = [Lcdlb, Lddlb, Gcdlb, Gddlb];
+        assert!(rank_agreement(&a, &b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rank_agreement_one_swap() {
+        use Strategy::*;
+        let a = [Gddlb, Gcdlb, Lddlb, Lcdlb];
+        let b = [Gcdlb, Gddlb, Lddlb, Lcdlb];
+        // 1 discordant pair of 6.
+        assert!((rank_agreement(&a, &b) - (1.0 - 1.0 / 6.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "same strategies")]
+    fn rank_agreement_rejects_mismatched_sets() {
+        use Strategy::*;
+        let _ = rank_agreement(&[Gddlb, Gcdlb], &[Gddlb, Lddlb]);
+    }
+
+    #[test]
+    fn first_sync_progress_at_least_one_over_p() {
+        let sys = system(4, 23);
+        let wl = UniformLoop::new(400, 0.01, 800);
+        let frac = first_sync_progress(&sys, &wl);
+        assert!(frac >= 0.25 - 1e-9, "progress {frac} < 1/P");
+        assert!(frac <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn first_sync_progress_is_one_on_dedicated_cluster() {
+        let sys = SystemModel::from_specs(
+            vec![1.0; 4],
+            &vec![LoadSpec::Zero; 4],
+            NetworkParams::paper_ethernet(),
+        );
+        let wl = UniformLoop::new(400, 0.01, 800);
+        let frac = first_sync_progress(&sys, &wl);
+        assert!((frac - 1.0).abs() < 1e-9, "all finish together: {frac}");
+    }
+}

@@ -1,0 +1,209 @@
+//! Off-line network characterization (Section 6.1 / Fig. 4).
+//!
+//! "The network characterization is done off-line. We measure the latency
+//! and bandwidth for the network, and we obtain models for the different
+//! types of communication patterns."
+//!
+//! [`characterize`] measures the three patterns on the simulated medium for
+//! a range of processor counts, fits a polynomial to each curve, and returns
+//! a [`CommCostModel`] whose `oa/ao/aa` cost functions the analytic model
+//! (crate `dlb-model`) plugs into its synchronization-cost formulas:
+//!
+//! ```text
+//! σ_GCDLB = OA(P) + AO(P)        σ_GDDLB = OA(P) + AA(P)
+//! σ_LCDLB = OA(K) + AO(K)        σ_LDDLB = OA(K) + AA(K)   (per group)
+//! ```
+
+use crate::params::NetworkParams;
+use crate::patterns::{measure_pattern, Pattern};
+use crate::polyfit::{polyfit, Poly};
+use serde::{Deserialize, Serialize};
+
+/// Fitted communication cost model: seconds as a function of the number of
+/// participating processors, for a fixed (small) control-message size.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CommCostModel {
+    /// One-to-all cost polynomial in P.
+    pub oa: Poly,
+    /// All-to-one cost polynomial in P.
+    pub ao: Poly,
+    /// All-to-all cost polynomial in P.
+    pub aa: Poly,
+    /// Message size (bytes) the fit was made at.
+    pub message_bytes: usize,
+    /// The raw parameters the fit was derived from.
+    pub params: NetworkParams,
+}
+
+impl CommCostModel {
+    /// Cost of a pattern among `n` processors. Degenerate group sizes
+    /// (`n < 2`) cost nothing — a group of one never communicates.
+    pub fn cost(&self, pattern: Pattern, n: usize) -> f64 {
+        if n < 2 {
+            return 0.0;
+        }
+        let poly = match pattern {
+            Pattern::OneToAll => &self.oa,
+            Pattern::AllToOne => &self.ao,
+            Pattern::AllToAll => &self.aa,
+        };
+        poly.eval(n as f64).max(0.0)
+    }
+
+    /// Time to ship one point-to-point message of `bytes` bytes, ignoring
+    /// contention: `L + bytes/B`. This is the `L` and `1/B` the model's
+    /// data-movement cost (eq. 5) uses.
+    pub fn point_to_point(&self, bytes: usize) -> f64 {
+        self.params.wire_time(bytes)
+    }
+}
+
+/// One measured sample of a pattern curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Sample {
+    pub procs: usize,
+    pub seconds: f64,
+}
+
+/// Everything Fig. 4 shows: the experimental points and the fitted
+/// polynomials for AA, AO and OA.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CharacterizationReport {
+    pub oa_samples: Vec<Sample>,
+    pub ao_samples: Vec<Sample>,
+    pub aa_samples: Vec<Sample>,
+    pub model: CommCostModel,
+}
+
+/// Degree used for the pattern fits. Quadratic captures both the linear
+/// OA/AO curves and the superlinear AA curve.
+pub const FIT_DEGREE: usize = 2;
+
+/// Run the off-line characterization: measure each pattern for
+/// `procs = 2..=max_procs` with `message_bytes` messages, and fit
+/// degree-[`FIT_DEGREE`] polynomials.
+///
+/// # Panics
+/// Panics if `max_procs < 4` (too few points to fit a quadratic).
+pub fn characterize(
+    params: NetworkParams,
+    max_procs: usize,
+    message_bytes: usize,
+) -> CharacterizationReport {
+    assert!(max_procs >= 4, "need at least 4 processor counts to fit degree-2 polynomials");
+    let mut report = CharacterizationReport {
+        oa_samples: Vec::new(),
+        ao_samples: Vec::new(),
+        aa_samples: Vec::new(),
+        model: CommCostModel {
+            oa: Poly::constant(0.0),
+            ao: Poly::constant(0.0),
+            aa: Poly::constant(0.0),
+            message_bytes,
+            params,
+        },
+    };
+    let mut xs = Vec::new();
+    let mut oa_ys = Vec::new();
+    let mut ao_ys = Vec::new();
+    let mut aa_ys = Vec::new();
+    for n in 2..=max_procs {
+        let oa = measure_pattern(params, Pattern::OneToAll, n, message_bytes);
+        let ao = measure_pattern(params, Pattern::AllToOne, n, message_bytes);
+        let aa = measure_pattern(params, Pattern::AllToAll, n, message_bytes);
+        report.oa_samples.push(Sample { procs: n, seconds: oa });
+        report.ao_samples.push(Sample { procs: n, seconds: ao });
+        report.aa_samples.push(Sample { procs: n, seconds: aa });
+        xs.push(n as f64);
+        oa_ys.push(oa);
+        ao_ys.push(ao);
+        aa_ys.push(aa);
+    }
+    report.model.oa = polyfit(&xs, &oa_ys, FIT_DEGREE);
+    report.model.ao = polyfit(&xs, &ao_ys, FIT_DEGREE);
+    report.model.aa = polyfit(&xs, &aa_ys, FIT_DEGREE);
+    report
+}
+
+/// Micro-measurement of effective latency and bandwidth on the medium, the
+/// simulated analogue of the paper's ping measurement ("the latency obtained
+/// with PVM is 2414.5 µs, and bandwidth is 0.96 Mbytes/s").
+///
+/// Returns `(latency_seconds, bandwidth_bytes_per_second)`.
+pub fn measure_latency_bandwidth(params: NetworkParams) -> (f64, f64) {
+    // Latency: end-to-end delivery time of an isolated empty message.
+    let lat = measure_pattern(params, Pattern::OneToAll, 2, 0);
+    // Bandwidth: incremental cost per byte over a large transfer.
+    let big = 1 << 22;
+    let t_big = measure_pattern(params, Pattern::OneToAll, 2, big);
+    let t_zero = measure_pattern(params, Pattern::OneToAll, 2, 0);
+    let bw = big as f64 / (t_big - t_zero);
+    (lat, bw)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn characterization_fits_have_small_residuals() {
+        let rep = characterize(NetworkParams::paper_ethernet(), 16, 64);
+        for (samples, poly, name) in [
+            (&rep.oa_samples, &rep.model.oa, "OA"),
+            (&rep.ao_samples, &rep.model.ao, "AO"),
+            (&rep.aa_samples, &rep.model.aa, "AA"),
+        ] {
+            let xs: Vec<f64> = samples.iter().map(|s| s.procs as f64).collect();
+            let ys: Vec<f64> = samples.iter().map(|s| s.seconds).collect();
+            let scale = ys.iter().cloned().fold(0.0f64, f64::max);
+            let rms = poly.rms_residual(&xs, &ys);
+            assert!(rms < 0.05 * scale, "{name}: rms {rms} vs scale {scale}");
+        }
+    }
+
+    #[test]
+    fn fitted_aa_has_positive_quadratic_term_on_bus() {
+        let rep = characterize(NetworkParams::paper_ethernet(), 16, 64);
+        assert!(rep.model.aa.coeffs()[2] > 0.0, "AA fit: {:?}", rep.model.aa);
+    }
+
+    #[test]
+    fn cost_model_ordering_matches_fig4() {
+        let rep = characterize(NetworkParams::paper_ethernet(), 16, 64);
+        for n in [4usize, 8, 16] {
+            let oa = rep.model.cost(Pattern::OneToAll, n);
+            let ao = rep.model.cost(Pattern::AllToOne, n);
+            let aa = rep.model.cost(Pattern::AllToAll, n);
+            assert!(aa > ao && ao >= oa * 0.9, "n={n}: oa={oa} ao={ao} aa={aa}");
+        }
+    }
+
+    #[test]
+    fn degenerate_group_costs_nothing() {
+        let rep = characterize(NetworkParams::paper_ethernet(), 8, 64);
+        assert_eq!(rep.model.cost(Pattern::AllToAll, 1), 0.0);
+        assert_eq!(rep.model.cost(Pattern::OneToAll, 0), 0.0);
+    }
+
+    #[test]
+    fn measured_latency_bandwidth_recover_parameters() {
+        let p = NetworkParams::paper_ethernet();
+        let (lat, bw) = measure_latency_bandwidth(p);
+        assert!((lat - p.latency()).abs() / p.latency() < 0.01, "latency {lat}");
+        assert!((bw - p.bandwidth).abs() / p.bandwidth < 0.01, "bandwidth {bw}");
+    }
+
+    #[test]
+    fn point_to_point_includes_latency_and_bytes() {
+        let rep = characterize(NetworkParams::paper_ethernet(), 8, 64);
+        let p = rep.model.params;
+        let t = rep.model.point_to_point(960);
+        assert!((t - p.wire_time(960)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 4")]
+    fn tiny_characterization_rejected() {
+        let _ = characterize(NetworkParams::paper_ethernet(), 3, 64);
+    }
+}

@@ -1,0 +1,264 @@
+//! Message-level simulation of the interconnect medium.
+//!
+//! [`MediumSim`] is a first-come-first-served arbiter over three resource
+//! classes:
+//!
+//! * each sender's CPU — occupied for the send overhead of each of its
+//!   messages in turn;
+//! * the shared wire (bus media only) — occupied for each frame's
+//!   media-access plus payload serialization time;
+//! * each receiver's CPU — occupied for the receive overhead of each
+//!   message delivered to it in turn.
+//!
+//! The discrete-event simulator calls [`MediumSim::send`] in chronological
+//! order, which makes the FCFS arbitration exact. Per-message CPU-cost
+//! *factors* let callers model endpoint slowdown — e.g. the paper's
+//! centralized balancer sharing its processor with a compute slave and
+//! the external load (the "context switching" overhead of Section 6.2).
+
+use crate::params::{MediumKind, NetworkParams};
+
+/// Outcome of scheduling one message on the medium.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Transmission {
+    /// When the sender's CPU started on the message (≥ request time).
+    pub start: f64,
+    /// When the message is fully delivered to the receiving process.
+    pub delivered: f64,
+}
+
+/// Endpoint CPU-cost multipliers for one message (1.0 = unloaded CPU).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EndpointFactors {
+    /// Multiplies the send overhead.
+    pub send: f64,
+    /// Multiplies the receive overhead.
+    pub recv: f64,
+}
+
+impl Default for EndpointFactors {
+    fn default() -> Self {
+        Self { send: 1.0, recv: 1.0 }
+    }
+}
+
+/// Stateful FCFS medium arbiter for `n` nodes.
+#[derive(Debug, Clone)]
+pub struct MediumSim {
+    params: NetworkParams,
+    bus_free_at: f64,
+    send_port_free: Vec<f64>,
+    recv_port_free: Vec<f64>,
+}
+
+impl MediumSim {
+    /// Create a medium connecting `nodes` workstations.
+    ///
+    /// # Panics
+    /// Panics if `nodes == 0` or the parameters are invalid.
+    pub fn new(params: NetworkParams, nodes: usize) -> Self {
+        assert!(nodes > 0, "a network needs at least one node");
+        params.validate();
+        Self {
+            params,
+            bus_free_at: 0.0,
+            send_port_free: vec![0.0; nodes],
+            recv_port_free: vec![0.0; nodes],
+        }
+    }
+
+    /// Number of nodes on this medium.
+    pub fn nodes(&self) -> usize {
+        self.send_port_free.len()
+    }
+
+    /// The configured parameters.
+    pub fn params(&self) -> &NetworkParams {
+        &self.params
+    }
+
+    /// Schedule a message with unloaded endpoints.
+    pub fn send(&mut self, from: usize, to: usize, bytes: usize, now: f64) -> Transmission {
+        self.send_with_factors(from, to, bytes, now, EndpointFactors::default())
+    }
+
+    /// Schedule a message of `bytes` bytes from `from` to `to`, requested
+    /// at time `now`, with the endpoints' CPU costs scaled by `factors`.
+    /// Self-sends are local and deliver immediately.
+    ///
+    /// Calls must be made in non-decreasing `now` order for exact FCFS
+    /// semantics (the discrete-event loop guarantees this).
+    ///
+    /// # Panics
+    /// Panics if a node index is out of range or a factor is below 1.
+    pub fn send_with_factors(
+        &mut self,
+        from: usize,
+        to: usize,
+        bytes: usize,
+        now: f64,
+        factors: EndpointFactors,
+    ) -> Transmission {
+        assert!(from < self.nodes() && to < self.nodes(), "node index out of range");
+        assert!(
+            factors.send >= 1.0 && factors.recv >= 1.0,
+            "endpoint factors must be >= 1 (1 = unloaded)"
+        );
+        if from == to {
+            return Transmission { start: now, delivered: now };
+        }
+        // Sender CPU.
+        let start = now.max(self.send_port_free[from]);
+        let sent = start + self.params.send_overhead * factors.send;
+        self.send_port_free[from] = sent;
+        // Wire.
+        let frame = self.params.frame_time(bytes);
+        let arrival = match self.params.medium {
+            MediumKind::SharedBus => {
+                let bus_start = sent.max(self.bus_free_at);
+                self.bus_free_at = bus_start + frame;
+                bus_start + frame
+            }
+            MediumKind::Switched => sent + frame,
+        };
+        // Receiver CPU.
+        let delivered =
+            arrival.max(self.recv_port_free[to]) + self.params.recv_overhead * factors.recv;
+        self.recv_port_free[to] = delivered;
+        Transmission { start, delivered }
+    }
+
+    /// Forget all queueing state (ports and bus free immediately). Used
+    /// between independent pattern measurements.
+    pub fn reset(&mut self) {
+        self.bus_free_at = 0.0;
+        self.send_port_free.fill(0.0);
+        self.recv_port_free.fill(0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bus(n: usize) -> MediumSim {
+        MediumSim::new(NetworkParams::paper_ethernet(), n)
+    }
+
+    fn switched(n: usize) -> MediumSim {
+        MediumSim::new(NetworkParams::switched_lan(), n)
+    }
+
+    #[test]
+    fn single_message_costs_wire_time() {
+        let mut m = bus(2);
+        let p = *m.params();
+        let t = m.send(0, 1, 1000, 0.0);
+        assert_eq!(t.start, 0.0);
+        assert!((t.delivered - p.wire_time(1000)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn self_send_is_free() {
+        let mut m = bus(4);
+        let t = m.send(2, 2, 1 << 20, 5.0);
+        assert_eq!(t.start, 5.0);
+        assert_eq!(t.delivered, 5.0);
+    }
+
+    #[test]
+    fn send_overhead_parallel_across_senders() {
+        // Two different senders start their CPU work simultaneously; only
+        // the wire serializes.
+        let mut m = bus(4);
+        let a = m.send(0, 1, 100, 0.0);
+        let b = m.send(2, 3, 100, 0.0);
+        assert_eq!(a.start, 0.0);
+        assert_eq!(b.start, 0.0, "different senders' CPUs must not serialize");
+        let frame = m.params().frame_time(100);
+        assert!(
+            (b.delivered - a.delivered - frame).abs() < 1e-12,
+            "frames must serialize on the bus"
+        );
+    }
+
+    #[test]
+    fn same_sender_serializes_on_its_cpu() {
+        let mut m = bus(3);
+        let so = m.params().send_overhead;
+        let a = m.send(0, 1, 100, 0.0);
+        let b = m.send(0, 2, 100, 0.0);
+        assert_eq!(a.start, 0.0);
+        assert!((b.start - so).abs() < 1e-12);
+    }
+
+    #[test]
+    fn switch_has_no_shared_wire() {
+        let mut m = switched(4);
+        let a = m.send(0, 1, 100, 0.0);
+        let b = m.send(2, 3, 100, 0.0);
+        assert_eq!(a.delivered, b.delivered, "disjoint pairs are fully parallel on a switch");
+    }
+
+    #[test]
+    fn receiver_overhead_serializes_at_destination() {
+        let mut m = switched(3);
+        let p = *m.params();
+        let a = m.send(0, 2, 100, 0.0);
+        let b = m.send(1, 2, 100, 0.0);
+        assert!((b.delivered - (a.delivered + p.recv_overhead)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn endpoint_factors_inflate_cpu_costs() {
+        let mut m = bus(2);
+        let p = *m.params();
+        let plain = m.send(0, 1, 0, 0.0);
+        m.reset();
+        let loaded =
+            m.send_with_factors(0, 1, 0, 0.0, EndpointFactors { send: 3.0, recv: 2.0 });
+        let extra = 2.0 * p.send_overhead + 1.0 * p.recv_overhead;
+        assert!((loaded.delivered - plain.delivered - extra).abs() < 1e-12);
+    }
+
+    #[test]
+    fn later_request_time_is_respected() {
+        let mut m = bus(2);
+        let t = m.send(0, 1, 0, 10.0);
+        assert_eq!(t.start, 10.0);
+    }
+
+    #[test]
+    fn reset_clears_queueing() {
+        let mut m = bus(2);
+        let _ = m.send(0, 1, 1 << 20, 0.0);
+        m.reset();
+        let t = m.send(0, 1, 100, 0.0);
+        assert_eq!(t.start, 0.0);
+    }
+
+    #[test]
+    fn deliveries_never_precede_request() {
+        let mut m = bus(4);
+        for i in 0..20 {
+            let now = i as f64 * 1e-4;
+            let t = m.send(i % 4, (i + 1) % 4, 64, now);
+            assert!(t.start >= now);
+            assert!(t.delivered > t.start);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_node_rejected() {
+        let mut m = bus(2);
+        let _ = m.send(0, 5, 10, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "factors")]
+    fn sub_unit_factor_rejected() {
+        let mut m = bus(2);
+        let _ = m.send_with_factors(0, 1, 0, 0.0, EndpointFactors { send: 0.5, recv: 1.0 });
+    }
+}

@@ -1,0 +1,162 @@
+//! Network parameters (Section 4.1, "Network Parameters").
+//!
+//! The paper reports a single per-message latency `L = 2414.5 µs` and
+//! bandwidth `B = 0.96 MB/s` for PVM over Ethernet. For the medium
+//! *simulation* we decompose `L` into its three physical components,
+//! because they serialize on different resources:
+//!
+//! * **send overhead** — PVM pack/syscall cost, paid on the *sending*
+//!   CPU (parallel across senders: this is why the measured all-to-all
+//!   cost in Fig. 4 is far below `P(P-1)·L`);
+//! * **frame time** — media-access + wire occupancy, serial on the shared
+//!   Ethernet segment (plus the `bytes/B` serialization of the payload);
+//! * **receive overhead** — unpack/copy cost on the *receiving* CPU
+//!   (serial per receiver: this is what separates the all-to-one curve
+//!   from one-to-all).
+//!
+//! The components sum back to the paper's measured `L` for a single
+//! unloaded message.
+
+use serde::{Deserialize, Serialize};
+
+/// PVM-over-Ethernet latency measured by the paper: 2414.5 µs per message.
+pub const PAPER_LATENCY_S: f64 = 2414.5e-6;
+
+/// PVM-over-Ethernet bandwidth measured by the paper: 0.96 MB/s.
+pub const PAPER_BANDWIDTH_BPS: f64 = 0.96e6;
+
+/// How the physical medium arbitrates concurrent transmissions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MediumKind {
+    /// Shared Ethernet segment: at most one frame in flight network-wide;
+    /// frame times serialize. This is the paper's testbed and the reason
+    /// its all-to-all cost grows superlinearly with P (Fig. 4).
+    SharedBus,
+    /// Idealized switch: frames only serialize per sending port.
+    Switched,
+}
+
+/// Latency/bandwidth description of the interconnect.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetworkParams {
+    /// Per-message CPU cost at the sender, seconds (serial per sender).
+    pub send_overhead: f64,
+    /// Per-frame medium-access + header cost, seconds (serial on the bus).
+    pub frame_overhead: f64,
+    /// Payload bandwidth `B` in bytes/second (wire serialization).
+    pub bandwidth: f64,
+    /// Per-message CPU cost at the receiver, seconds (serial per receiver).
+    pub recv_overhead: f64,
+    /// Medium arbitration.
+    pub medium: MediumKind,
+}
+
+impl NetworkParams {
+    /// The paper's measured Ethernet/PVM parameters, decomposed so that an
+    /// isolated zero-byte message costs exactly `L = 2414.5 µs` end to
+    /// end.
+    pub fn paper_ethernet() -> Self {
+        Self {
+            send_overhead: 0.9145e-3,
+            frame_overhead: 0.4e-3,
+            bandwidth: PAPER_BANDWIDTH_BPS,
+            recv_overhead: 1.1e-3,
+            medium: MediumKind::SharedBus,
+        }
+    }
+
+    /// A modern-ish switched LAN, used by ablation A1.5.
+    pub fn switched_lan() -> Self {
+        Self {
+            send_overhead: 20e-6,
+            frame_overhead: 5e-6,
+            bandwidth: 100e6,
+            recv_overhead: 25e-6,
+            medium: MediumKind::Switched,
+        }
+    }
+
+    /// End-to-end latency of one isolated empty message — the paper's `L`.
+    pub fn latency(&self) -> f64 {
+        self.send_overhead + self.frame_overhead + self.recv_overhead
+    }
+
+    /// Validate invariants.
+    ///
+    /// # Panics
+    /// Panics if bandwidth is non-positive or any overhead is negative or
+    /// non-finite.
+    pub fn validate(&self) {
+        assert!(
+            self.bandwidth > 0.0 && self.bandwidth.is_finite(),
+            "bandwidth must be positive"
+        );
+        for (name, v) in [
+            ("send_overhead", self.send_overhead),
+            ("frame_overhead", self.frame_overhead),
+            ("recv_overhead", self.recv_overhead),
+        ] {
+            assert!(v >= 0.0 && v.is_finite(), "{name} must be non-negative and finite");
+        }
+        assert!(self.latency() > 0.0, "latency must be positive overall");
+    }
+
+    /// Time the shared wire is occupied by one message of `bytes` bytes.
+    pub fn frame_time(&self, bytes: usize) -> f64 {
+        self.frame_overhead + bytes as f64 / self.bandwidth
+    }
+
+    /// End-to-end time of one isolated message of `bytes` bytes (no
+    /// queueing anywhere).
+    pub fn wire_time(&self, bytes: usize) -> f64 {
+        self.send_overhead + self.frame_time(bytes) + self.recv_overhead
+    }
+}
+
+impl Default for NetworkParams {
+    fn default() -> Self {
+        Self::paper_ethernet()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_parameters_match_section_6_1() {
+        let p = NetworkParams::paper_ethernet();
+        assert!((p.latency() - PAPER_LATENCY_S).abs() < 1e-9, "L = {}", p.latency());
+        assert!((p.bandwidth - 0.96e6).abs() < 1e-6);
+        assert_eq!(p.medium, MediumKind::SharedBus);
+        p.validate();
+    }
+
+    #[test]
+    fn receiver_overhead_exceeds_sender_overhead() {
+        // Required for the Fig. 4 ordering AO > OA.
+        let p = NetworkParams::paper_ethernet();
+        assert!(p.recv_overhead > p.send_overhead);
+    }
+
+    #[test]
+    fn wire_time_combines_all_components() {
+        let p = NetworkParams::paper_ethernet();
+        let t = p.wire_time(960_000); // one second of payload serialization
+        assert!((t - (1.0 + p.latency())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_byte_message_costs_latency() {
+        let p = NetworkParams::paper_ethernet();
+        assert!((p.wire_time(0) - p.latency()).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth")]
+    fn validate_rejects_zero_bandwidth() {
+        let mut p = NetworkParams::paper_ethernet();
+        p.bandwidth = 0.0;
+        p.validate();
+    }
+}

@@ -1,0 +1,223 @@
+//! Least-squares polynomial fitting, from scratch.
+//!
+//! The paper obtains its communication cost functions "by simple polynomial
+//! fitting" of measured pattern costs (Fig. 4). We solve the normal
+//! equations `(VᵀV) c = Vᵀy` for the Vandermonde matrix `V` with Gaussian
+//! elimination and partial pivoting — adequate for the low degrees (≤ 3)
+//! and small sample counts used in characterization.
+
+use serde::{Deserialize, Serialize};
+
+/// A dense polynomial `c₀ + c₁x + c₂x² + …`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Poly {
+    coeffs: Vec<f64>,
+}
+
+impl Poly {
+    /// Construct from coefficients, lowest degree first. Trailing zeros are
+    /// kept (degree is structural, not mathematical).
+    pub fn new(coeffs: Vec<f64>) -> Self {
+        assert!(!coeffs.is_empty(), "a polynomial needs at least one coefficient");
+        Self { coeffs }
+    }
+
+    /// The constant polynomial `c`.
+    pub fn constant(c: f64) -> Self {
+        Self::new(vec![c])
+    }
+
+    /// Coefficients, lowest degree first.
+    pub fn coeffs(&self) -> &[f64] {
+        &self.coeffs
+    }
+
+    /// Structural degree (`len - 1`).
+    pub fn degree(&self) -> usize {
+        self.coeffs.len() - 1
+    }
+
+    /// Evaluate at `x` (Horner).
+    pub fn eval(&self, x: f64) -> f64 {
+        self.coeffs.iter().rev().fold(0.0, |acc, &c| acc * x + c)
+    }
+
+    /// Root-mean-square residual against sample points.
+    pub fn rms_residual(&self, xs: &[f64], ys: &[f64]) -> f64 {
+        assert_eq!(xs.len(), ys.len());
+        if xs.is_empty() {
+            return 0.0;
+        }
+        let ss: f64 = xs.iter().zip(ys).map(|(&x, &y)| (self.eval(x) - y).powi(2)).sum();
+        (ss / xs.len() as f64).sqrt()
+    }
+}
+
+/// Fit a degree-`degree` polynomial to `(xs, ys)` by least squares.
+///
+/// # Panics
+/// Panics if the slices differ in length, are empty, or if there are fewer
+/// points than coefficients, or if the normal equations are singular (e.g.
+/// all `xs` identical while `degree > 0`).
+pub fn polyfit(xs: &[f64], ys: &[f64], degree: usize) -> Poly {
+    assert_eq!(xs.len(), ys.len(), "xs and ys must have equal length");
+    let n = degree + 1;
+    assert!(
+        xs.len() >= n,
+        "need at least {n} points for a degree-{degree} fit, got {}",
+        xs.len()
+    );
+
+    // Normal equations: A = VᵀV (size n×n), b = Vᵀy.
+    // A[i][j] = Σ_k x_k^(i+j); b[i] = Σ_k y_k x_k^i.
+    let mut power_sums = vec![0.0; 2 * n - 1];
+    let mut b = vec![0.0; n];
+    for (&x, &y) in xs.iter().zip(ys) {
+        let mut xp = 1.0;
+        for p in power_sums.iter_mut() {
+            *p += xp;
+            xp *= x;
+        }
+        let mut xp = 1.0;
+        for bi in b.iter_mut() {
+            *bi += y * xp;
+            xp *= x;
+        }
+    }
+    let mut a = vec![vec![0.0; n]; n];
+    for (i, row) in a.iter_mut().enumerate() {
+        for (j, cell) in row.iter_mut().enumerate() {
+            *cell = power_sums[i + j];
+        }
+    }
+    let coeffs = solve_linear(a, b);
+    Poly::new(coeffs)
+}
+
+/// Solve `A x = b` by Gaussian elimination with partial pivoting.
+///
+/// # Panics
+/// Panics if the system is singular (pivot below 1e-12 of the max column
+/// magnitude).
+fn solve_linear(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Vec<f64> {
+    let n = b.len();
+    for col in 0..n {
+        // Partial pivot.
+        let (pivot_row, pivot_mag) = (col..n)
+            .map(|r| (r, a[r][col].abs()))
+            .max_by(|x, y| x.1.total_cmp(&y.1))
+            .expect("non-empty system");
+        assert!(pivot_mag > 1e-12, "singular system in polyfit (column {col})");
+        a.swap(col, pivot_row);
+        b.swap(col, pivot_row);
+
+        let pivot = a[col][col];
+        let pivot_row = a[col].clone();
+        for r in (col + 1)..n {
+            let factor = a[r][col] / pivot;
+            if factor == 0.0 {
+                continue;
+            }
+            for (cell, &p) in a[r][col..n].iter_mut().zip(&pivot_row[col..n]) {
+                *cell -= factor * p;
+            }
+            b[r] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for c in (row + 1)..n {
+            acc -= a[row][c] * x[c];
+        }
+        x[row] = acc / a[row][row];
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, eps: f64) {
+        assert!((a - b).abs() < eps, "{a} != {b} (eps {eps})");
+    }
+
+    #[test]
+    fn horner_evaluation() {
+        let p = Poly::new(vec![1.0, -2.0, 3.0]); // 1 - 2x + 3x²
+        assert_close(p.eval(0.0), 1.0, 1e-12);
+        assert_close(p.eval(2.0), 9.0, 1e-12);
+        assert_close(p.eval(-1.0), 6.0, 1e-12);
+    }
+
+    #[test]
+    fn fits_exact_line() {
+        let xs: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 + 0.5 * x).collect();
+        let p = polyfit(&xs, &ys, 1);
+        assert_close(p.coeffs()[0], 3.0, 1e-9);
+        assert_close(p.coeffs()[1], 0.5, 1e-9);
+        assert!(p.rms_residual(&xs, &ys) < 1e-9);
+    }
+
+    #[test]
+    fn fits_exact_quadratic() {
+        let xs: Vec<f64> = (2..=16).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 0.01 + 0.002 * x + 0.0005 * x * x).collect();
+        let p = polyfit(&xs, &ys, 2);
+        assert_close(p.coeffs()[0], 0.01, 1e-9);
+        assert_close(p.coeffs()[1], 0.002, 1e-9);
+        assert_close(p.coeffs()[2], 0.0005, 1e-10);
+    }
+
+    #[test]
+    fn least_squares_averages_noise() {
+        // y = 2x with symmetric "noise" that exactly cancels.
+        let xs = [1.0, 1.0, 2.0, 2.0, 3.0, 3.0];
+        let ys = [1.9, 2.1, 3.9, 4.1, 5.9, 6.1];
+        let p = polyfit(&xs, &ys, 1);
+        assert_close(p.coeffs()[1], 2.0, 1e-9);
+        assert_close(p.coeffs()[0], 0.0, 1e-9);
+    }
+
+    #[test]
+    fn degree_zero_is_mean() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [10.0, 20.0, 30.0, 40.0];
+        let p = polyfit(&xs, &ys, 0);
+        assert_close(p.coeffs()[0], 25.0, 1e-9);
+    }
+
+    #[test]
+    fn overdetermined_cubic_recovers_coefficients() {
+        let xs: Vec<f64> = (1..=30).map(|i| i as f64 / 3.0).collect();
+        let truth = Poly::new(vec![1.0, -0.5, 0.25, 0.125]);
+        let ys: Vec<f64> = xs.iter().map(|&x| truth.eval(x)).collect();
+        let p = polyfit(&xs, &ys, 3);
+        for (got, want) in p.coeffs().iter().zip(truth.coeffs()) {
+            assert_close(*got, *want, 1e-7);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least")]
+    fn too_few_points_rejected() {
+        let _ = polyfit(&[1.0], &[2.0], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "singular")]
+    fn identical_xs_is_singular_for_degree_one() {
+        let _ = polyfit(&[2.0, 2.0, 2.0], &[1.0, 2.0, 3.0], 1);
+    }
+
+    #[test]
+    fn rms_residual_zero_on_exact_fit() {
+        let xs = [0.0, 1.0, 2.0];
+        let ys = [1.0, 2.0, 5.0];
+        let p = polyfit(&xs, &ys, 2);
+        assert!(p.rms_residual(&xs, &ys) < 1e-10);
+    }
+}

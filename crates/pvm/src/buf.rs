@@ -1,0 +1,180 @@
+//! PVM-style typed pack/unpack buffers.
+//!
+//! PVM programs marshal data with `pvm_pkint`/`pvm_pkdouble`/… into the
+//! active send buffer and unpack in the same order at the receiver.
+//! [`PackBuf`] reproduces that model (without XDR — both ends are the same
+//! architecture here): values are packed little-endian in order, and a
+//! cursor-based unpacker reads them back.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// A typed message buffer. Pack in order, send, unpack in the same order.
+#[derive(Debug, Clone, Default)]
+pub struct PackBuf {
+    bytes: BytesMut,
+}
+
+/// Cursor for unpacking a received buffer.
+#[derive(Debug)]
+pub struct Unpacker {
+    bytes: Bytes,
+}
+
+impl PackBuf {
+    /// Fresh, empty buffer (the `pvm_initsend` analogue).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Packed size in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// True if nothing has been packed.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    pub fn pack_u64(&mut self, v: u64) -> &mut Self {
+        self.bytes.put_u64_le(v);
+        self
+    }
+
+    pub fn pack_i64(&mut self, v: i64) -> &mut Self {
+        self.bytes.put_i64_le(v);
+        self
+    }
+
+    pub fn pack_f64(&mut self, v: f64) -> &mut Self {
+        self.bytes.put_f64_le(v);
+        self
+    }
+
+    pub fn pack_usize(&mut self, v: usize) -> &mut Self {
+        self.pack_u64(v as u64)
+    }
+
+    /// Pack a length-prefixed slice of doubles (`pvm_pkdouble(ptr, n, 1)`).
+    pub fn pack_f64_slice(&mut self, v: &[f64]) -> &mut Self {
+        self.pack_u64(v.len() as u64);
+        for &x in v {
+            self.bytes.put_f64_le(x);
+        }
+        self
+    }
+
+    /// Pack a length-prefixed slice of u64s.
+    pub fn pack_u64_slice(&mut self, v: &[u64]) -> &mut Self {
+        self.pack_u64(v.len() as u64);
+        for &x in v {
+            self.bytes.put_u64_le(x);
+        }
+        self
+    }
+
+    /// Freeze into an immutable wire buffer.
+    pub fn freeze(self) -> Bytes {
+        self.bytes.freeze()
+    }
+}
+
+impl Unpacker {
+    /// Start unpacking a received buffer.
+    pub fn new(bytes: Bytes) -> Self {
+        Self { bytes }
+    }
+
+    /// Bytes left to unpack.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// # Panics
+    /// Panics if the buffer underflows (type mismatch between the packer
+    /// and the unpacker — a protocol bug, as in PVM).
+    pub fn u64(&mut self) -> u64 {
+        assert!(self.bytes.len() >= 8, "unpack underflow");
+        self.bytes.get_u64_le()
+    }
+
+    pub fn i64(&mut self) -> i64 {
+        assert!(self.bytes.len() >= 8, "unpack underflow");
+        self.bytes.get_i64_le()
+    }
+
+    pub fn f64(&mut self) -> f64 {
+        assert!(self.bytes.len() >= 8, "unpack underflow");
+        self.bytes.get_f64_le()
+    }
+
+    pub fn usize(&mut self) -> usize {
+        self.u64() as usize
+    }
+
+    /// Unpack a length-prefixed slice of doubles.
+    pub fn f64_vec(&mut self) -> Vec<f64> {
+        let n = self.usize();
+        assert!(self.bytes.len() >= n * 8, "unpack underflow in f64 slice");
+        (0..n).map(|_| self.bytes.get_f64_le()).collect()
+    }
+
+    /// Unpack a length-prefixed slice of u64s.
+    pub fn u64_vec(&mut self) -> Vec<u64> {
+        let n = self.usize();
+        assert!(self.bytes.len() >= n * 8, "unpack underflow in u64 slice");
+        (0..n).map(|_| self.bytes.get_u64_le()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_scalars() {
+        let mut b = PackBuf::new();
+        b.pack_u64(42).pack_i64(-7).pack_f64(1.5).pack_usize(99);
+        let mut u = Unpacker::new(b.freeze());
+        assert_eq!(u.u64(), 42);
+        assert_eq!(u.i64(), -7);
+        assert_eq!(u.f64(), 1.5);
+        assert_eq!(u.usize(), 99);
+        assert_eq!(u.remaining(), 0);
+    }
+
+    #[test]
+    fn roundtrip_slices() {
+        let mut b = PackBuf::new();
+        b.pack_f64_slice(&[1.0, 2.0, 3.0]);
+        b.pack_u64_slice(&[10, 20]);
+        let mut u = Unpacker::new(b.freeze());
+        assert_eq!(u.f64_vec(), vec![1.0, 2.0, 3.0]);
+        assert_eq!(u.u64_vec(), vec![10, 20]);
+    }
+
+    #[test]
+    fn empty_slice_roundtrip() {
+        let mut b = PackBuf::new();
+        b.pack_f64_slice(&[]);
+        let mut u = Unpacker::new(b.freeze());
+        assert!(u.f64_vec().is_empty());
+    }
+
+    #[test]
+    fn len_tracks_packing() {
+        let mut b = PackBuf::new();
+        assert!(b.is_empty());
+        b.pack_u64(1);
+        assert_eq!(b.len(), 8);
+        b.pack_f64_slice(&[0.0; 4]);
+        assert_eq!(b.len(), 8 + 8 + 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn unpack_underflow_panics() {
+        let mut u = Unpacker::new(PackBuf::new().freeze());
+        let _ = u.u64();
+    }
+}

@@ -1,0 +1,349 @@
+//! The virtual machine: task spawn, tagged sends, matching receives.
+//!
+//! [`Pvm::run`] spawns `n` tasks on OS threads; each receives a [`Ctx`]
+//! with channels to every peer. Receives match PVM-style on `(source,
+//! tag)` with wildcards; non-matching messages are buffered in arrival
+//! order and re-examined by later receives.
+
+use crate::buf::{PackBuf, Unpacker};
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use std::collections::VecDeque;
+use std::time::Duration;
+
+/// Task identifier: `0..n`, task 0 conventionally the master.
+pub type TaskId = usize;
+
+/// Message tag (PVM `msgtag`).
+pub type Tag = u32;
+
+/// A received message.
+#[derive(Debug, Clone)]
+pub struct Message {
+    pub from: TaskId,
+    pub tag: Tag,
+    pub body: Bytes,
+}
+
+impl Message {
+    /// Start unpacking the body.
+    pub fn unpack(&self) -> Unpacker {
+        Unpacker::new(self.body.clone())
+    }
+}
+
+/// Per-task handle to the virtual machine.
+pub struct Ctx {
+    tid: TaskId,
+    ntasks: usize,
+    inbox: Receiver<Message>,
+    peers: Vec<Sender<Message>>,
+    /// Arrived but not yet matched by any receive.
+    deferred: VecDeque<Message>,
+}
+
+impl Ctx {
+    /// This task's id (`pvm_mytid`).
+    pub fn mytid(&self) -> TaskId {
+        self.tid
+    }
+
+    /// Number of tasks in the machine.
+    pub fn ntasks(&self) -> usize {
+        self.ntasks
+    }
+
+    /// Send a packed buffer to `to` with `tag` (`pvm_send`). Sending to a
+    /// finished task is a silent no-op, as in PVM where exit races sends.
+    pub fn send(&self, to: TaskId, tag: Tag, buf: PackBuf) {
+        assert!(to < self.ntasks, "task id {to} out of range");
+        let msg = Message { from: self.tid, tag, body: buf.freeze() };
+        let _ = self.peers[to].send(msg);
+    }
+
+    /// Multicast to a set of tasks (`pvm_mcast`); skips self.
+    pub fn mcast(&self, tids: &[TaskId], tag: Tag, buf: PackBuf) {
+        let body = buf.freeze();
+        for &to in tids {
+            if to == self.tid {
+                continue;
+            }
+            assert!(to < self.ntasks, "task id {to} out of range");
+            let _ = self.peers[to].send(Message { from: self.tid, tag, body: body.clone() });
+        }
+    }
+
+    fn matches(msg: &Message, from: Option<TaskId>, tag: Option<Tag>) -> bool {
+        from.is_none_or(|f| f == msg.from) && tag.is_none_or(|t| t == msg.tag)
+    }
+
+    /// Blocking receive with PVM wildcard matching (`pvm_recv`): `None`
+    /// matches anything. Non-matching arrivals are buffered.
+    ///
+    /// # Panics
+    /// Panics if every sender is gone and no matching message can ever
+    /// arrive (a deadlocked protocol — fail fast instead of hanging).
+    pub fn recv(&mut self, from: Option<TaskId>, tag: Option<Tag>) -> Message {
+        if let Some(pos) = self.deferred.iter().position(|m| Self::matches(m, from, tag)) {
+            return self.deferred.remove(pos).expect("position is valid");
+        }
+        loop {
+            match self.inbox.recv() {
+                Ok(msg) if Self::matches(&msg, from, tag) => return msg,
+                Ok(msg) => self.deferred.push_back(msg),
+                Err(_) => panic!(
+                    "task {} waiting for (from={from:?}, tag={tag:?}) but all peers exited",
+                    self.tid
+                ),
+            }
+        }
+    }
+
+    /// Non-blocking receive (`pvm_nrecv`).
+    pub fn try_recv(&mut self, from: Option<TaskId>, tag: Option<Tag>) -> Option<Message> {
+        if let Some(pos) = self.deferred.iter().position(|m| Self::matches(m, from, tag)) {
+            return self.deferred.remove(pos);
+        }
+        while let Ok(msg) = self.inbox.try_recv() {
+            if Self::matches(&msg, from, tag) {
+                return Some(msg);
+            }
+            self.deferred.push_back(msg);
+        }
+        None
+    }
+
+    /// Timed receive (`pvm_trecv`).
+    pub fn recv_timeout(
+        &mut self,
+        from: Option<TaskId>,
+        tag: Option<Tag>,
+        timeout: Duration,
+    ) -> Option<Message> {
+        if let Some(m) = self.try_recv(from, tag) {
+            return Some(m);
+        }
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            let left = deadline.saturating_duration_since(std::time::Instant::now());
+            match self.inbox.recv_timeout(left) {
+                Ok(msg) if Self::matches(&msg, from, tag) => return Some(msg),
+                Ok(msg) => self.deferred.push_back(msg),
+                Err(RecvTimeoutError::Timeout) => return None,
+                Err(RecvTimeoutError::Disconnected) => return None,
+            }
+        }
+    }
+
+    /// Probe: is a matching message available (`pvm_probe`)?
+    pub fn probe(&mut self, from: Option<TaskId>, tag: Option<Tag>) -> bool {
+        if self.deferred.iter().any(|m| Self::matches(m, from, tag)) {
+            return true;
+        }
+        while let Ok(msg) = self.inbox.try_recv() {
+            let hit = Self::matches(&msg, from, tag);
+            self.deferred.push_back(msg);
+            if hit {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Barrier tag reserved by the runtime.
+const BARRIER_TAG: Tag = u32::MAX;
+
+impl Ctx {
+    /// Simple all-task barrier (`pvm_barrier` over the whole machine):
+    /// everyone reports to task 0, task 0 releases everyone.
+    pub fn barrier(&mut self) {
+        if self.tid == 0 {
+            for _ in 1..self.ntasks {
+                let _ = self.recv(None, Some(BARRIER_TAG));
+            }
+            let all: Vec<TaskId> = (0..self.ntasks).collect();
+            self.mcast(&all, BARRIER_TAG, PackBuf::new());
+        } else {
+            self.send(0, BARRIER_TAG, PackBuf::new());
+            let _ = self.recv(Some(0), Some(BARRIER_TAG));
+        }
+    }
+}
+
+/// The virtual machine builder.
+pub struct Pvm;
+
+impl Pvm {
+    /// Spawn `n` tasks running `f`, wait for all to finish, and return
+    /// their results indexed by task id.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`, or re-raises a panic from any task.
+    pub fn run<T, F>(n: usize, f: F) -> Vec<T>
+    where
+        T: Send + 'static,
+        F: Fn(Ctx) -> T + Send + Sync + 'static,
+    {
+        assert!(n > 0, "a virtual machine needs at least one task");
+        let (senders, receivers): (Vec<_>, Vec<_>) =
+            (0..n).map(|_| unbounded::<Message>()).unzip();
+        let f = std::sync::Arc::new(f);
+        let handles: Vec<_> = receivers
+            .into_iter()
+            .enumerate()
+            .map(|(tid, inbox)| {
+                let ctx = Ctx {
+                    tid,
+                    ntasks: n,
+                    inbox,
+                    peers: senders.clone(),
+                    deferred: VecDeque::new(),
+                };
+                let f = std::sync::Arc::clone(&f);
+                std::thread::Builder::new()
+                    .name(format!("pvm-task-{tid}"))
+                    .spawn(move || f(ctx))
+                    .expect("spawn pvm task")
+            })
+            .collect();
+        drop(senders);
+        handles
+            .into_iter()
+            .enumerate()
+            .map(|(tid, h)| match h.join() {
+                Ok(v) => v,
+                Err(e) => std::panic::resume_unwind(
+                    Box::new(format!("pvm task {tid} panicked: {e:?}")),
+                ),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ping_pong() {
+        let out = Pvm::run(2, |mut ctx| {
+            if ctx.mytid() == 0 {
+                let mut b = PackBuf::new();
+                b.pack_u64(7);
+                ctx.send(1, 1, b);
+                let reply = ctx.recv(Some(1), Some(2));
+                reply.unpack().u64()
+            } else {
+                let m = ctx.recv(Some(0), Some(1));
+                let v = m.unpack().u64();
+                let mut b = PackBuf::new();
+                b.pack_u64(v * 6);
+                ctx.send(0, 2, b);
+                0
+            }
+        });
+        assert_eq!(out[0], 42);
+    }
+
+    #[test]
+    fn wildcard_recv_matches_any_source() {
+        let out = Pvm::run(3, |mut ctx| {
+            if ctx.mytid() == 0 {
+                let a = ctx.recv(None, Some(9));
+                let b = ctx.recv(None, Some(9));
+                a.unpack().u64() + b.unpack().u64()
+            } else {
+                let mut b = PackBuf::new();
+                b.pack_u64(ctx.mytid() as u64);
+                ctx.send(0, 9, b);
+                0
+            }
+        });
+        assert_eq!(out[0], 3);
+    }
+
+    #[test]
+    fn tag_matching_defers_other_tags() {
+        let out = Pvm::run(2, |mut ctx| {
+            if ctx.mytid() == 0 {
+                // Sent first with tag 5, then tag 6; receive 6 first.
+                let six = ctx.recv(Some(1), Some(6));
+                let five = ctx.recv(Some(1), Some(5));
+                six.unpack().u64() * 10 + five.unpack().u64()
+            } else {
+                let mut b = PackBuf::new();
+                b.pack_u64(5);
+                ctx.send(0, 5, b);
+                let mut b = PackBuf::new();
+                b.pack_u64(6);
+                ctx.send(0, 6, b);
+                0
+            }
+        });
+        assert_eq!(out[0], 65);
+    }
+
+    #[test]
+    fn mcast_reaches_everyone_but_self() {
+        let out = Pvm::run(4, |mut ctx| {
+            if ctx.mytid() == 0 {
+                let all: Vec<TaskId> = (0..4).collect();
+                let mut b = PackBuf::new();
+                b.pack_u64(99);
+                ctx.mcast(&all, 3, b);
+                0
+            } else {
+                ctx.recv(Some(0), Some(3)).unpack().u64()
+            }
+        });
+        assert_eq!(&out[1..], &[99, 99, 99]);
+    }
+
+    #[test]
+    fn try_recv_returns_none_when_empty() {
+        let out = Pvm::run(1, |mut ctx| ctx.try_recv(None, None).is_none());
+        assert!(out[0]);
+    }
+
+    #[test]
+    fn barrier_synchronizes() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static BEFORE: AtomicUsize = AtomicUsize::new(0);
+        let out = Pvm::run(4, |mut ctx| {
+            BEFORE.fetch_add(1, Ordering::SeqCst);
+            ctx.barrier();
+            // After the barrier everyone must observe all 4 arrivals.
+            BEFORE.load(Ordering::SeqCst)
+        });
+        assert!(out.iter().all(|&v| v == 4), "{out:?}");
+    }
+
+    #[test]
+    fn recv_timeout_expires() {
+        let out = Pvm::run(1, |mut ctx| {
+            ctx.recv_timeout(None, None, Duration::from_millis(10)).is_none()
+        });
+        assert!(out[0]);
+    }
+
+    #[test]
+    fn probe_sees_buffered_messages() {
+        let out = Pvm::run(2, |mut ctx| {
+            if ctx.mytid() == 0 {
+                // Wait until something arrives, then probe both tags.
+                let _ = ctx.probe(Some(1), Some(1)) || {
+                    while !ctx.probe(Some(1), Some(1)) {
+                        std::thread::yield_now();
+                    }
+                    true
+                };
+                ctx.probe(Some(1), Some(1))
+            } else {
+                ctx.send(0, 1, PackBuf::new());
+                true
+            }
+        });
+        assert!(out[0]);
+    }
+}

@@ -1,0 +1,34 @@
+//! `pvm-rt` — a PVM-flavoured threaded message-passing runtime.
+//!
+//! The paper's applications run as PVM tasks: private address spaces,
+//! typed pack/unpack buffers, tagged sends and wildcard receives. This
+//! crate rebuilds that programming model on OS threads so the DLB library
+//! can be exercised with *real* computation and *real* data movement (the
+//! discrete-event simulator covers the timing studies; this runtime covers
+//! end-to-end correctness — work moved by the balancer must not change the
+//! numerical result).
+//!
+//! * [`buf::PackBuf`] — PVM-style typed pack/unpack buffers;
+//! * [`ctx`] — the virtual machine: [`ctx::Pvm::run`] spawns `n` tasks,
+//!   each with a [`ctx::Ctx`] providing `send`/`recv`/`mcast`/`barrier`
+//!   with PVM matching semantics (match on source and/or tag, buffer the
+//!   rest);
+//! * [`load::LoadInjector`] — in-program external-load simulation, exactly
+//!   as the paper does it ("external load was simulated within our
+//!   programs"): after each burst of real work the injector sleeps
+//!   `work · ℓ(t)`, emulating `ℓ` competing processes;
+//! * [`dlb`] — the interrupt-based receiver-initiated DLB protocol over
+//!   this runtime: [`dlb::run_loop`] executes a [`dlb::RowKernel`] under
+//!   any of the four strategies, shipping iteration payloads between
+//!   threads, and returns a checksum to compare against the sequential
+//!   run.
+
+pub mod buf;
+pub mod ctx;
+pub mod dlb;
+pub mod load;
+
+pub use buf::PackBuf;
+pub use ctx::{Ctx, Message, Pvm, TaskId};
+pub use dlb::{run_loop, RowKernel, ThreadRunReport};
+pub use load::LoadInjector;

@@ -1,0 +1,108 @@
+//! In-program external-load injection.
+//!
+//! "External load was simulated within our programs" (Section 6): after a
+//! burst of real work taking `w` wall seconds, a processor carrying load
+//! level `ℓ` would have taken `w · (ℓ+1)` — the injector sleeps the
+//! difference. Virtual time (the load-function clock) advances with real
+//! time from the injector's creation.
+
+use now_load::LoadFunction;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Per-worker load injector.
+pub struct LoadInjector {
+    load: Arc<dyn LoadFunction>,
+    start: Instant,
+    /// Time-scale factor: virtual seconds per real second. Tests compress
+    /// persistence intervals with scales > 1.
+    time_scale: f64,
+}
+
+impl LoadInjector {
+    pub fn new(load: Arc<dyn LoadFunction>) -> Self {
+        Self::with_time_scale(load, 1.0)
+    }
+
+    /// `time_scale > 1` makes the load function's intervals elapse faster
+    /// relative to wall time (useful to exercise many load epochs in a
+    /// short test).
+    pub fn with_time_scale(load: Arc<dyn LoadFunction>, time_scale: f64) -> Self {
+        assert!(time_scale > 0.0 && time_scale.is_finite());
+        Self { load, start: Instant::now(), time_scale }
+    }
+
+    /// Current virtual time on the load-function clock.
+    pub fn now(&self) -> f64 {
+        self.start.elapsed().as_secs_f64() * self.time_scale
+    }
+
+    /// Current load level.
+    pub fn level(&self) -> u32 {
+        self.load.level_at(self.now())
+    }
+
+    /// Charge `busy` seconds of completed real work: sleeps `busy · ℓ(t)`
+    /// so the total wall time becomes `busy · (ℓ+1)`.
+    pub fn tax(&self, busy: Duration) {
+        let level = self.level();
+        if level == 0 {
+            return;
+        }
+        let penalty = busy.mul_f64(f64::from(level));
+        std::thread::sleep(penalty);
+    }
+
+    /// Run `f`, measure it, pay the load tax, and return its result.
+    pub fn taxed<T>(&self, f: impl FnOnce() -> T) -> T {
+        let t0 = Instant::now();
+        let out = f();
+        self.tax(t0.elapsed());
+        out
+    }
+}
+
+impl std::fmt::Debug for LoadInjector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LoadInjector")
+            .field("time_scale", &self.time_scale)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use now_load::{ConstantLoad, ZeroLoad};
+
+    #[test]
+    fn zero_load_is_free() {
+        let inj = LoadInjector::new(Arc::new(ZeroLoad));
+        let t0 = Instant::now();
+        inj.tax(Duration::from_millis(50));
+        assert!(t0.elapsed() < Duration::from_millis(10));
+    }
+
+    #[test]
+    fn constant_load_scales_time() {
+        let inj = LoadInjector::new(Arc::new(ConstantLoad::new(2)));
+        let t0 = Instant::now();
+        inj.tax(Duration::from_millis(10));
+        let e = t0.elapsed();
+        assert!(e >= Duration::from_millis(19), "taxed {e:?}");
+    }
+
+    #[test]
+    fn taxed_returns_value() {
+        let inj = LoadInjector::new(Arc::new(ZeroLoad));
+        let v = inj.taxed(|| 21 * 2);
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn virtual_clock_respects_scale() {
+        let inj = LoadInjector::with_time_scale(Arc::new(ZeroLoad), 1000.0);
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(inj.now() >= 4.0, "virtual now {}", inj.now());
+    }
+}

@@ -1,0 +1,942 @@
+//! The discrete-event engine: paper protocol over simulated workstations.
+//!
+//! Each processor executes its work queue one iteration at a time (events
+//! at iteration boundaries — the generated code checks for interrupts once
+//! per outer iteration). The DLB protocol runs exactly as in Section 3:
+//!
+//! * a processor that drains its queue *initiates* a synchronization for
+//!   its group: it interrupts the other active members and submits its own
+//!   profile;
+//! * an interrupted processor finishes its current iteration, then sends
+//!   its profile (to the master if centralized, to every group member if
+//!   distributed) and blocks awaiting the outcome (Fig. 1);
+//! * the balancer — the master, or every member in parallel — computes the
+//!   new distribution after `calc_cost` seconds. The single LCDLB balancer
+//!   serves groups FIFO, which *is* the paper's delay factor;
+//! * centralized balancers send the outcome to the members; donors ship
+//!   iterations (and `bytes_per_iter` of array data each) straight to
+//!   receivers, who resume once they have collected what the new
+//!   distribution owes them;
+//! * a processor whose queue is empty after an episode leaves the
+//!   computation (`dlb.more_work = false`), exactly the utilization loss
+//!   the paper attributes to cancelled redistributions.
+
+use crate::cluster::ClusterSpec;
+use crate::report::{ProcSummary, RunReport};
+use dlb_core::balance::{balance_group, BalanceOutcome, BalanceVerdict};
+use dlb_core::profile::PerfProfile;
+use dlb_core::strategy::{Control, StrategyConfig};
+use dlb_core::work::LoopWorkload;
+use dlb_core::workqueue::{ranges_len, WorkQueue};
+use dlb_core::{Distribution, DlbStats};
+use now_load::WorkClock;
+use now_net::MediumSim;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+use std::ops::Range;
+
+/// Per-iteration work message header bytes (range descriptors etc.).
+const WORK_HEADER_BYTES: usize = 16;
+/// Interrupt message payload bytes.
+const INTERRUPT_BYTES: usize = 8;
+/// Instruction (outcome broadcast) payload bytes.
+const INSTRUCTION_BYTES: usize = 24;
+
+#[derive(Debug, Clone)]
+enum Payload {
+    Interrupt { group: usize },
+    Profile { group: usize, profile: PerfProfile },
+    Instruction { group: usize, outcome: BalanceOutcome },
+    Work { group: usize, ranges: Vec<Range<u64>> },
+}
+
+#[derive(Debug)]
+enum EvKind {
+    IterDone { proc: usize, iter: u64 },
+    Deliver { to: usize, payload: Payload },
+    CalcCentral { group: usize },
+    CalcLocal { group: usize, proc: usize },
+    /// Ablation A1.3: a periodic synchronization tick (Dome/Siegell-style
+    /// periodic exchanges instead of receiver-initiated interrupts).
+    PeriodicTick,
+}
+
+#[derive(Debug)]
+struct Ev {
+    time: f64,
+    seq: u64,
+    kind: EvKind,
+}
+
+impl PartialEq for Ev {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Ev {}
+impl PartialOrd for Ev {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Ev {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time.total_cmp(&other.time).then(self.seq.cmp(&other.seq))
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ProcState {
+    /// Executing an iteration.
+    Computing,
+    /// Profile sent, blocked until the balancer's outcome arrives.
+    WaitOutcome,
+    /// Outcome received; waiting for `expect` more iterations of work.
+    WaitWork { expect: u64 },
+    /// Queue drained while the group's episode is still closing; will
+    /// initiate the next episode once it closes.
+    IdlePending,
+    /// Left the computation (`dlb.more_work = false`).
+    Inactive,
+}
+
+#[derive(Debug)]
+struct Episode {
+    participants: Vec<usize>,
+    /// Profiles gathered at the central balancer.
+    central_profiles: BTreeMap<usize, PerfProfile>,
+    /// Per-member profile collections (distributed schemes).
+    local_profiles: BTreeMap<usize, BTreeMap<usize, PerfProfile>>,
+    /// Members that have sent their profile.
+    profiled: BTreeSet<usize>,
+    /// Members that have acted on the outcome.
+    acted: BTreeSet<usize>,
+    /// Members still owed work shipments.
+    waiting_work: BTreeSet<usize>,
+    /// Whether stats/sync-time were recorded for this episode.
+    recorded: bool,
+}
+
+impl Episode {
+    fn new(participants: Vec<usize>) -> Self {
+        Self {
+            participants,
+            central_profiles: BTreeMap::new(),
+            local_profiles: BTreeMap::new(),
+            profiled: BTreeSet::new(),
+            acted: BTreeSet::new(),
+            waiting_work: BTreeSet::new(),
+            recorded: false,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct GroupCtl {
+    members: Vec<usize>,
+    episode: Option<Episode>,
+    pending_initiators: BTreeSet<usize>,
+}
+
+/// The simulation engine. Construct with [`Engine::new`], run with
+/// [`Engine::run`].
+pub struct Engine<'w> {
+    // --- static configuration ---
+    cluster: ClusterSpec,
+    workload: &'w dyn LoopWorkload,
+    cfg: Option<StrategyConfig>,
+    bytes_per_iter: u64,
+
+    // --- substrate ---
+    clocks: Vec<WorkClock>,
+    medium: MediumSim,
+    events: BinaryHeap<Reverse<Ev>>,
+    seq: u64,
+
+    // --- per-processor state ---
+    queues: Vec<WorkQueue>,
+    state: Vec<ProcState>,
+    active: Vec<bool>,
+    interrupted: Vec<bool>,
+    window_start: Vec<f64>,
+    window_iters: Vec<u64>,
+    iters_done: Vec<u64>,
+    work_done: Vec<f64>,
+    finished_at: Vec<f64>,
+
+    // --- groups & balancer ---
+    groups: Vec<GroupCtl>,
+    proc_group: Vec<usize>,
+    master_busy_until: f64,
+    /// Work that arrived before the receiver finished its own (replicated)
+    /// balancer calculation — possible in the distributed schemes, where a
+    /// fast donor can decide and ship before a slow receiver decides.
+    early_work: Vec<Vec<(usize, Vec<Range<u64>>)>>,
+
+    // --- accounting ---
+    stats: DlbStats,
+    sync_times: Vec<f64>,
+
+    /// Ablation A1.3: when set, synchronizations are additionally
+    /// triggered every `dt` seconds (periodic-exchange schemes) instead of
+    /// only by the receiver-initiated interrupts.
+    periodic_interval: Option<f64>,
+}
+
+impl<'w> Engine<'w> {
+    /// Set up a run. `cfg = None` gives the no-DLB baseline (static equal
+    /// blocks, run to completion).
+    ///
+    /// # Panics
+    /// Panics on inconsistent cluster/config parameters.
+    pub fn new(
+        cluster: ClusterSpec,
+        workload: &'w dyn LoopWorkload,
+        cfg: Option<StrategyConfig>,
+    ) -> Self {
+        cluster.validate();
+        if let Some(c) = &cfg {
+            c.validate();
+        }
+        let p = cluster.processors();
+        let total = workload.iterations();
+        let initial = Distribution::equal_block(total, p);
+        let queues: Vec<WorkQueue> = {
+            let mut start = 0u64;
+            initial
+                .counts()
+                .iter()
+                .map(|&c| {
+                    let q = WorkQueue::from_range(start..start + c);
+                    start += c;
+                    q
+                })
+                .collect()
+        };
+        let group_lists: Vec<Vec<usize>> = match &cfg {
+            Some(c) => c.groups(p),
+            None => vec![(0..p).collect()],
+        };
+        let mut proc_group = vec![0usize; p];
+        for (g, members) in group_lists.iter().enumerate() {
+            for &m in members {
+                proc_group[m] = g;
+            }
+        }
+        let groups = group_lists
+            .into_iter()
+            .map(|members| GroupCtl { members, episode: None, pending_initiators: BTreeSet::new() })
+            .collect();
+        let medium = MediumSim::new(cluster.net, p);
+        let clocks = cluster.clocks();
+        Self {
+            bytes_per_iter: workload.bytes_per_iter(),
+            cluster,
+            workload,
+            cfg,
+            clocks,
+            medium,
+            events: BinaryHeap::new(),
+            seq: 0,
+            queues,
+            state: vec![ProcState::Computing; p],
+            active: vec![true; p],
+            interrupted: vec![false; p],
+            window_start: vec![0.0; p],
+            window_iters: vec![0; p],
+            iters_done: vec![0; p],
+            work_done: vec![0.0; p],
+            finished_at: vec![0.0; p],
+            groups,
+            proc_group,
+            master_busy_until: 0.0,
+            early_work: vec![Vec::new(); p],
+            stats: DlbStats::default(),
+            sync_times: Vec::new(),
+            periodic_interval: None,
+        }
+    }
+
+    /// Enable ablation A1.3: additionally trigger a synchronization every
+    /// `dt` seconds (a periodic-exchange scheme à la Dome/Siegell).
+    ///
+    /// # Panics
+    /// Panics unless `dt` is positive and finite, or if DLB is disabled.
+    pub fn with_periodic_sync(mut self, dt: f64) -> Self {
+        assert!(dt > 0.0 && dt.is_finite(), "periodic interval must be positive");
+        assert!(self.cfg.is_some(), "periodic sync requires a DLB strategy");
+        self.periodic_interval = Some(dt);
+        self
+    }
+
+    /// Execute to completion and report.
+    pub fn run(mut self) -> RunReport {
+        let p = self.cluster.processors();
+        for proc in 0..p {
+            if self.queues[proc].is_empty() {
+                // More processors than iterations: this one never computes.
+                self.state[proc] = ProcState::Inactive;
+                self.active[proc] = false;
+            } else {
+                self.schedule_next_iter(proc, 0.0);
+            }
+        }
+        if let Some(dt) = self.periodic_interval {
+            self.push_event(dt, EvKind::PeriodicTick);
+        }
+        while let Some(Reverse(ev)) = self.events.pop() {
+            let now = ev.time;
+            match ev.kind {
+                EvKind::IterDone { proc, iter } => self.on_iter_done(proc, iter, now),
+                EvKind::Deliver { to, payload } => self.on_deliver(to, payload, now),
+                EvKind::CalcCentral { group } => self.on_calc_central(group, now),
+                EvKind::CalcLocal { group, proc } => self.on_calc_local(group, proc, now),
+                EvKind::PeriodicTick => self.on_periodic_tick(now),
+            }
+        }
+        // Hard invariant: the event queue drained, so every processor must
+        // have finished — any residue means the protocol deadlocked.
+        let done: u64 = self.iters_done.iter().sum();
+        assert_eq!(
+            done,
+            self.workload.iterations(),
+            "protocol stalled: {} of {} iterations executed (states: {:?})",
+            done,
+            self.workload.iterations(),
+            self.state
+        );
+        let total_time = self.finished_at.iter().copied().fold(0.0, f64::max);
+        RunReport {
+            strategy: self.cfg.as_ref().map(|c| c.strategy),
+            total_time,
+            stats: self.stats,
+            per_proc: (0..p)
+                .map(|i| ProcSummary {
+                    iters_done: self.iters_done[i],
+                    finished_at: self.finished_at[i],
+                    work_done: self.work_done[i],
+                })
+                .collect(),
+            sync_times: self.sync_times,
+            total_iters: self.iters_done.iter().sum(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // event scheduling helpers
+
+    fn push_event(&mut self, time: f64, kind: EvKind) {
+        self.seq += 1;
+        self.events.push(Reverse(Ev { time, seq: self.seq, kind }));
+    }
+
+    /// CPU-cost multiplier for protocol processing on `node` at `now`:
+    /// the external load shares the CPU (`ℓ+1`), and if the node's compute
+    /// slave is running concurrently (e.g. the LCDLB master serving other
+    /// groups while it still computes) the balancer/PVM daemon shares with
+    /// it too — the paper's "context switching between the load balancer
+    /// and the computation slave" (Section 6.2).
+    fn cpu_factor(&self, node: usize, now: f64) -> f64 {
+        let ext = self.clocks[node].load().slowdown_at(now);
+        let share = if self.state[node] == ProcState::Computing { 2.0 } else { 1.0 };
+        (ext * share).max(1.0)
+    }
+
+    fn send(&mut self, from: usize, to: usize, bytes: usize, payload: Payload, now: f64) {
+        let factors = now_net::medium::EndpointFactors {
+            send: self.cpu_factor(from, now),
+            recv: self.cpu_factor(to, now),
+        };
+        let tx = self.medium.send_with_factors(from, to, bytes, now, factors);
+        match &payload {
+            Payload::Work { ranges, .. } => {
+                self.stats.transfer_messages += 1;
+                self.stats.bytes_moved += ranges_len(ranges) * self.bytes_per_iter;
+            }
+            _ => self.stats.control_messages += 1,
+        }
+        self.finished_at[from] = self.finished_at[from].max(now);
+        self.push_event(tx.delivered, EvKind::Deliver { to, payload });
+    }
+
+    fn schedule_next_iter(&mut self, proc: usize, now: f64) {
+        let iter = self.queues[proc]
+            .pop_front_iter()
+            .expect("schedule_next_iter requires a non-empty queue");
+        let cost = self.workload.iter_cost(iter);
+        let done_at = self.clocks[proc].finish_time(now, cost);
+        self.state[proc] = ProcState::Computing;
+        self.push_event(done_at, EvKind::IterDone { proc, iter });
+    }
+
+    // ------------------------------------------------------------------
+    // compute events
+
+    fn on_iter_done(&mut self, proc: usize, iter: u64, now: f64) {
+        self.window_iters[proc] += 1;
+        self.iters_done[proc] += 1;
+        self.work_done[proc] += self.workload.iter_cost(iter);
+        self.finished_at[proc] = now;
+
+        // React to a pending interrupt at the iteration boundary.
+        if self.interrupted[proc] {
+            self.interrupted[proc] = false;
+            let g = self.proc_group[proc];
+            let in_episode = self.groups[g]
+                .episode
+                .as_ref()
+                .is_some_and(|e| !e.profiled.contains(&proc));
+            if in_episode {
+                self.send_profile(proc, now);
+                return;
+            }
+        }
+        if self.queues[proc].is_empty() {
+            self.on_out_of_work(proc, now);
+        } else {
+            self.schedule_next_iter(proc, now);
+        }
+    }
+
+    fn on_out_of_work(&mut self, proc: usize, now: f64) {
+        if self.cfg.is_none() {
+            self.deactivate(proc, now);
+            return;
+        }
+        let g = self.proc_group[proc];
+        if self.groups[g].episode.is_some() {
+            let profiled =
+                self.groups[g].episode.as_ref().unwrap().profiled.contains(&proc);
+            if !profiled {
+                // Ran dry before the interrupt arrived: profile proactively.
+                self.send_profile(proc, now);
+            } else {
+                // Already served by this episode (resumed, then drained
+                // while the episode is still closing): queue up to start
+                // the next one.
+                self.state[proc] = ProcState::IdlePending;
+                self.groups[g].pending_initiators.insert(proc);
+            }
+            return;
+        }
+        let peers: Vec<usize> = self.groups[g]
+            .members
+            .iter()
+            .copied()
+            .filter(|&m| m != proc && self.active[m])
+            .collect();
+        if peers.is_empty() {
+            self.deactivate(proc, now);
+            return;
+        }
+        self.start_episode(g, proc, peers, now);
+    }
+
+    fn deactivate(&mut self, proc: usize, now: f64) {
+        self.state[proc] = ProcState::Inactive;
+        self.active[proc] = false;
+        self.finished_at[proc] = self.finished_at[proc].max(now);
+    }
+
+    // ------------------------------------------------------------------
+    // the protocol
+
+    /// Ablation A1.3: on each tick, any group without an episode in flight
+    /// synchronizes as if its lowest active member had been the first
+    /// finisher (everyone profiles at its next iteration boundary).
+    fn on_periodic_tick(&mut self, now: f64) {
+        for g in 0..self.groups.len() {
+            if self.groups[g].episode.is_some() {
+                continue;
+            }
+            let actives: Vec<usize> = self.groups[g]
+                .members
+                .iter()
+                .copied()
+                .filter(|&m| self.active[m] && self.state[m] == ProcState::Computing)
+                .collect();
+            if actives.len() < 2 {
+                continue;
+            }
+            let initiator = actives[0];
+            let mut participants = actives.clone();
+            participants.sort_unstable();
+            self.groups[g].episode = Some(Episode::new(participants));
+            self.stats.syncs += 1;
+            for &m in &actives[1..] {
+                self.send(initiator, m, INTERRUPT_BYTES, Payload::Interrupt { group: g }, now);
+            }
+            // The initiator itself reacts at its next iteration boundary.
+            self.interrupted[initiator] = true;
+        }
+        if self.active.iter().filter(|&&a| a).count() >= 2 {
+            let dt = self.periodic_interval.expect("tick only fires when configured");
+            self.push_event(now + dt, EvKind::PeriodicTick);
+        }
+    }
+
+    fn start_episode(&mut self, g: usize, initiator: usize, peers: Vec<usize>, now: f64) {
+        let mut participants = peers.clone();
+        participants.push(initiator);
+        participants.sort_unstable();
+        self.groups[g].episode = Some(Episode::new(participants));
+        self.stats.syncs += 1;
+        // Interrupt the other active members…
+        for &m in &peers {
+            self.send(initiator, m, INTERRUPT_BYTES, Payload::Interrupt { group: g }, now);
+        }
+        // …and contribute our own profile.
+        self.send_profile(initiator, now);
+    }
+
+    fn make_profile(&self, proc: usize, now: f64) -> PerfProfile {
+        PerfProfile {
+            proc,
+            iters_done: self.window_iters[proc],
+            elapsed: now - self.window_start[proc],
+            remaining: self.queues[proc].remaining(),
+        }
+    }
+
+    fn send_profile(&mut self, proc: usize, now: f64) {
+        let g = self.proc_group[proc];
+        let profile = self.make_profile(proc, now);
+        self.state[proc] = ProcState::WaitOutcome;
+        let control = self.cfg.as_ref().expect("profiles only exist under DLB").strategy.control();
+        let episode = self.groups[g].episode.as_mut().expect("profile outside an episode");
+        episode.profiled.insert(proc);
+        match control {
+            Control::Centralized => {
+                let master = self.cluster.master;
+                if proc == master {
+                    self.record_central_profile(g, profile, now);
+                } else {
+                    self.send(
+                        proc,
+                        master,
+                        PerfProfile::WIRE_BYTES,
+                        Payload::Profile { group: g, profile },
+                        now,
+                    );
+                }
+            }
+            Control::Distributed => {
+                let participants = episode.participants.clone();
+                // Record locally first…
+                self.record_local_profile(proc, g, profile, now);
+                // …then broadcast to the other participants.
+                for to in participants {
+                    if to != proc {
+                        self.send(
+                            proc,
+                            to,
+                            PerfProfile::WIRE_BYTES,
+                            Payload::Profile { group: g, profile },
+                            now,
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    fn record_central_profile(&mut self, g: usize, profile: PerfProfile, now: f64) {
+        let cfg = *self.cfg.as_ref().expect("centralized profile under DLB");
+        let episode = self.groups[g].episode.as_mut().expect("no episode for profile");
+        episode.central_profiles.insert(profile.proc, profile);
+        if episode.central_profiles.len() == episode.participants.len() {
+            // The single balancer serves groups FIFO: the wait in this
+            // queue is the paper's LCDLB delay factor. The calculation
+            // runs on the (possibly loaded, possibly still computing)
+            // master CPU.
+            let start = now.max(self.master_busy_until);
+            let done = start + cfg.calc_cost * self.cpu_factor(self.cluster.master, now);
+            self.master_busy_until = done;
+            self.push_event(done, EvKind::CalcCentral { group: g });
+        }
+    }
+
+    fn record_local_profile(&mut self, at: usize, g: usize, profile: PerfProfile, now: f64) {
+        let cfg = *self.cfg.as_ref().expect("distributed profile under DLB");
+        let episode = self.groups[g].episode.as_mut().expect("no episode for profile");
+        let mine = episode.local_profiles.entry(at).or_default();
+        mine.insert(profile.proc, profile);
+        if mine.len() == episode.participants.len() {
+            // Replicated calculation on each (loaded) member CPU.
+            let done = now + cfg.calc_cost * self.cpu_factor(at, now);
+            self.push_event(done, EvKind::CalcLocal { group: g, proc: at });
+        }
+    }
+
+    fn decide(&mut self, profiles: &[PerfProfile]) -> BalanceOutcome {
+        let cfg = self.cfg.as_ref().expect("decision under DLB");
+        let net = self.cluster.net;
+        let bpi = self.bytes_per_iter;
+        balance_group(profiles, cfg, |moved| {
+            net.latency() + moved as f64 * bpi as f64 / net.bandwidth
+        })
+    }
+
+    fn record_decision(&mut self, g: usize, outcome: &BalanceOutcome, now: f64) {
+        let episode = self.groups[g].episode.as_mut().expect("episode must exist");
+        if episode.recorded {
+            return;
+        }
+        episode.recorded = true;
+        self.stats.record_verdict(outcome.verdict);
+        if outcome.verdict == BalanceVerdict::Move {
+            self.stats.iters_moved += outcome.moved;
+        }
+        self.sync_times.push(now);
+    }
+
+    fn on_calc_central(&mut self, g: usize, now: f64) {
+        let profiles: Vec<PerfProfile> = self.groups[g]
+            .episode
+            .as_ref()
+            .expect("central calc without episode")
+            .central_profiles
+            .values()
+            .copied()
+            .collect();
+        let outcome = self.decide(&profiles);
+        self.record_decision(g, &outcome, now);
+        let master = self.cluster.master;
+        let participants =
+            self.groups[g].episode.as_ref().unwrap().participants.clone();
+        // Broadcast the outcome ("the load balancer broadcasts the new
+        // distribution information to the processors", Section 3.3);
+        // the master, if a participant, acts locally.
+        for &m in &participants {
+            if m == master {
+                continue;
+            }
+            self.send(
+                master,
+                m,
+                INSTRUCTION_BYTES,
+                Payload::Instruction { group: g, outcome: outcome.clone() },
+                now,
+            );
+        }
+        if participants.contains(&master) {
+            self.act_on_outcome(master, g, &outcome, now);
+        }
+    }
+
+    fn on_calc_local(&mut self, g: usize, proc: usize, now: f64) {
+        let profiles: Vec<PerfProfile> = self.groups[g]
+            .episode
+            .as_ref()
+            .expect("local calc without episode")
+            .local_profiles
+            .get(&proc)
+            .expect("local calc without collected profiles")
+            .values()
+            .copied()
+            .collect();
+        // Every member computes the same deterministic outcome in parallel.
+        let outcome = self.decide(&profiles);
+        self.record_decision(g, &outcome, now);
+        self.act_on_outcome(proc, g, &outcome, now);
+    }
+
+    fn act_on_outcome(&mut self, m: usize, g: usize, outcome: &BalanceOutcome, now: f64) {
+        {
+            let episode = self.groups[g].episode.as_mut().expect("act without episode");
+            debug_assert!(episode.participants.contains(&m), "actor must participate");
+            episode.acted.insert(m);
+        }
+
+        // Ship what we owe.
+        for t in outcome.transfers.iter().filter(|t| t.from == m) {
+            let ranges = self.queues[m].take_back(t.iters);
+            assert_eq!(
+                ranges_len(&ranges),
+                t.iters,
+                "donor {m} cannot cover the planned transfer"
+            );
+            let bytes = WORK_HEADER_BYTES + (t.iters * self.bytes_per_iter) as usize;
+            self.send(m, t.to, bytes, Payload::Work { group: g, ranges }, now);
+        }
+
+        // Wait for what we are owed, crediting any shipments that raced
+        // ahead of our own balancer calculation.
+        let mut expect: u64 =
+            outcome.transfers.iter().filter(|t| t.to == m).map(|t| t.iters).sum();
+        let early = std::mem::take(&mut self.early_work[m]);
+        for (grp, ranges) in early {
+            debug_assert_eq!(grp, g, "early work must belong to the current episode");
+            let got = ranges_len(&ranges);
+            for r in ranges {
+                self.queues[m].push_back(r);
+            }
+            expect = expect.saturating_sub(got);
+        }
+        if expect > 0 {
+            self.state[m] = ProcState::WaitWork { expect };
+            self.groups[g]
+                .episode
+                .as_mut()
+                .expect("episode while waiting for work")
+                .waiting_work
+                .insert(m);
+        } else {
+            self.resume(m, now);
+        }
+        self.maybe_close_episode(g, now);
+    }
+
+    fn resume(&mut self, m: usize, now: f64) {
+        self.window_start[m] = now;
+        self.window_iters[m] = 0;
+        if self.queues[m].is_empty() {
+            // "dlb.more_work" turns false: the processor leaves the
+            // computation (Section 5.2).
+            self.deactivate(m, now);
+        } else {
+            self.schedule_next_iter(m, now);
+        }
+    }
+
+    fn maybe_close_episode(&mut self, g: usize, now: f64) {
+        let done = {
+            let Some(e) = self.groups[g].episode.as_ref() else { return };
+            e.acted.len() == e.participants.len() && e.waiting_work.is_empty()
+        };
+        if !done {
+            return;
+        }
+        self.groups[g].episode = None;
+        // A member that drained during the close gets to start the next
+        // episode immediately.
+        while let Some(&p) = self.groups[g].pending_initiators.iter().next() {
+            self.groups[g].pending_initiators.remove(&p);
+            if !self.active[p] || self.state[p] != ProcState::IdlePending {
+                continue;
+            }
+            self.on_out_of_work(p, now);
+            break;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // deliveries
+
+    fn on_deliver(&mut self, to: usize, payload: Payload, now: f64) {
+        match payload {
+            Payload::Interrupt { group } => {
+                if !self.active[to] || self.proc_group[to] != group {
+                    return;
+                }
+                match self.state[to] {
+                    ProcState::Computing => self.interrupted[to] = true,
+                    // Drained while the previous episode was closing and
+                    // queued to initiate the next one — but a peer beat it
+                    // to it: join the peer's episode instead.
+                    ProcState::IdlePending => {
+                        let join = self.groups[group]
+                            .episode
+                            .as_ref()
+                            .is_some_and(|e| !e.profiled.contains(&to));
+                        if join {
+                            self.groups[group].pending_initiators.remove(&to);
+                            self.send_profile(to, now);
+                        }
+                    }
+                    // Already profiled proactively, waiting, or inactive:
+                    // the interrupt is stale.
+                    _ => {}
+                }
+            }
+            Payload::Profile { group, profile } => {
+                let control =
+                    self.cfg.as_ref().expect("profile delivery under DLB").strategy.control();
+                if self.groups[group].episode.is_none() {
+                    return; // stale (episode raced to completion)
+                }
+                match control {
+                    Control::Centralized => self.record_central_profile(group, profile, now),
+                    Control::Distributed => self.record_local_profile(to, group, profile, now),
+                }
+            }
+            Payload::Instruction { group, outcome } => {
+                if self.groups[group].episode.is_some() {
+                    self.act_on_outcome(to, group, &outcome, now);
+                }
+            }
+            Payload::Work { group, ranges } => {
+                let ProcState::WaitWork { expect } = self.state[to] else {
+                    // The donor's replicated balancer decided (and shipped)
+                    // before this receiver finished its own calculation:
+                    // hold the shipment until the receiver acts.
+                    self.early_work[to].push((group, ranges));
+                    return;
+                };
+                let got = ranges_len(&ranges);
+                for r in ranges {
+                    self.queues[to].push_back(r);
+                }
+                let left = expect.saturating_sub(got);
+                if left == 0 {
+                    if let Some(e) = self.groups[group].episode.as_mut() {
+                        e.waiting_work.remove(&to);
+                    }
+                    self.resume(to, now);
+                    self.maybe_close_episode(group, now);
+                } else {
+                    self.state[to] = ProcState::WaitWork { expect: left };
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlb_core::strategy::Strategy;
+    use dlb_core::work::UniformLoop;
+    use now_load::LoadSpec;
+
+    fn uniform(iters: u64, cost: f64) -> UniformLoop {
+        UniformLoop::new(iters, cost, 800)
+    }
+
+    #[test]
+    fn no_dlb_dedicated_cluster_is_exact() {
+        let wl = uniform(100, 0.01);
+        let report = Engine::new(ClusterSpec::dedicated(4), &wl, None).run();
+        // 25 iterations each at 0.01s on unit-speed unloaded processors.
+        assert!((report.total_time - 0.25).abs() < 1e-9, "t = {}", report.total_time);
+        assert_eq!(report.total_iters, 100);
+        assert_eq!(report.stats.syncs, 0);
+    }
+
+    #[test]
+    fn no_dlb_slow_processor_dominates() {
+        let wl = uniform(100, 0.01);
+        let mut cluster = ClusterSpec::dedicated(4);
+        cluster.loads[3] = LoadSpec::Constant { level: 3 }; // 4x slowdown
+        let report = Engine::new(cluster, &wl, None).run();
+        assert!((report.total_time - 1.0).abs() < 1e-9, "t = {}", report.total_time);
+    }
+
+    fn run_strategy(strategy: Strategy, loaded: usize, level: u32) -> RunReport {
+        let wl = uniform(400, 0.01);
+        let mut cluster = ClusterSpec::dedicated(4);
+        cluster.loads[loaded] = LoadSpec::Constant { level };
+        let cfg = StrategyConfig::paper(strategy, 2);
+        Engine::new(cluster, &wl, Some(cfg)).run()
+    }
+
+    #[test]
+    fn all_strategies_complete_all_iterations() {
+        for s in Strategy::ALL {
+            let report = run_strategy(s, 3, 4);
+            assert_eq!(report.total_iters, 400, "{s} lost work");
+            assert!(report.total_time.is_finite());
+        }
+    }
+
+    #[test]
+    fn dlb_beats_no_dlb_under_skewed_load() {
+        let wl = uniform(400, 0.01);
+        let mut cluster = ClusterSpec::dedicated(4);
+        cluster.loads[3] = LoadSpec::Constant { level: 4 }; // 5x slower
+        let no = Engine::new(cluster.clone(), &wl, None).run();
+        for s in [Strategy::Gcdlb, Strategy::Gddlb] {
+            let cfg = StrategyConfig::paper(s, 2);
+            let yes = Engine::new(cluster.clone(), &wl, Some(cfg)).run();
+            assert!(
+                yes.total_time < no.total_time * 0.8,
+                "{s}: {} vs noDLB {}",
+                yes.total_time,
+                no.total_time
+            );
+            assert!(yes.stats.syncs >= 1);
+        }
+    }
+
+    #[test]
+    fn global_schemes_move_work_once_profitable() {
+        let report = run_strategy(Strategy::Gddlb, 3, 4);
+        assert!(report.stats.redistributions >= 1, "stats: {:?}", report.stats);
+        assert!(report.stats.iters_moved > 0);
+        assert!(report.stats.bytes_moved > 0);
+    }
+
+    #[test]
+    fn local_schemes_balance_within_groups_only() {
+        // Load sits on processor 1 (group {0,1}); group {2,3} is clean.
+        let report = run_strategy(Strategy::Lddlb, 1, 4);
+        assert_eq!(report.total_iters, 400);
+        // Work can only have moved between 0 and 1 (groups are K-block).
+        let p = &report.per_proc;
+        assert!(p[0].iters_done + p[1].iters_done == 200, "local groups must conserve work");
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let a = run_strategy(Strategy::Gcdlb, 2, 3);
+        let b = run_strategy(Strategy::Gcdlb, 2, 3);
+        assert_eq!(a.total_time, b.total_time);
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.sync_times, b.sync_times);
+    }
+
+    #[test]
+    fn balanced_dedicated_cluster_syncs_but_moves_nothing() {
+        let wl = uniform(400, 0.01);
+        let cfg = StrategyConfig::paper(Strategy::Gddlb, 2);
+        let report = Engine::new(ClusterSpec::dedicated(4), &wl, Some(cfg)).run();
+        assert_eq!(report.total_iters, 400);
+        // Everyone finishes at once; one sync round at most, no movement.
+        assert_eq!(report.stats.iters_moved, 0);
+    }
+
+    #[test]
+    fn paper_random_load_all_strategies_finish() {
+        let wl = uniform(400, 0.02);
+        let cluster = ClusterSpec::paper_homogeneous(4, 7, 0.5);
+        let no = Engine::new(cluster.clone(), &wl, None).run();
+        assert_eq!(no.total_iters, 400);
+        for s in Strategy::ALL {
+            let cfg = StrategyConfig::paper(s, 2);
+            let r = Engine::new(cluster.clone(), &wl, Some(cfg)).run();
+            assert_eq!(r.total_iters, 400, "{s}");
+            assert!(r.total_time > 0.0 && r.total_time.is_finite());
+        }
+    }
+
+    #[test]
+    fn more_processors_than_iterations() {
+        let wl = uniform(3, 0.01);
+        let report = Engine::new(ClusterSpec::dedicated(8), &wl, None).run();
+        assert_eq!(report.total_iters, 3);
+    }
+
+    #[test]
+    fn single_processor_runs_serially() {
+        let wl = uniform(50, 0.01);
+        let cfg = StrategyConfig::paper(Strategy::Gcdlb, 1);
+        let report = Engine::new(ClusterSpec::dedicated(1), &wl, Some(cfg)).run();
+        assert_eq!(report.total_iters, 50);
+        assert!((report.total_time - 0.5).abs() < 1e-9);
+        assert_eq!(report.stats.syncs, 0, "nobody to balance with");
+    }
+
+    #[test]
+    fn heterogeneous_speeds_balance_toward_fast_processor() {
+        let wl = uniform(600, 0.01);
+        let cluster = ClusterSpec::heterogeneous(vec![4.0, 1.0]);
+        let cfg = StrategyConfig::paper(Strategy::Gddlb, 2);
+        let report = Engine::new(cluster, &wl, Some(cfg)).run();
+        assert_eq!(report.total_iters, 600);
+        assert!(
+            report.per_proc[0].iters_done > report.per_proc[1].iters_done * 2,
+            "fast processor should do the bulk: {:?}",
+            report.per_proc
+        );
+    }
+}

@@ -1,0 +1,117 @@
+//! Run reports: what one simulated execution produced.
+
+use dlb_core::{DlbStats, Strategy};
+use serde::{Deserialize, Serialize};
+
+/// Per-processor summary of a run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProcSummary {
+    /// Iterations this processor executed.
+    pub iters_done: u64,
+    /// Time it finished its last activity (compute or send).
+    pub finished_at: f64,
+    /// Base-processor seconds of work it executed.
+    pub work_done: f64,
+}
+
+/// Outcome of one simulated execution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Strategy used; `None` for the no-DLB baseline.
+    pub strategy: Option<Strategy>,
+    /// Total execution time (makespan), simulated seconds.
+    pub total_time: f64,
+    /// DLB statistics (all zero for no-DLB).
+    pub stats: DlbStats,
+    /// Per-processor summaries.
+    pub per_proc: Vec<ProcSummary>,
+    /// Times of each synchronization decision.
+    pub sync_times: Vec<f64>,
+    /// Total iterations executed (must equal the workload's count).
+    pub total_iters: u64,
+}
+
+impl RunReport {
+    /// Execution time normalized to a baseline (the paper's figures plot
+    /// time normalized to the no-DLB run of the same configuration).
+    pub fn normalized_to(&self, baseline: &RunReport) -> f64 {
+        assert!(baseline.total_time > 0.0, "baseline must have positive time");
+        self.total_time / baseline.total_time
+    }
+
+    /// Label for tables: strategy abbreviation or "noDLB".
+    pub fn label(&self) -> &'static str {
+        self.strategy.map_or("noDLB", |s| s.abbrev())
+    }
+}
+
+/// Rank strategies best-first by total time (ties broken by the paper's
+/// reporting order GC, GD, LC, LD).
+pub fn rank_strategies(reports: &[RunReport]) -> Vec<Strategy> {
+    let mut with: Vec<(Strategy, f64)> = reports
+        .iter()
+        .filter_map(|r| r.strategy.map(|s| (s, r.total_time)))
+        .collect();
+    with.sort_by(|a, b| {
+        a.1.total_cmp(&b.1).then_with(|| {
+            let pos = |s: Strategy| Strategy::ALL.iter().position(|&x| x == s).unwrap();
+            pos(a.0).cmp(&pos(b.0))
+        })
+    });
+    with.into_iter().map(|(s, _)| s).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rep(strategy: Option<Strategy>, t: f64) -> RunReport {
+        RunReport {
+            strategy,
+            total_time: t,
+            stats: DlbStats::default(),
+            per_proc: vec![],
+            sync_times: vec![],
+            total_iters: 0,
+        }
+    }
+
+    #[test]
+    fn normalization() {
+        let base = rep(None, 10.0);
+        let run = rep(Some(Strategy::Gddlb), 4.0);
+        assert!((run.normalized_to(&base) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(rep(None, 1.0).label(), "noDLB");
+        assert_eq!(rep(Some(Strategy::Lcdlb), 1.0).label(), "LC");
+    }
+
+    #[test]
+    fn ranking_sorts_by_time() {
+        let reports = vec![
+            rep(Some(Strategy::Gcdlb), 3.0),
+            rep(Some(Strategy::Gddlb), 1.0),
+            rep(Some(Strategy::Lcdlb), 4.0),
+            rep(Some(Strategy::Lddlb), 2.0),
+            rep(None, 9.0),
+        ];
+        let order = rank_strategies(&reports);
+        assert_eq!(
+            order,
+            vec![Strategy::Gddlb, Strategy::Lddlb, Strategy::Gcdlb, Strategy::Lcdlb]
+        );
+    }
+
+    #[test]
+    fn ranking_tie_breaks_in_paper_order() {
+        let reports = vec![
+            rep(Some(Strategy::Lddlb), 1.0),
+            rep(Some(Strategy::Gcdlb), 1.0),
+        ];
+        let order = rank_strategies(&reports);
+        assert_eq!(order, vec![Strategy::Gcdlb, Strategy::Lddlb]);
+    }
+}

@@ -1,0 +1,141 @@
+//! High-level experiment drivers.
+
+use crate::cluster::ClusterSpec;
+use crate::engine::Engine;
+use crate::report::{rank_strategies, RunReport};
+use dlb_core::strategy::{Strategy, StrategyConfig};
+use dlb_core::work::LoopWorkload;
+use serde::{Deserialize, Serialize};
+
+/// Run one workload under a DLB strategy.
+pub fn run_dlb(
+    cluster: &ClusterSpec,
+    workload: &dyn LoopWorkload,
+    cfg: StrategyConfig,
+) -> RunReport {
+    Engine::new(cluster.clone(), workload, Some(cfg)).run()
+}
+
+/// Run the no-DLB baseline: static equal blocks, run to completion under
+/// the external load.
+pub fn run_no_dlb(cluster: &ClusterSpec, workload: &dyn LoopWorkload) -> RunReport {
+    Engine::new(cluster.clone(), workload, None).run()
+}
+
+/// Ablation A1.3: run with *periodic* synchronization every `dt` seconds
+/// in addition to the receiver-initiated interrupts.
+pub fn run_dlb_periodic(
+    cluster: &ClusterSpec,
+    workload: &dyn LoopWorkload,
+    cfg: StrategyConfig,
+    dt: f64,
+) -> RunReport {
+    Engine::new(cluster.clone(), workload, Some(cfg)).with_periodic_sync(dt).run()
+}
+
+/// The five bars of one figure group: noDLB plus the four strategies.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StrategySweep {
+    pub no_dlb: RunReport,
+    pub strategies: Vec<RunReport>,
+}
+
+impl StrategySweep {
+    /// `(label, normalized time)` rows exactly as the paper's figures plot
+    /// them (normalized to the no-DLB run).
+    pub fn normalized_rows(&self) -> Vec<(&'static str, f64)> {
+        let mut rows = vec![("noDLB", 1.0)];
+        rows.extend(
+            self.strategies.iter().map(|r| (r.label(), r.normalized_to(&self.no_dlb))),
+        );
+        rows
+    }
+
+    /// Strategies ranked best-first by measured time — the "Actual" columns
+    /// of Tables 1 and 2.
+    pub fn actual_order(&self) -> Vec<Strategy> {
+        rank_strategies(&self.strategies)
+    }
+
+    /// Report for one strategy.
+    pub fn report_for(&self, s: Strategy) -> &RunReport {
+        self.strategies
+            .iter()
+            .find(|r| r.strategy == Some(s))
+            .expect("sweep contains every strategy")
+    }
+}
+
+/// Run noDLB + all four strategies on the same cluster and workload, with
+/// `group_size` for the local schemes.
+pub fn run_all_strategies(
+    cluster: &ClusterSpec,
+    workload: &dyn LoopWorkload,
+    group_size: usize,
+) -> StrategySweep {
+    let no_dlb = run_no_dlb(cluster, workload);
+    let strategies = Strategy::ALL
+        .iter()
+        .map(|&s| run_dlb(cluster, workload, StrategyConfig::paper(s, group_size)))
+        .collect();
+    StrategySweep { no_dlb, strategies }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlb_core::work::UniformLoop;
+
+    #[test]
+    fn sweep_contains_all_five_runs() {
+        let wl = UniformLoop::new(200, 0.01, 800);
+        let cluster = ClusterSpec::paper_homogeneous(4, 3, 0.5);
+        let sweep = run_all_strategies(&cluster, &wl, 2);
+        assert_eq!(sweep.strategies.len(), 4);
+        let rows = sweep.normalized_rows();
+        assert_eq!(rows.len(), 5);
+        assert_eq!(rows[0], ("noDLB", 1.0));
+        for (label, t) in &rows[1..] {
+            assert!(*t > 0.0, "{label} must have positive normalized time");
+        }
+    }
+
+    #[test]
+    fn actual_order_lists_all_four() {
+        let wl = UniformLoop::new(200, 0.01, 800);
+        let cluster = ClusterSpec::paper_homogeneous(4, 3, 0.5);
+        let sweep = run_all_strategies(&cluster, &wl, 2);
+        let order = sweep.actual_order();
+        assert_eq!(order.len(), 4);
+        let mut sorted = order.clone();
+        sorted.sort_by_key(|s| s.abbrev());
+        sorted.dedup();
+        assert_eq!(sorted.len(), 4, "no duplicates");
+    }
+
+    #[test]
+    fn periodic_sync_completes_and_syncs_more() {
+        use now_load::LoadSpec;
+        let wl = UniformLoop::new(400, 0.01, 800);
+        let mut cluster = ClusterSpec::dedicated(4);
+        cluster.loads[2] = LoadSpec::Constant { level: 3 };
+        let cfg = StrategyConfig::paper(Strategy::Gddlb, 2);
+        let interrupt = run_dlb(&cluster, &wl, cfg);
+        let periodic = run_dlb_periodic(&cluster, &wl, cfg, 0.2);
+        assert_eq!(periodic.total_iters, 400);
+        assert!(
+            periodic.stats.syncs > interrupt.stats.syncs,
+            "periodic {} vs interrupt {}",
+            periodic.stats.syncs,
+            interrupt.stats.syncs
+        );
+    }
+
+    #[test]
+    fn report_for_finds_strategy() {
+        let wl = UniformLoop::new(100, 0.01, 8);
+        let cluster = ClusterSpec::dedicated(4);
+        let sweep = run_all_strategies(&cluster, &wl, 2);
+        assert_eq!(sweep.report_for(Strategy::Lddlb).strategy, Some(Strategy::Lddlb));
+    }
+}

@@ -1,0 +1,48 @@
+//! Quickstart: balance a parallel loop on a simulated network of
+//! workstations with all four strategies, and let the model pick one.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use customized_dlb::prelude::*;
+
+fn main() {
+    // A 4-workstation NOW: homogeneous SPARC-class machines, shared
+    // Ethernet, and the paper's discrete random external load (m_l = 5,
+    // persistence 2 s).
+    let cluster = ClusterSpec::paper_homogeneous(4, 42, 2.0);
+
+    // A uniform parallel loop: 400 iterations of 10 ms (base-processor
+    // time) that each drag 3.2 kB of array data when they migrate.
+    let work = UniformLoop::new(400, 0.01, 3200);
+
+    println!("== simulated execution (noDLB + the four strategies) ==");
+    let sweep = run_all_strategies(&cluster, &work, 2);
+    for (label, report) in std::iter::once(("noDLB", &sweep.no_dlb))
+        .chain(sweep.strategies.iter().map(|r| (r.label(), r)))
+    {
+        println!(
+            "  {label:>5}: {:6.2}s  (syncs {:<3} moved {})",
+            report.total_time, report.stats.syncs, report.stats.iters_moved,
+        );
+    }
+    println!("  measured best: {}", sweep.actual_order()[0]);
+
+    println!("\n== the model's hybrid decision (Section 4.3) ==");
+    let system = SystemModel::from_specs(
+        cluster.speeds.clone(),
+        &cluster.loads,
+        cluster.net,
+    );
+    let decision = choose_strategy(&system, &work, 2);
+    for p in &decision.predictions {
+        println!(
+            "  {:>5}: predicted {:6.2}s (normalized {:.3})",
+            p.strategy.abbrev(),
+            p.total_time,
+            p.total_time / decision.no_dlb_time
+        );
+    }
+    println!("  committed strategy: {}", decision.chosen);
+}

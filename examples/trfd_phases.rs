@@ -1,0 +1,57 @@
+//! TRFD: different phases of the same application prefer different
+//! strategies — the core motivation for *customized* load balancing.
+//!
+//! TRFD's two loop nests are balanced independently (the paper's Table 2
+//! reports them separately): loop 1 is uniform, loop 2 is triangular and
+//! runs after a bitonic folding. This example runs both loops under every
+//! strategy on the simulated NOW and shows per-phase winners.
+//!
+//! ```sh
+//! cargo run --release --example trfd_phases
+//! ```
+
+use customized_dlb::prelude::*;
+
+fn main() {
+    let cfg = TrfdConfig::new(40);
+    println!(
+        "TRFD {} on a 16-workstation NOW (two groups of 8 for the local schemes)\n",
+        cfg.label()
+    );
+    let loop1 = cfg.loop1_workload();
+    let loop2 = cfg.loop2_workload();
+    println!(
+        "loop 1: {} uniform iterations of {:.2} ms",
+        loop1.iterations(),
+        loop1.iter_cost(0) * 1e3
+    );
+    println!(
+        "loop 2: triangular, bitonic-folded to {} iterations of ~{:.2} ms\n",
+        loop2.iterations(),
+        loop2.iter_cost(0) * 1e3
+    );
+
+    let cluster = ClusterSpec::paper_homogeneous(16, 1996, 1.5);
+    let s1 = run_all_strategies(&cluster, &loop1, 8);
+    let s2 = run_all_strategies(&cluster, &loop2, 8);
+
+    println!("{:>7}  {:>10}  {:>10}", "", "loop 1", "loop 2");
+    println!("{:>7}  {:>10.3}  {:>10.3}", "noDLB", 1.0, 1.0);
+    for s in Strategy::ALL {
+        println!(
+            "{:>7}  {:>10.3}  {:>10.3}",
+            s.abbrev(),
+            s1.report_for(s).normalized_to(&s1.no_dlb),
+            s2.report_for(s).normalized_to(&s2.no_dlb),
+        );
+    }
+    let b1 = s1.actual_order()[0];
+    let b2 = s2.actual_order()[0];
+    println!("\nbest for loop 1: {b1}; best for loop 2: {b2}");
+    if b1 != b2 {
+        println!("different phases want different strategies — customize per loop!");
+    } else {
+        println!("this load draw favors {b1} for both phases; other draws differ");
+        println!("(run Table 2 — `cargo run -p dlb-bench --bin table2_trfd_order`).");
+    }
+}

@@ -1,0 +1,66 @@
+//! # customized-dlb
+//!
+//! A full reproduction of **"Customized Dynamic Load Balancing for a
+//! Network of Workstations"** (Zaki, Li & Parthasarathy, HPDC'96 /
+//! Rochester TR 602): four interrupt-based, receiver-initiated dynamic
+//! load balancing strategies (global/local × centralized/distributed), an
+//! analytic cost model that *selects* the best strategy per loop, a
+//! mini-compiler that turns annotated sequential loop nests into SPMD
+//! plans with DLB calls, and the substrates needed to evaluate all of it:
+//! a discrete-event NOW simulator, a parametric Ethernet model, the
+//! paper's discrete random external-load generator, and a PVM-flavoured
+//! threaded message-passing runtime.
+//!
+//! ## Crate map
+//!
+//! | module | crate | role |
+//! |---|---|---|
+//! | [`core`](dlb_core) | `dlb-core` | the four strategies, balancer decision logic, protocol planning |
+//! | [`model`](dlb_model) | `dlb-model` | Section-4 recurrences + hybrid decision process |
+//! | [`compile`](dlb_compile) | `dlb-compile` | annotated loop-nest language → SPMD plan + Fig-3 pseudo-code |
+//! | [`apps`](dlb_apps) | `dlb-apps` | MXM and TRFD workloads (models + real kernels) |
+//! | [`sim`](now_sim) | `now-sim` | discrete-event network-of-workstations simulator |
+//! | [`net`](now_net) | `now-net` | medium model, pattern costs, polyfit characterization |
+//! | [`load`](now_load) | `now-load` | external load functions and effective-speed math |
+//! | [`pvm`](pvm_rt) | `pvm-rt` | threaded PVM-style runtime + real-data DLB executor |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use customized_dlb::prelude::*;
+//!
+//! // A 4-workstation NOW with the paper's random external load.
+//! let cluster = ClusterSpec::paper_homogeneous(4, 42, 2.0);
+//! // A uniform parallel loop: 200 iterations, 10 ms each, 800 B/iter.
+//! let work = UniformLoop::new(200, 0.01, 800);
+//! // Run noDLB + all four strategies and pick the winner.
+//! let sweep = run_all_strategies(&cluster, &work, 2);
+//! let best = sweep.actual_order()[0];
+//! println!("best strategy: {best}");
+//! # assert_eq!(sweep.no_dlb.total_iters, 200);
+//! ```
+
+pub use dlb_apps as apps;
+pub use dlb_compile as compile;
+pub use dlb_core as core;
+pub use dlb_model as model;
+pub use now_load as load;
+pub use now_net as net;
+pub use now_sim as sim;
+pub use pvm_rt as pvm;
+
+/// Everything most programs need.
+pub mod prelude {
+    pub use dlb_apps::{MxmConfig, MxmData, TrfdConfig, TrfdData};
+    pub use dlb_compile::{compile, compile_and_bind};
+    pub use dlb_core::{
+        CostFnLoop, FoldedLoop, LoopWorkload, Strategy, StrategyConfig, UniformLoop,
+    };
+    pub use dlb_model::{choose_strategy, predict, predict_all, SystemModel};
+    pub use now_load::{DiscreteRandomLoad, LoadFunction, LoadSpec};
+    pub use now_net::NetworkParams;
+    pub use now_sim::{
+        run_all_strategies, run_dlb, run_dlb_periodic, run_no_dlb, ClusterSpec, RunReport,
+    };
+    pub use pvm_rt::{run_loop, RowKernel};
+}

@@ -1,0 +1,124 @@
+//! Statistical validation of the analytic model against the simulator:
+//! beyond per-cell orderings (Tables 1–2), the predicted normalized times
+//! should *correlate* with the measured ones across many load draws, and
+//! the hybrid decision should pick a near-optimal strategy on average.
+
+use customized_dlb::prelude::*;
+
+fn paper_cluster(p: usize, seed: u64) -> ClusterSpec {
+    ClusterSpec::paper_homogeneous(p, seed, 1.0)
+}
+
+fn system_of(cluster: &ClusterSpec) -> SystemModel {
+    SystemModel::from_specs(cluster.speeds.clone(), &cluster.loads, cluster.net)
+}
+
+/// Pearson correlation coefficient.
+fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len());
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let cov: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    let vx: f64 = xs.iter().map(|x| (x - mx).powi(2)).sum();
+    let vy: f64 = ys.iter().map(|y| (y - my).powi(2)).sum();
+    cov / (vx.sqrt() * vy.sqrt()).max(1e-12)
+}
+
+#[test]
+fn predicted_times_correlate_with_simulated_times() {
+    let wl = UniformLoop::new(400, 0.008, 1024);
+    let mut predicted = Vec::new();
+    let mut actual = Vec::new();
+    for seed in 0..6u64 {
+        let cluster = paper_cluster(4, 1000 + seed);
+        let system = system_of(&cluster);
+        for s in Strategy::ALL {
+            let sim = run_dlb(&cluster, &wl, StrategyConfig::paper(s, 2));
+            let model = predict(&system, &wl, s, 2);
+            actual.push(sim.total_time);
+            predicted.push(model.total_time);
+        }
+    }
+    let r = pearson(&predicted, &actual);
+    assert!(r > 0.8, "model/sim correlation too weak: r = {r}");
+}
+
+#[test]
+fn model_absolute_times_within_a_factor_of_two() {
+    let wl = UniformLoop::new(400, 0.008, 1024);
+    for seed in 0..5u64 {
+        let cluster = paper_cluster(4, 2000 + seed);
+        let system = system_of(&cluster);
+        for s in Strategy::ALL {
+            let sim = run_dlb(&cluster, &wl, StrategyConfig::paper(s, 2)).total_time;
+            let model = predict(&system, &wl, s, 2).total_time;
+            let ratio = model / sim;
+            assert!(
+                (0.5..2.0).contains(&ratio),
+                "seed {seed} {s}: model {model:.2}s vs sim {sim:.2}s"
+            );
+        }
+    }
+}
+
+#[test]
+fn hybrid_decision_picks_near_optimal_strategy() {
+    // The committed strategy's measured time should on average sit within
+    // a few percent of the measured optimum — the paper's whole point:
+    // customization without running all four.
+    let wl = UniformLoop::new(400, 0.008, 1024);
+    let mut regret = 0.0;
+    let n = 6u64;
+    for seed in 0..n {
+        let cluster = paper_cluster(4, 3000 + seed);
+        let system = system_of(&cluster);
+        let decision = choose_strategy(&system, &wl, 2);
+        let sweep = run_all_strategies(&cluster, &wl, 2);
+        let chosen_t = sweep.report_for(decision.chosen).total_time;
+        let best_t = sweep.report_for(sweep.actual_order()[0]).total_time;
+        regret += chosen_t / best_t - 1.0;
+    }
+    let mean_regret = regret / n as f64;
+    assert!(
+        mean_regret < 0.08,
+        "customization regret too high: {:.1}% above the per-draw optimum",
+        mean_regret * 100.0
+    );
+}
+
+#[test]
+fn model_predicts_no_dlb_accurately_under_random_load() {
+    let wl = UniformLoop::new(400, 0.008, 1024);
+    for seed in 0..5u64 {
+        let cluster = paper_cluster(8, 4000 + seed);
+        let system = system_of(&cluster);
+        let sim = run_no_dlb(&cluster, &wl).total_time;
+        let model = customized_dlb::model::predict_no_dlb(&system, &wl);
+        // The noDLB path has no protocol approximations: tight bound.
+        let rel = (sim - model).abs() / sim;
+        assert!(rel < 0.02, "seed {seed}: sim {sim} vs model {model}");
+    }
+}
+
+#[test]
+fn task_queue_baselines_lose_to_dlb_on_the_now() {
+    use customized_dlb::core::loopsched::ChunkScheme;
+    let wl = UniformLoop::new(400, 0.008, 1024);
+    let mut dlb_sum = 0.0;
+    let mut queue_sum = 0.0;
+    for seed in 0..4u64 {
+        let cluster = paper_cluster(4, 5000 + seed);
+        let no = run_no_dlb(&cluster, &wl).total_time;
+        dlb_sum += run_dlb(&cluster, &wl, StrategyConfig::paper(Strategy::Gddlb, 2))
+            .total_time
+            / no;
+        queue_sum +=
+            customized_dlb::sim::run_task_queue(&cluster, &wl, ChunkScheme::Guided).total_time
+                / no;
+    }
+    assert!(
+        dlb_sum < queue_sum,
+        "DLB ({dlb_sum:.2}) must beat the central task queue ({queue_sum:.2}) on a NOW"
+    );
+}

@@ -1,0 +1,166 @@
+//! Protocol-level invariants of the simulated DLB runtime, checked across
+//! a grid of seeds, strategies and cluster shapes.
+
+use customized_dlb::prelude::*;
+
+fn paper_cluster(p: usize, seed: u64) -> ClusterSpec {
+    ClusterSpec::paper_homogeneous(p, seed, 0.4)
+}
+
+/// Work conservation: every strategy completes exactly the loop's
+/// iterations, for many load draws and both processor counts.
+#[test]
+fn work_is_conserved_across_seeds_and_strategies() {
+    for &p in &[4usize, 16] {
+        let wl = UniformLoop::new(50 * p as u64, 0.004, 512);
+        for seed in 0..8u64 {
+            let cluster = paper_cluster(p, seed);
+            for s in Strategy::ALL {
+                let cfg = StrategyConfig::paper(s, p / 2);
+                let r = run_dlb(&cluster, &wl, cfg);
+                assert_eq!(
+                    r.total_iters,
+                    wl.iterations(),
+                    "p={p} seed={seed} {s}: lost work"
+                );
+                assert!(r.total_time.is_finite() && r.total_time > 0.0);
+            }
+        }
+    }
+}
+
+/// Determinism: identical configurations produce bit-identical reports.
+#[test]
+fn runs_are_deterministic() {
+    let wl = UniformLoop::new(200, 0.005, 256);
+    let cluster = paper_cluster(4, 99);
+    for s in Strategy::ALL {
+        let cfg = StrategyConfig::paper(s, 2);
+        let a = run_dlb(&cluster, &wl, cfg);
+        let b = run_dlb(&cluster, &wl, cfg);
+        assert_eq!(a, b, "{s} is nondeterministic");
+    }
+}
+
+/// Stats consistency: counters line up with each other.
+#[test]
+fn stats_are_internally_consistent() {
+    let wl = UniformLoop::new(400, 0.005, 1024);
+    for seed in 0..6u64 {
+        let cluster = paper_cluster(4, seed);
+        for s in Strategy::ALL {
+            let r = run_dlb(&cluster, &wl, StrategyConfig::paper(s, 2));
+            let st = &r.stats;
+            // Every decided episode carries exactly one verdict; `Finished`
+            // episodes are the only ones not counted by the three verdict
+            // counters.
+            let decided = st.redistributions + st.unprofitable + st.below_threshold;
+            assert!(decided <= st.syncs, "seed {seed} {s}: {st:?}");
+            assert_eq!(
+                st.syncs,
+                r.sync_times.len() as u64,
+                "seed {seed} {s}: one decision per episode"
+            );
+            if st.redistributions == 0 {
+                assert_eq!(st.iters_moved, 0);
+                assert_eq!(st.transfer_messages, 0);
+            }
+            if st.iters_moved > 0 {
+                assert!(st.bytes_moved >= st.iters_moved * wl.bytes_per_iter());
+            }
+        }
+    }
+}
+
+/// Under a single persistent straggler, every strategy must help (or at
+/// least not hurt) a compute-heavy loop, and globals must fully equalize.
+#[test]
+fn persistent_straggler_is_absorbed() {
+    let wl = UniformLoop::new(800, 0.01, 512);
+    let mut cluster = ClusterSpec::dedicated(4);
+    cluster.loads[1] = LoadSpec::Constant { level: 5 };
+    let no = run_no_dlb(&cluster, &wl);
+    for s in Strategy::ALL {
+        let r = run_dlb(&cluster, &wl, StrategyConfig::paper(s, 2));
+        assert!(
+            r.total_time < no.total_time,
+            "{s}: {} !< {}",
+            r.total_time,
+            no.total_time
+        );
+    }
+    let gd = run_dlb(&cluster, &wl, StrategyConfig::paper(Strategy::Gddlb, 2));
+    // The straggler runs at 1/6 speed; after balancing it should hold
+    // roughly total/ (3 + 1/6) ≈ 6.3% of the iterations.
+    let frac = gd.per_proc_iters_fraction(1);
+    assert!(frac < 0.15, "straggler still holds {frac} of the work");
+}
+
+trait FractionExt {
+    fn per_proc_iters_fraction(&self, proc: usize) -> f64;
+}
+
+impl FractionExt for RunReport {
+    fn per_proc_iters_fraction(&self, proc: usize) -> f64 {
+        self.per_proc[proc].iters_done as f64 / self.total_iters as f64
+    }
+}
+
+/// The local schemes never move work across group boundaries.
+#[test]
+fn local_schemes_respect_group_boundaries() {
+    let wl = UniformLoop::new(320, 0.005, 256);
+    for seed in 0..6u64 {
+        let mut cluster = paper_cluster(8, seed);
+        cluster.loads[5] = LoadSpec::Constant { level: 5 };
+        for s in [Strategy::Lcdlb, Strategy::Lddlb] {
+            let r = run_dlb(&cluster, &wl, StrategyConfig::paper(s, 4));
+            // Groups {0..4} and {4..8} each own exactly half.
+            let first: u64 = (0..4).map(|i| r.per_proc[i].iters_done).sum();
+            assert_eq!(first, 160, "seed {seed} {s}: cross-group movement detected");
+        }
+    }
+}
+
+/// Sync times are strictly ordered and within the run.
+#[test]
+fn sync_times_are_ordered() {
+    let wl = UniformLoop::new(400, 0.005, 1024);
+    let cluster = paper_cluster(4, 3);
+    for s in Strategy::ALL {
+        let r = run_dlb(&cluster, &wl, StrategyConfig::paper(s, 2));
+        for w in r.sync_times.windows(2) {
+            assert!(w[0] <= w[1], "{s}: sync times out of order");
+        }
+        if let Some(&last) = r.sync_times.last() {
+            assert!(last <= r.total_time + 1e-9);
+        }
+    }
+}
+
+/// Heterogeneous speeds without load: the distribution converges toward
+/// speed-proportional shares.
+#[test]
+fn heterogeneous_speeds_converge_to_proportional_shares() {
+    let wl = UniformLoop::new(1000, 0.002, 128);
+    let cluster = ClusterSpec::heterogeneous(vec![1.0, 2.0, 3.0, 4.0]);
+    let r = run_dlb(&cluster, &wl, StrategyConfig::paper(Strategy::Gddlb, 2));
+    assert_eq!(r.total_iters, 1000);
+    // The fastest processor should execute at least 2.5x the slowest's
+    // share (ideal ratio is 4).
+    let slow = r.per_proc[0].iters_done as f64;
+    let fast = r.per_proc[3].iters_done as f64;
+    assert!(fast / slow > 2.5, "fast/slow = {}", fast / slow);
+}
+
+/// A periodic trigger never loses work either and syncs at least as often.
+#[test]
+fn periodic_trigger_conserves_work() {
+    let wl = UniformLoop::new(300, 0.005, 256);
+    let cluster = paper_cluster(4, 11);
+    let cfg = StrategyConfig::paper(Strategy::Gcdlb, 2);
+    let base = run_dlb(&cluster, &wl, cfg);
+    let per = run_dlb_periodic(&cluster, &wl, cfg, 0.1);
+    assert_eq!(per.total_iters, 300);
+    assert!(per.stats.syncs >= base.stats.syncs);
+}
