@@ -16,7 +16,10 @@ pub const BASE_OPS_PER_SEC: f64 = 5.0e6;
 
 /// Convert a basic-operation count into base-processor seconds.
 pub fn ops_to_seconds(ops: f64) -> f64 {
-    assert!(ops >= 0.0 && ops.is_finite(), "operation count must be non-negative");
+    assert!(
+        ops >= 0.0 && ops.is_finite(),
+        "operation count must be non-negative"
+    );
     ops / BASE_OPS_PER_SEC
 }
 

@@ -28,7 +28,10 @@ pub struct MxmConfig {
 
 impl MxmConfig {
     pub fn new(r: u64, c: u64, r2: u64) -> Self {
-        assert!(r > 0 && c > 0 && r2 > 0, "matrix dimensions must be positive");
+        assert!(
+            r > 0 && c > 0 && r2 > 0,
+            "matrix dimensions must be positive"
+        );
         Self { r, c, r2 }
     }
 
@@ -140,7 +143,9 @@ impl MxmData {
     /// entries of `Z`, plus an index-weighted component to catch row
     /// permutation bugs).
     pub fn sequential_checksum(&self) -> f64 {
-        (0..self.cfg.r).map(|i| Self::row_checksum(i, &self.compute_row(i))).sum()
+        (0..self.cfg.r)
+            .map(|i| Self::row_checksum(i, &self.compute_row(i)))
+            .sum()
     }
 
     /// Checksum contribution of row `i` with contents `z` — sum over rows
@@ -206,9 +211,13 @@ mod tests {
     #[test]
     fn checksum_is_order_independent() {
         let data = MxmData::new(MxmConfig::new(16, 8, 8));
-        let forward: f64 = (0..16).map(|i| MxmData::row_checksum(i, &data.compute_row(i))).sum();
-        let backward: f64 =
-            (0..16).rev().map(|i| MxmData::row_checksum(i, &data.compute_row(i))).sum();
+        let forward: f64 = (0..16)
+            .map(|i| MxmData::row_checksum(i, &data.compute_row(i)))
+            .sum();
+        let backward: f64 = (0..16)
+            .rev()
+            .map(|i| MxmData::row_checksum(i, &data.compute_row(i)))
+            .sum();
         assert!((forward - backward).abs() < 1e-9);
         assert!((forward - data.sequential_checksum()).abs() < 1e-9);
     }
@@ -227,7 +236,10 @@ mod tests {
             };
             swapped += MxmData::row_checksum(i, &data.compute_row(src));
         }
-        assert!((honest - swapped).abs() > 1e-9, "checksum must be index-sensitive");
+        assert!(
+            (honest - swapped).abs() > 1e-9,
+            "checksum must be index-sensitive"
+        );
     }
 
     #[test]

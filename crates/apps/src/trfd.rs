@@ -38,7 +38,11 @@ impl TrfdConfig {
     /// The paper's input sizes with their array dimensions
     /// (30 → 465, 40 → 820, 50 → 1275).
     pub fn paper_configs() -> Vec<TrfdConfig> {
-        vec![TrfdConfig::new(30), TrfdConfig::new(40), TrfdConfig::new(50)]
+        vec![
+            TrfdConfig::new(30),
+            TrfdConfig::new(40),
+            TrfdConfig::new(50),
+        ]
     }
 
     /// `n(n+1)/2` — the array dimension and loop-1 iteration count.
@@ -65,7 +69,11 @@ impl TrfdConfig {
         let j1 = (j + 1) as f64; // the paper's 1-based j
         let i = (1.0 + (8.0 * j1 - 7.0).sqrt()) / 2.0;
         let w = n * n * n + 3.0 * n * n + n * (1.0 + i / 2.0 - i * i / 2.0) + (i - i * i);
-        assert!(w > 0.0, "loop-2 work must stay positive (n={}, j={j})", self.n);
+        assert!(
+            w > 0.0,
+            "loop-2 work must stay positive (n={}, j={j})",
+            self.n
+        );
         w
     }
 

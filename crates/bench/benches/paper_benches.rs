@@ -28,7 +28,12 @@ fn bench_fig4_characterization(c: &mut Criterion) {
     });
     g.bench_function("measure_aa_p16", |b| {
         b.iter(|| {
-            measure_pattern(NetworkParams::paper_ethernet(), Pattern::AllToAll, black_box(16), 64)
+            measure_pattern(
+                NetworkParams::paper_ethernet(),
+                Pattern::AllToAll,
+                black_box(16),
+                64,
+            )
         })
     });
     g.finish();
@@ -112,7 +117,9 @@ fn bench_engine(c: &mut Criterion) {
     let mut g = c.benchmark_group("engine");
     let wl = UniformLoop::new(1000, 0.001, 256);
     let cluster = ClusterSpec::paper_homogeneous(8, 7, 0.1);
-    g.bench_function("no_dlb_1000_iters", |b| b.iter(|| run_no_dlb(&cluster, &wl)));
+    g.bench_function("no_dlb_1000_iters", |b| {
+        b.iter(|| run_no_dlb(&cluster, &wl))
+    });
     g.bench_function("gddlb_1000_iters", |b| {
         b.iter(|| run_dlb(&cluster, &wl, StrategyConfig::paper(Strategy::Gddlb, 4)))
     });
@@ -175,5 +182,11 @@ criterion_group!(
     bench_table2_order,
     bench_ablations,
 );
-criterion_group!(micro, bench_engine, bench_balancer, bench_model, bench_polyfit);
+criterion_group!(
+    micro,
+    bench_engine,
+    bench_balancer,
+    bench_model,
+    bench_polyfit
+);
 criterion_main!(paper, micro);

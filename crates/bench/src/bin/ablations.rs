@@ -45,7 +45,10 @@ fn main() {
     let cfg_mxm = MxmConfig::new(400, 400, 400);
     let wl = cfg_mxm.workload();
     let tl = persistence_for(&wl);
-    println!("Ablations — MXM {} on P={p}, t_l = {tl:.2}s, {REPLICAS} replicas\n", cfg_mxm.label());
+    println!(
+        "Ablations — MXM {} on P={p}, t_l = {tl:.2}s, {REPLICAS} replicas\n",
+        cfg_mxm.label()
+    );
 
     // ---- 1. profitability margin -------------------------------------
     println!("A1.1 Profitability margin (GDDLB):");
@@ -58,7 +61,11 @@ fn main() {
     }
     println!(
         "{}",
-        format_table(&["margin", "normalized time"], &[Align::Right, Align::Right], &rows)
+        format_table(
+            &["margin", "normalized time"],
+            &[Align::Right, Align::Right],
+            &rows
+        )
     );
     println!("(the paper's 10% sits near the sweet spot; a huge margin cancels");
     println!("beneficial moves and converges to noDLB)\n");
@@ -71,13 +78,22 @@ fn main() {
         cfg.include_move_cost = include;
         let t = mean_norm(p, &wl, tl, |c| run_dlb(c, &wl, cfg));
         rows.push(vec![
-            (if include { "included" } else { "excluded (paper)" }).to_string(),
+            (if include {
+                "included"
+            } else {
+                "excluded (paper)"
+            })
+            .to_string(),
             format!("{t:.3}"),
         ]);
     }
     println!(
         "{}",
-        format_table(&["movement cost", "normalized time"], &[Align::Left, Align::Right], &rows)
+        format_table(
+            &["movement cost", "normalized time"],
+            &[Align::Left, Align::Right],
+            &rows
+        )
     );
     println!("(Section 3.4: over-estimated movement cost cancels moves and idles");
     println!("the interrupting processor)\n");
@@ -96,16 +112,21 @@ fn main() {
     }
     println!(
         "{}",
-        format_table(&["trigger", "normalized time"], &[Align::Left, Align::Right], &rows)
+        format_table(
+            &["trigger", "normalized time"],
+            &[Align::Left, Align::Right],
+            &rows
+        )
     );
     println!("(frequent periodic exchanges pay sync cost even when balanced)\n");
 
     // ---- 4. group topology for the local schemes ----------------------
     println!("A1.4 Group membership for LDDLB (K = P/2):");
     let mut rows = Vec::new();
-    for (label, grouping) in
-        [("K-block (paper)", Grouping::KBlock), ("random", Grouping::Random { seed: 11 })]
-    {
+    for (label, grouping) in [
+        ("K-block (paper)", Grouping::KBlock),
+        ("random", Grouping::Random { seed: 11 }),
+    ] {
         let mut cfg = StrategyConfig::paper(Strategy::Lddlb, 2);
         cfg.grouping = grouping;
         let t = mean_norm(p, &wl, tl, |c| run_dlb(c, &wl, cfg));
@@ -113,7 +134,11 @@ fn main() {
     }
     println!(
         "{}",
-        format_table(&["grouping", "normalized time"], &[Align::Left, Align::Right], &rows)
+        format_table(
+            &["grouping", "normalized time"],
+            &[Align::Left, Align::Right],
+            &rows
+        )
     );
     println!("(with i.i.d. per-processor load, any fixed partition is statistically");
     println!("equivalent; residual differences reflect the finite set of load draws)\n");

@@ -18,7 +18,10 @@ fn main() {
     let cfg = MxmConfig::new(400, 400, 400);
     let wl = cfg.workload();
     let tl = persistence_for(&wl);
-    println!("Task-queue baselines vs DLB — MXM {} on P={p}\n", cfg.label());
+    println!(
+        "Task-queue baselines vs DLB — MXM {} on P={p}\n",
+        cfg.label()
+    );
 
     let mut rows = Vec::new();
     let mut add = |label: String, f: &dyn Fn(&ClusterSpec) -> now_sim::RunReport| {
@@ -44,7 +47,9 @@ fn main() {
 
     add("noDLB (static)".into(), &|c| run_no_dlb(c, &wl));
     for scheme in ChunkScheme::standard_set(wl_iterations(&wl), p) {
-        add(format!("queue {}", scheme.label()), &|c| run_task_queue(c, &wl, scheme));
+        add(format!("queue {}", scheme.label()), &|c| {
+            run_task_queue(c, &wl, scheme)
+        });
     }
     for s in [Strategy::Gddlb, Strategy::Lddlb] {
         let cfg = StrategyConfig::paper(s, 2);

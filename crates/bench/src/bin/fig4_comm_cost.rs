@@ -11,7 +11,10 @@ fn main() {
     let params = NetworkParams::paper_ethernet();
     let (lat, bw) = measure_latency_bandwidth(params);
     println!("Fig. 4 — Communication cost (simulated PVM/Ethernet)\n");
-    println!("§6.1 characterization: latency = {:.1} µs  (paper: 2414.5 µs)", lat * 1e6);
+    println!(
+        "§6.1 characterization: latency = {:.1} µs  (paper: 2414.5 µs)",
+        lat * 1e6
+    );
     println!(
         "                       bandwidth = {:.2} MB/s (paper: 0.96 MB/s)\n",
         bw / 1e6
@@ -31,16 +34,22 @@ fn main() {
             format!("{:.4}", rep.model.oa.eval(n as f64)),
         ]);
     }
-    let header =
-        ["NPROCS", "AA(exp)", "AA(fit)", "AO(exp)", "AO(fit)", "OA(exp)", "OA(fit)"];
+    let header = [
+        "NPROCS", "AA(exp)", "AA(fit)", "AO(exp)", "AO(fit)", "OA(exp)", "OA(fit)",
+    ];
     let aligns = [Align::Right; 7];
     println!("{}", format_table(&header, &aligns, &rows));
     println!("Fitted polynomials (seconds, x = processors):");
-    for (name, poly) in
-        [("AA", &rep.model.aa), ("AO", &rep.model.ao), ("OA", &rep.model.oa)]
-    {
+    for (name, poly) in [
+        ("AA", &rep.model.aa),
+        ("AO", &rep.model.ao),
+        ("OA", &rep.model.oa),
+    ] {
         let c = poly.coeffs();
-        println!("  {name}(x) = {:+.3e} {:+.3e}·x {:+.3e}·x²", c[0], c[1], c[2]);
+        println!(
+            "  {name}(x) = {:+.3e} {:+.3e}·x {:+.3e}·x²",
+            c[0], c[1], c[2]
+        );
     }
     println!("\nPaper shape: AA well above AO above OA; AA superlinear in P.");
 }

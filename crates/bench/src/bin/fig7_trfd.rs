@@ -18,8 +18,14 @@ fn main() {
         rows.push(row);
     }
     let header = ["Data Size", "noDLB", "GC", "GD", "LC", "LD"];
-    let aligns =
-        [Align::Left, Align::Right, Align::Right, Align::Right, Align::Right, Align::Right];
+    let aligns = [
+        Align::Left,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+    ];
     println!("{}", format_table(&header, &aligns, &rows));
     println!("Paper shape: LDDLB best at small N, shifting toward GDDLB as the");
     println!("data size (work per iteration) grows; GCDLB above both, LCDLB last.");

@@ -17,8 +17,14 @@ fn main() {
         rows.push(row);
     }
     let header = ["Data Size", "noDLB", "GC", "GD", "LC", "LD"];
-    let aligns =
-        [Align::Left, Align::Right, Align::Right, Align::Right, Align::Right, Align::Right];
+    let aligns = [
+        Align::Left,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+    ];
     println!("{}", format_table(&header, &aligns, &rows));
     println!("Paper shape: LDDLB best (small compute/communication ratio at P=16);");
     println!("distributed schemes beat centralized ones.");

@@ -21,13 +21,29 @@ fn main() {
                 cfg.r.to_string(),
                 cfg.c.to_string(),
                 cfg.r2.to_string(),
-                actual.iter().map(|s| s.abbrev()).collect::<Vec<_>>().join(" "),
-                predicted.iter().map(|s| s.abbrev()).collect::<Vec<_>>().join(" "),
+                actual
+                    .iter()
+                    .map(|s| s.abbrev())
+                    .collect::<Vec<_>>()
+                    .join(" "),
+                predicted
+                    .iter()
+                    .map(|s| s.abbrev())
+                    .collect::<Vec<_>>()
+                    .join(" "),
                 format!("{agree:.2}"),
             ]);
         }
     }
-    let header = ["P", "R", "C", "R2", "Actual (1 2 3 4)", "Predicted (1 2 3 4)", "agree"];
+    let header = [
+        "P",
+        "R",
+        "C",
+        "R2",
+        "Actual (1 2 3 4)",
+        "Predicted (1 2 3 4)",
+        "agree",
+    ];
     let aligns = [
         Align::Right,
         Align::Right,

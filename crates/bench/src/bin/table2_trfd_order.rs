@@ -21,16 +21,37 @@ fn main() {
                     p.to_string(),
                     cfg.label(),
                     which.label().to_string(),
-                    actual.iter().map(|s| s.abbrev()).collect::<Vec<_>>().join(" "),
-                    predicted.iter().map(|s| s.abbrev()).collect::<Vec<_>>().join(" "),
+                    actual
+                        .iter()
+                        .map(|s| s.abbrev())
+                        .collect::<Vec<_>>()
+                        .join(" "),
+                    predicted
+                        .iter()
+                        .map(|s| s.abbrev())
+                        .collect::<Vec<_>>()
+                        .join(" "),
                     format!("{agree:.2}"),
                 ]);
             }
         }
     }
-    let header = ["P", "N", "Loop", "Actual (1 2 3 4)", "Predicted (1 2 3 4)", "agree"];
-    let aligns =
-        [Align::Right, Align::Left, Align::Left, Align::Left, Align::Left, Align::Right];
+    let header = [
+        "P",
+        "N",
+        "Loop",
+        "Actual (1 2 3 4)",
+        "Predicted (1 2 3 4)",
+        "agree",
+    ];
+    let aligns = [
+        Align::Right,
+        Align::Left,
+        Align::Left,
+        Align::Left,
+        Align::Left,
+        Align::Right,
+    ];
     println!("{}", format_table(&header, &aligns, &rows));
     let mean = agreements.iter().sum::<f64>() / agreements.len() as f64;
     println!("mean rank agreement (1 − normalized Kendall tau): {mean:.3}");

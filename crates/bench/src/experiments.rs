@@ -85,15 +85,19 @@ impl ExperimentResult {
 
     /// Mean absolute noDLB time (for context columns).
     pub fn mean_no_dlb_time(&self) -> f64 {
-        self.sweeps.iter().map(|s| s.no_dlb.total_time).sum::<f64>()
-            / self.sweeps.len() as f64
+        self.sweeps.iter().map(|s| s.no_dlb.total_time).sum::<f64>() / self.sweeps.len() as f64
     }
 
     /// Actual best-first order by mean normalized time (Tables 1–2
     /// "Actual").
     pub fn actual_order(&self) -> Vec<Strategy> {
-        let rows = self.mean_normalized();
-        rank_by(|s| rows.iter().find(|(l, _)| *l == s.abbrev()).unwrap().1)
+        rank_by(|s| {
+            self.sweeps
+                .iter()
+                .map(|sw| sw.report_for(s).normalized_to(&sw.no_dlb))
+                .sum::<f64>()
+                / self.sweeps.len() as f64
+        })
     }
 
     /// Predicted best-first order by mean predicted normalized time
@@ -141,12 +145,7 @@ fn system_for(cluster: &ClusterSpec) -> SystemModel {
     SystemModel::from_specs(cluster.speeds.clone(), &cluster.loads, cluster.net)
 }
 
-fn run_cell(
-    label: String,
-    p: usize,
-    salt: u64,
-    workload: &dyn LoopWorkload,
-) -> ExperimentResult {
+fn run_cell(label: String, p: usize, salt: u64, workload: &dyn LoopWorkload) -> ExperimentResult {
     let k = paper_group_size(p);
     let mut sweeps = Vec::new();
     let mut decisions = Vec::new();
@@ -155,7 +154,13 @@ fn run_cell(
         sweeps.push(run_all_strategies(&cluster, workload, k));
         decisions.push(choose_strategy(&system_for(&cluster), workload, k));
     }
-    ExperimentResult { label, processors: p, group_size: k, sweeps, decisions }
+    ExperimentResult {
+        label,
+        processors: p,
+        group_size: k,
+        sweeps,
+        decisions,
+    }
 }
 
 /// Run one MXM cell (Figs. 5/6, Table 1 rows).
@@ -235,7 +240,11 @@ pub fn trfd_experiment(p: usize, cfg: TrfdConfig) -> TrfdTotals {
     for (i, s) in Strategy::ALL.iter().enumerate() {
         rows.push((s.abbrev().to_string(), sums[i] / REPLICAS as f64));
     }
-    TrfdTotals { label: cfg.label(), processors: p, rows }
+    TrfdTotals {
+        label: cfg.label(),
+        processors: p,
+        rows,
+    }
 }
 
 /// Sanity helper shared by tests: every strategy run completed the whole

@@ -21,8 +21,8 @@ pub mod experiments;
 pub mod table;
 
 pub use experiments::{
-    persistence_for, assert_work_conserved, paper_group_size, EPOCHS_PER_RUN, REPLICAS as CELL_REPLICAS,
-    mxm_experiment, trfd_experiment, trfd_loop_experiment, ExperimentResult, TrfdLoop,
-    LOAD_PERSISTENCE, LOAD_SEED,
+    assert_work_conserved, mxm_experiment, paper_group_size, persistence_for, trfd_experiment,
+    trfd_loop_experiment, ExperimentResult, TrfdLoop, EPOCHS_PER_RUN, LOAD_PERSISTENCE, LOAD_SEED,
+    REPLICAS as CELL_REPLICAS,
 };
 pub use table::{format_table, Align};

@@ -36,7 +36,9 @@ pub fn format_table(header: &[&str], aligns: &[Align], rows: &[Vec<String>]) -> 
         line.trim_end().to_string()
     };
     let mut out = String::new();
-    out.push_str(&fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>()));
+    out.push_str(&fmt_row(
+        &header.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+    ));
     out.push('\n');
     out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
     out.push('\n');
@@ -71,6 +73,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "row width")]
     fn ragged_rows_rejected() {
-        let _ = format_table(&["a", "b"], &[Align::Left, Align::Left], &[vec!["x".into()]]);
+        let _ = format_table(
+            &["a", "b"],
+            &[Align::Left, Align::Left],
+            &[vec!["x".into()]],
+        );
     }
 }

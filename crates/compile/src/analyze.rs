@@ -76,7 +76,10 @@ pub fn analyze(program: Program) -> Result<AnalyzedProgram, CompileError> {
                 if !program.params.contains(v) {
                     return Err(CompileError::at(
                         a.line,
-                        format!("array {}: dimension uses undeclared parameter '{v}'", a.name),
+                        format!(
+                            "array {}: dimension uses undeclared parameter '{v}'",
+                            a.name
+                        ),
                     ));
                 }
             }
@@ -85,7 +88,10 @@ pub fn analyze(program: Program) -> Result<AnalyzedProgram, CompileError> {
         if n_dist > 1 {
             return Err(CompileError::at(
                 a.line,
-                format!("array {}: at most one distributed dimension is supported", a.name),
+                format!(
+                    "array {}: at most one distributed dimension is supported",
+                    a.name
+                ),
             ));
         }
         if a.moves && n_dist == 0 {
@@ -115,7 +121,10 @@ pub fn analyze(program: Program) -> Result<AnalyzedProgram, CompileError> {
             work_desc: describe_work(l),
         });
     }
-    Ok(AnalyzedProgram { program, loops: infos })
+    Ok(AnalyzedProgram {
+        program,
+        loops: infos,
+    })
 }
 
 fn check_loop(
@@ -201,9 +210,7 @@ fn check_refs(
 /// Does any loop bound in `body` reference `var`? (Triangularity test.)
 pub fn bounds_mention(body: &[Node], var: &str) -> bool {
     body.iter().any(|n| match n {
-        Node::Loop(l) => {
-            l.lo.mentions(var) || l.hi.mentions(var) || bounds_mention(&l.body, var)
-        }
+        Node::Loop(l) => l.lo.mentions(var) || l.hi.mentions(var) || bounds_mention(&l.body, var),
         Node::Stmt(_) => false,
     })
 }
@@ -312,8 +319,9 @@ mod tests {
     fn mxm_op_count_is_two_per_inner_iteration() {
         let a = analyzed(MXM);
         let l = &a.program.loops[0];
-        let mut env: BTreeMap<String, i64> =
-            [("R", 8i64), ("C", 5), ("R2", 3)].map(|(k, v)| (k.to_string(), v)).into();
+        let mut env: BTreeMap<String, i64> = [("R", 8i64), ("C", 5), ("R2", 3)]
+            .map(|(k, v)| (k.to_string(), v))
+            .into();
         env.insert("i".into(), 0);
         let ops = ops_of_body(&l.body, &mut env);
         // mul + accumulate-add per innermost statement.
@@ -325,7 +333,10 @@ mod tests {
         let a = analyzed(
             "param N; array A[N][N] distribute(whole, block) moves;\nbalance for i = 0..N { for j = 0..i { A[j][i] += A[i][j] * 2; } }",
         );
-        assert!(!a.loops[0].uniform, "inner bound 0..i must flag non-uniform");
+        assert!(
+            !a.loops[0].uniform,
+            "inner bound 0..i must flag non-uniform"
+        );
     }
 
     #[test]
@@ -357,7 +368,8 @@ mod tests {
 
     #[test]
     fn rejects_subscript_arity_mismatch() {
-        let e = analyze_err("param N; array A[N] distribute(block);\nfor i = 0..N { A[i][i] = 1; }");
+        let e =
+            analyze_err("param N; array A[N] distribute(block);\nfor i = 0..N { A[i][i] = 1; }");
         assert!(e.message.contains("subscripts"), "{e}");
     }
 

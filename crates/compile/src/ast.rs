@@ -173,7 +173,10 @@ mod tests {
     fn eval_arithmetic() {
         // (R + 2) * C
         let e = Expr::Mul(
-            Box::new(Expr::Add(Box::new(Expr::Var("R".into())), Box::new(Expr::Int(2)))),
+            Box::new(Expr::Add(
+                Box::new(Expr::Var("R".into())),
+                Box::new(Expr::Int(2)),
+            )),
             Box::new(Expr::Var("C".into())),
         );
         assert_eq!(e.eval(&env(&[("R", 3), ("C", 10)])), 50);
@@ -201,7 +204,10 @@ mod tests {
 
     #[test]
     fn display_roundtrips_shape() {
-        let e = Expr::Mul(Box::new(Expr::Var("C".into())), Box::new(Expr::Var("R2".into())));
+        let e = Expr::Mul(
+            Box::new(Expr::Var("C".into())),
+            Box::new(Expr::Var("R2".into())),
+        );
         assert_eq!(e.to_string(), "(C * R2)");
     }
 

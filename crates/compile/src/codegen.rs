@@ -77,11 +77,16 @@ impl AnalyzedProgram {
         assert!(ops_per_sec > 0.0 && ops_per_sec.is_finite());
         for p in &self.program.params {
             if !bindings.contains_key(p) {
-                return Err(CompileError::at(0, format!("missing binding for parameter '{p}'")));
+                return Err(CompileError::at(
+                    0,
+                    format!("missing binding for parameter '{p}'"),
+                ));
             }
         }
-        let env: BTreeMap<String, i64> =
-            bindings.iter().map(|(k, &v)| (k.clone(), v as i64)).collect();
+        let env: BTreeMap<String, i64> = bindings
+            .iter()
+            .map(|(k, &v)| (k.clone(), v as i64))
+            .collect();
 
         // Concrete array descriptors.
         let arrays: Vec<DlbArray> = self
@@ -90,15 +95,14 @@ impl AnalyzedProgram {
             .iter()
             .map(|a| {
                 let dims: Vec<u64> = a.dims.iter().map(|d| d.eval(&env).max(0) as u64).collect();
-                let distribution = a
-                    .dist
-                    .iter()
-                    .position(|d| *d != DimDist::Whole)
-                    .map_or(DataDistribution::Whole, |dim| match a.dist[dim] {
+                let distribution = a.dist.iter().position(|d| *d != DimDist::Whole).map_or(
+                    DataDistribution::Whole,
+                    |dim| match a.dist[dim] {
                         DimDist::Block => DataDistribution::Block { dim },
                         DimDist::Cyclic => DataDistribution::Cyclic { dim },
                         DimDist::Whole => unreachable!(),
-                    });
+                    },
+                );
                 DlbArray {
                     name: a.name.clone(),
                     dims,
@@ -136,7 +140,11 @@ impl AnalyzedProgram {
                         format!("balanced loop {} performs no work", ast.var),
                     ));
                 }
-                Arc::new(UniformLoop::new(iterations, ops / ops_per_sec, bytes_per_iter))
+                Arc::new(UniformLoop::new(
+                    iterations,
+                    ops / ops_per_sec,
+                    bytes_per_iter,
+                ))
             } else {
                 // Triangular: per-iteration cost function + the bitonic
                 // transformation to make the balanced loop uniform.
@@ -169,8 +177,12 @@ impl AnalyzedProgram {
     /// mirroring the paper's Fig. 3.
     pub fn emit_spmd(&self) -> String {
         let mut s = String::new();
-        let array_args: Vec<String> =
-            self.program.arrays.iter().map(|a| format!("&DLB_array_{}", a.name)).collect();
+        let array_args: Vec<String> = self
+            .program
+            .arrays
+            .iter()
+            .map(|a| format!("&DLB_array_{}", a.name))
+            .collect();
         s.push_str("/* generated by dlb-compile (cf. paper Fig. 3) */\n");
         s.push_str(&format!(
             "DLB_init(argcnt, &dlb, P, K, task_ids, master_tid, {});\n",
@@ -258,8 +270,7 @@ mod tests {
     "#;
 
     fn bind(src: &str, pairs: &[(&str, u64)]) -> BoundProgram {
-        let b: BTreeMap<String, u64> =
-            pairs.iter().map(|&(k, v)| (k.to_string(), v)).collect();
+        let b: BTreeMap<String, u64> = pairs.iter().map(|&(k, v)| (k.to_string(), v)).collect();
         compile(src).unwrap().bind(&b).unwrap()
     }
 

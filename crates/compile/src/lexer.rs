@@ -114,14 +114,20 @@ pub fn lex(source: &str) -> Result<Vec<Token>, CompileError> {
                 let v: u64 = s
                     .parse()
                     .map_err(|_| CompileError::at(line, format!("integer overflow: {s}")))?;
-                out.push(Token { kind: TokenKind::Int(v), line });
+                out.push(Token {
+                    kind: TokenKind::Int(v),
+                    line,
+                });
                 continue;
             }
             '.' => {
                 chars.next();
                 if chars.peek() == Some(&'.') {
                     chars.next();
-                    out.push(Token { kind: TokenKind::DotDot, line });
+                    out.push(Token {
+                        kind: TokenKind::DotDot,
+                        line,
+                    });
                 } else {
                     return Err(CompileError::at(line, "expected '..'".to_string()));
                 }
@@ -130,65 +136,113 @@ pub fn lex(source: &str) -> Result<Vec<Token>, CompileError> {
                 chars.next();
                 if chars.peek() == Some(&'=') {
                     chars.next();
-                    out.push(Token { kind: TokenKind::PlusAssign, line });
+                    out.push(Token {
+                        kind: TokenKind::PlusAssign,
+                        line,
+                    });
                 } else {
-                    out.push(Token { kind: TokenKind::Plus, line });
+                    out.push(Token {
+                        kind: TokenKind::Plus,
+                        line,
+                    });
                 }
             }
             '=' => {
                 chars.next();
-                out.push(Token { kind: TokenKind::Assign, line });
+                out.push(Token {
+                    kind: TokenKind::Assign,
+                    line,
+                });
             }
             '-' => {
                 chars.next();
-                out.push(Token { kind: TokenKind::Minus, line });
+                out.push(Token {
+                    kind: TokenKind::Minus,
+                    line,
+                });
             }
             '*' => {
                 chars.next();
-                out.push(Token { kind: TokenKind::Star, line });
+                out.push(Token {
+                    kind: TokenKind::Star,
+                    line,
+                });
             }
             '/' => {
                 chars.next();
-                out.push(Token { kind: TokenKind::Slash, line });
+                out.push(Token {
+                    kind: TokenKind::Slash,
+                    line,
+                });
             }
             '{' => {
                 chars.next();
-                out.push(Token { kind: TokenKind::LBrace, line });
+                out.push(Token {
+                    kind: TokenKind::LBrace,
+                    line,
+                });
             }
             '}' => {
                 chars.next();
-                out.push(Token { kind: TokenKind::RBrace, line });
+                out.push(Token {
+                    kind: TokenKind::RBrace,
+                    line,
+                });
             }
             '[' => {
                 chars.next();
-                out.push(Token { kind: TokenKind::LBracket, line });
+                out.push(Token {
+                    kind: TokenKind::LBracket,
+                    line,
+                });
             }
             ']' => {
                 chars.next();
-                out.push(Token { kind: TokenKind::RBracket, line });
+                out.push(Token {
+                    kind: TokenKind::RBracket,
+                    line,
+                });
             }
             '(' => {
                 chars.next();
-                out.push(Token { kind: TokenKind::LParen, line });
+                out.push(Token {
+                    kind: TokenKind::LParen,
+                    line,
+                });
             }
             ')' => {
                 chars.next();
-                out.push(Token { kind: TokenKind::RParen, line });
+                out.push(Token {
+                    kind: TokenKind::RParen,
+                    line,
+                });
             }
             ';' => {
                 chars.next();
-                out.push(Token { kind: TokenKind::Semi, line });
+                out.push(Token {
+                    kind: TokenKind::Semi,
+                    line,
+                });
             }
             ',' => {
                 chars.next();
-                out.push(Token { kind: TokenKind::Comma, line });
+                out.push(Token {
+                    kind: TokenKind::Comma,
+                    line,
+                });
             }
             other => {
-                return Err(CompileError::at(line, format!("unexpected character '{other}'")));
+                return Err(CompileError::at(
+                    line,
+                    format!("unexpected character '{other}'"),
+                ));
             }
         }
     }
-    out.push(Token { kind: TokenKind::Eof, line });
+    out.push(Token {
+        kind: TokenKind::Eof,
+        line,
+    });
     Ok(out)
 }
 

@@ -141,7 +141,13 @@ impl<'t> Parser<'t> {
             false
         };
         self.expect(&TokenKind::Semi)?;
-        Ok(ArrayDecl { name, dims, dist, moves, line })
+        Ok(ArrayDecl {
+            name,
+            dims,
+            dist,
+            moves,
+            line,
+        })
     }
 
     fn loop_nest(&mut self) -> Result<Loop, CompileError> {
@@ -167,14 +173,24 @@ impl<'t> Parser<'t> {
             }
         }
         self.expect(&TokenKind::RBrace)?;
-        Ok(Loop { var, lo, hi, balance, body, line })
+        Ok(Loop {
+            var,
+            lo,
+            hi,
+            balance,
+            body,
+            line,
+        })
     }
 
     fn stmt(&mut self) -> Result<Stmt, CompileError> {
         let line = self.line();
         let target = self.primary()?;
         if !matches!(target, Expr::ArrayRef(..) | Expr::Var(..)) {
-            return Err(CompileError::at(line, "assignment target must be a reference".into()));
+            return Err(CompileError::at(
+                line,
+                "assignment target must be a reference".into(),
+            ));
         }
         let accumulate = match self.bump() {
             TokenKind::Assign => false,
@@ -188,7 +204,12 @@ impl<'t> Parser<'t> {
         };
         let value = self.expr()?;
         self.expect(&TokenKind::Semi)?;
-        Ok(Stmt { target, accumulate, value, line })
+        Ok(Stmt {
+            target,
+            accumulate,
+            value,
+            line,
+        })
     }
 
     fn expr(&mut self) -> Result<Expr, CompileError> {
@@ -287,7 +308,9 @@ mod tests {
         assert!(l.balance);
         assert_eq!(l.var, "i");
         assert_eq!(l.body.len(), 1);
-        let Node::Loop(inner) = &l.body[0] else { panic!("expected inner loop") };
+        let Node::Loop(inner) = &l.body[0] else {
+            panic!("expected inner loop")
+        };
         assert!(!inner.balance);
         assert!(inner.hi.mentions("i"), "triangular bound must reference i");
     }
@@ -295,7 +318,9 @@ mod tests {
     #[test]
     fn parses_accumulate_statement() {
         let p = parse_src("param N; array A[N] distribute(block);\nfor i = 0..N { A[i] = i + 1; }");
-        let Node::Stmt(s) = &p.loops[0].body[0] else { panic!() };
+        let Node::Stmt(s) = &p.loops[0].body[0] else {
+            panic!()
+        };
         assert!(!s.accumulate);
     }
 
@@ -313,8 +338,11 @@ mod tests {
 
     #[test]
     fn precedence_mul_binds_tighter() {
-        let p = parse_src("param N; array A[N] distribute(block);\nfor i = 0..N { A[i] = 1 + 2 * 3; }");
-        let Node::Stmt(s) = &p.loops[0].body[0] else { panic!() };
+        let p =
+            parse_src("param N; array A[N] distribute(block);\nfor i = 0..N { A[i] = 1 + 2 * 3; }");
+        let Node::Stmt(s) = &p.loops[0].body[0] else {
+            panic!()
+        };
         // 1 + (2*3) = 7
         assert_eq!(s.value.eval(&Default::default()), 7);
     }

@@ -64,7 +64,11 @@ pub fn balance_group(
     let total: u64 = old_counts.iter().sum();
     let echo = |verdict| BalanceOutcome {
         verdict,
-        new_counts: members.iter().copied().zip(old_counts.iter().copied()).collect(),
+        new_counts: members
+            .iter()
+            .copied()
+            .zip(old_counts.iter().copied())
+            .collect(),
         transfers: Vec::new(),
         moved: 0,
         predicted_old: 0.0,
@@ -107,11 +111,19 @@ pub fn balance_group(
     let local_plan = plan_transfers(&old, &new);
     let transfers: Vec<Transfer> = local_plan
         .into_iter()
-        .map(|t| Transfer { from: members[t.from], to: members[t.to], iters: t.iters })
+        .map(|t| Transfer {
+            from: members[t.from],
+            to: members[t.to],
+            iters: t.iters,
+        })
         .collect();
     BalanceOutcome {
         verdict: BalanceVerdict::Move,
-        new_counts: members.iter().copied().zip(new.counts().iter().copied()).collect(),
+        new_counts: members
+            .iter()
+            .copied()
+            .zip(new.counts().iter().copied())
+            .collect(),
         transfers,
         moved,
         predicted_old,
@@ -135,7 +147,12 @@ mod tests {
     use crate::strategy::Strategy;
 
     fn prof(proc: usize, done: u64, elapsed: f64, remaining: u64) -> PerfProfile {
-        PerfProfile { proc, iters_done: done, elapsed, remaining }
+        PerfProfile {
+            proc,
+            iters_done: done,
+            elapsed,
+            remaining,
+        }
     }
 
     fn cfg() -> StrategyConfig {
@@ -243,8 +260,11 @@ mod tests {
 
     #[test]
     fn conservation_across_decision() {
-        let profiles =
-            [prof(3, 50, 1.0, 80), prof(7, 200, 1.0, 40), prof(9, 125, 1.0, 60)];
+        let profiles = [
+            prof(3, 50, 1.0, 80),
+            prof(7, 200, 1.0, 40),
+            prof(9, 125, 1.0, 60),
+        ];
         let out = balance_group(&profiles, &cfg(), |_| 0.0);
         let before: u64 = profiles.iter().map(|p| p.remaining).sum();
         let after: u64 = out.new_counts.iter().map(|&(_, c)| c).sum();

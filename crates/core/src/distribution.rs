@@ -19,7 +19,10 @@ pub struct Distribution {
 impl Distribution {
     /// Build from explicit counts.
     pub fn from_counts(counts: Vec<u64>) -> Self {
-        assert!(!counts.is_empty(), "a distribution needs at least one processor");
+        assert!(
+            !counts.is_empty(),
+            "a distribution needs at least one processor"
+        );
         Self { counts }
     }
 
@@ -43,7 +46,10 @@ impl Distribution {
     pub fn proportional(total: u64, weights: &[f64]) -> Self {
         assert!(!weights.is_empty(), "need at least one weight");
         for &w in weights {
-            assert!(w >= 0.0 && w.is_finite(), "weights must be non-negative, got {w}");
+            assert!(
+                w >= 0.0 && w.is_finite(),
+                "weights must be non-negative, got {w}"
+            );
         }
         let sum: f64 = weights.iter().sum();
         if sum <= 0.0 {
@@ -101,9 +107,17 @@ impl Distribution {
     /// Work moved between `self` (old, the `β_i`) and `new` (the `α_i`):
     /// `δ = ½ Σ |α_i − β_i|` (Section 4.2, "Amount of work moved").
     pub fn work_moved(&self, new: &Distribution) -> u64 {
-        assert_eq!(self.len(), new.len(), "distributions must cover the same processors");
-        let diff: u64 =
-            self.counts.iter().zip(&new.counts).map(|(&b, &a)| a.abs_diff(b)).sum();
+        assert_eq!(
+            self.len(),
+            new.len(),
+            "distributions must cover the same processors"
+        );
+        let diff: u64 = self
+            .counts
+            .iter()
+            .zip(&new.counts)
+            .map(|(&b, &a)| a.abs_diff(b))
+            .sum();
         debug_assert!(diff.is_multiple_of(2), "total must be conserved");
         diff / 2
     }

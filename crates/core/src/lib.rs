@@ -45,8 +45,10 @@ pub mod arrays;
 pub mod balance;
 pub mod distribution;
 pub mod loopsched;
+pub mod membership;
 pub mod moveplan;
 pub mod profile;
+pub mod recovery;
 pub mod stats;
 pub mod strategy;
 pub mod sync;
@@ -57,8 +59,10 @@ pub use arrays::{DataDistribution, DlbArray};
 pub use balance::{balance_group, BalanceOutcome, BalanceVerdict};
 pub use distribution::Distribution;
 pub use loopsched::{ChunkQueue, ChunkScheme};
+pub use membership::Membership;
 pub use moveplan::{plan_transfers, Transfer};
 pub use profile::PerfProfile;
+pub use recovery::split_ranges;
 pub use stats::DlbStats;
 pub use strategy::{Control, Scope, Strategy, StrategyConfig};
 pub use sync::{plan_sync, LogicalMsg, MsgKind, SyncScript};

@@ -49,7 +49,10 @@ impl ChunkScheme {
             ChunkScheme::FixedChunk((total / (8 * p as u64)).max(1)),
             ChunkScheme::Guided,
             ChunkScheme::Factoring,
-            ChunkScheme::Trapezoid { first: (total / (2 * p as u64)).max(1), last: 1 },
+            ChunkScheme::Trapezoid {
+                first: (total / (2 * p as u64)).max(1),
+                last: 1,
+            },
         ]
     }
 }
@@ -80,10 +83,17 @@ impl ChunkQueue {
             assert!(k > 0, "fixed chunk size must be positive");
         }
         let (tss_current, tss_step) = if let ChunkScheme::Trapezoid { first, last } = scheme {
-            assert!(first >= last && last >= 1, "trapezoid needs first >= last >= 1");
+            assert!(
+                first >= last && last >= 1,
+                "trapezoid needs first >= last >= 1"
+            );
             // Tzen & Ni: N = ⌈2·total/(first+last)⌉ grabs, step = (f-l)/(N-1).
             let n = (2 * total).div_ceil(first + last).max(1);
-            let step = if n > 1 { (first - last) as f64 / (n - 1) as f64 } else { 0.0 };
+            let step = if n > 1 {
+                (first - last) as f64 / (n - 1) as f64
+            } else {
+                0.0
+            };
             (first as f64, step)
         } else {
             (0.0, 0.0)

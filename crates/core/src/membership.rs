@@ -1,0 +1,102 @@
+//! Group membership under failures.
+//!
+//! The paper fixes group membership for the whole run (Section 3.5) on
+//! the assumption of dedicated, fault-free workstations. The
+//! failure-aware protocol relaxes that: a member declared dead is
+//! excluded from every later distribution, and if the dead member held
+//! the central balancer role the lowest-numbered surviving processor is
+//! promoted. This tracker owns that bookkeeping; it is
+//! transport-independent so both the simulator and the threaded runtime
+//! can drive it.
+
+/// Live/dead bookkeeping for one run's processors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Membership {
+    dead: Vec<bool>,
+}
+
+impl Membership {
+    /// All `p` processors start alive.
+    pub fn new(p: usize) -> Self {
+        Membership {
+            dead: vec![false; p],
+        }
+    }
+
+    pub fn processors(&self) -> usize {
+        self.dead.len()
+    }
+
+    pub fn is_dead(&self, proc: usize) -> bool {
+        self.dead[proc]
+    }
+
+    pub fn is_alive(&self, proc: usize) -> bool {
+        !self.dead[proc]
+    }
+
+    /// Declare `proc` dead. Returns `true` if this is news (first
+    /// declaration), `false` if it was already dead — callers use this to
+    /// make detection idempotent across the heartbeat and watchdog paths.
+    pub fn declare_dead(&mut self, proc: usize) -> bool {
+        !std::mem::replace(&mut self.dead[proc], true)
+    }
+
+    /// Number of live processors.
+    pub fn alive_count(&self) -> usize {
+        self.dead.iter().filter(|&&d| !d).count()
+    }
+
+    /// Live members of `group`, in order.
+    pub fn alive_members<'a>(&'a self, group: &'a [usize]) -> impl Iterator<Item = usize> + 'a {
+        group.iter().copied().filter(move |&m| !self.dead[m])
+    }
+
+    /// The processor that takes over a central balancer role previously
+    /// held by `master`: `master` itself while alive, else the
+    /// lowest-numbered survivor. `None` if everyone is dead.
+    pub fn promote(&self, master: usize) -> Option<usize> {
+        if !self.dead[master] {
+            return Some(master);
+        }
+        (0..self.dead.len()).find(|&p| !self.dead[p])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn declare_dead_is_idempotent_news() {
+        let mut m = Membership::new(4);
+        assert!(m.is_alive(2));
+        assert!(m.declare_dead(2));
+        assert!(!m.declare_dead(2), "second declaration is not news");
+        assert!(m.is_dead(2));
+        assert_eq!(m.alive_count(), 3);
+    }
+
+    #[test]
+    fn alive_members_filters_group() {
+        let mut m = Membership::new(6);
+        m.declare_dead(1);
+        m.declare_dead(4);
+        let group = [0, 1, 2, 4];
+        let alive: Vec<usize> = m.alive_members(&group).collect();
+        assert_eq!(alive, vec![0, 2]);
+    }
+
+    #[test]
+    fn promotion_picks_lowest_survivor() {
+        let mut m = Membership::new(4);
+        assert_eq!(m.promote(0), Some(0));
+        m.declare_dead(0);
+        assert_eq!(m.promote(0), Some(1));
+        m.declare_dead(1);
+        m.declare_dead(2);
+        assert_eq!(m.promote(0), Some(3));
+        m.declare_dead(3);
+        assert_eq!(m.promote(0), None);
+    }
+}

@@ -31,8 +31,16 @@ pub struct Transfer {
 /// # Panics
 /// Panics if the distributions have different processor counts or totals.
 pub fn plan_transfers(old: &Distribution, new: &Distribution) -> Vec<Transfer> {
-    assert_eq!(old.len(), new.len(), "distributions must cover the same processors");
-    assert_eq!(old.total(), new.total(), "redistribution must conserve work");
+    assert_eq!(
+        old.len(),
+        new.len(),
+        "distributions must cover the same processors"
+    );
+    assert_eq!(
+        old.total(),
+        new.total(),
+        "redistribution must conserve work"
+    );
     let mut surplus: Vec<(usize, u64)> = Vec::new();
     let mut deficit: Vec<(usize, u64)> = Vec::new();
     for i in 0..old.len() {
@@ -51,7 +59,11 @@ pub fn plan_transfers(old: &Distribution, new: &Distribution) -> Vec<Transfer> {
     let (mut si, mut di) = (0, 0);
     while si < surplus.len() && di < deficit.len() {
         let give = surplus[si].1.min(deficit[di].1);
-        plan.push(Transfer { from: surplus[si].0, to: deficit[di].0, iters: give });
+        plan.push(Transfer {
+            from: surplus[si].0,
+            to: deficit[di].0,
+            iters: give,
+        });
         surplus[si].1 -= give;
         deficit[di].1 -= give;
         if surplus[si].1 == 0 {
@@ -62,7 +74,9 @@ pub fn plan_transfers(old: &Distribution, new: &Distribution) -> Vec<Transfer> {
         }
     }
     debug_assert!(
-        surplus[si.min(surplus.len().saturating_sub(1))..].iter().all(|s| s.1 == 0)
+        surplus[si.min(surplus.len().saturating_sub(1))..]
+            .iter()
+            .all(|s| s.1 == 0)
             || surplus.is_empty()
     );
     plan
@@ -110,7 +124,14 @@ mod tests {
         let old = dist(&[10, 0]);
         let new = dist(&[4, 6]);
         let plan = plan_transfers(&old, &new);
-        assert_eq!(plan, vec![Transfer { from: 0, to: 1, iters: 6 }]);
+        assert_eq!(
+            plan,
+            vec![Transfer {
+                from: 0,
+                to: 1,
+                iters: 6
+            }]
+        );
     }
 
     #[test]

@@ -56,32 +56,57 @@ mod tests {
 
     #[test]
     fn rate_is_iters_per_second() {
-        let p = PerfProfile { proc: 0, iters_done: 50, elapsed: 2.0, remaining: 10 };
+        let p = PerfProfile {
+            proc: 0,
+            iters_done: 50,
+            elapsed: 2.0,
+            remaining: 10,
+        };
         assert!((p.rate() - 25.0).abs() < 1e-12);
     }
 
     #[test]
     fn zero_progress_clamps_to_min_rate() {
-        let p = PerfProfile { proc: 1, iters_done: 0, elapsed: 5.0, remaining: 100 };
+        let p = PerfProfile {
+            proc: 1,
+            iters_done: 0,
+            elapsed: 5.0,
+            remaining: 100,
+        };
         assert_eq!(p.rate(), MIN_RATE);
         assert!(p.forecast_finish().is_finite());
     }
 
     #[test]
     fn zero_elapsed_clamps() {
-        let p = PerfProfile { proc: 2, iters_done: 10, elapsed: 0.0, remaining: 5 };
+        let p = PerfProfile {
+            proc: 2,
+            iters_done: 10,
+            elapsed: 0.0,
+            remaining: 5,
+        };
         assert_eq!(p.rate(), MIN_RATE);
     }
 
     #[test]
     fn forecast_scales_with_remaining() {
-        let p = PerfProfile { proc: 0, iters_done: 100, elapsed: 1.0, remaining: 200 };
+        let p = PerfProfile {
+            proc: 0,
+            iters_done: 100,
+            elapsed: 1.0,
+            remaining: 200,
+        };
         assert!((p.forecast_finish() - 2.0).abs() < 1e-12);
     }
 
     #[test]
     fn empty_queue_finishes_now() {
-        let p = PerfProfile { proc: 0, iters_done: 100, elapsed: 1.0, remaining: 0 };
+        let p = PerfProfile {
+            proc: 0,
+            iters_done: 100,
+            elapsed: 1.0,
+            remaining: 0,
+        };
         assert_eq!(p.forecast_finish(), 0.0);
     }
 }

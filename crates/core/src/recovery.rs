@@ -1,0 +1,125 @@
+//! Reassigning a dead processor's unexecuted work.
+//!
+//! When a member is declared dead, its queued iteration ranges are
+//! confiscated and re-distributed over the surviving members so the
+//! loop's total iteration count is conserved. Input data is replicated
+//! at startup (the paper ships arrays with iterations only on
+//! *re*-distribution), so any survivor can execute any recovered range.
+
+use crate::workqueue::ranges_len;
+use std::ops::Range;
+
+/// Split `ranges` into `k` contiguous parts whose sizes differ by at
+/// most one iteration (first parts get the remainder), preserving
+/// iteration order. The concatenation of the parts equals the input:
+/// total iterations are conserved exactly.
+///
+/// # Panics
+/// Panics if `k == 0` while `ranges` is non-empty — recovering work with
+/// no survivors is a protocol bug the caller must rule out.
+pub fn split_ranges(ranges: &[Range<u64>], k: usize) -> Vec<Vec<Range<u64>>> {
+    let total = ranges_len(ranges);
+    if total == 0 {
+        return vec![Vec::new(); k];
+    }
+    assert!(
+        k > 0,
+        "cannot reassign {total} iterations to zero survivors"
+    );
+    let base = total / k as u64;
+    let extra = (total % k as u64) as usize;
+    let mut parts: Vec<Vec<Range<u64>>> = Vec::with_capacity(k);
+    let mut iter_ranges = ranges.iter().cloned();
+    let mut current: Option<Range<u64>> = iter_ranges.next();
+    for part_idx in 0..k {
+        let mut want = base + u64::from(part_idx < extra);
+        let mut part = Vec::new();
+        while want > 0 {
+            let Some(mut r) = current.take() else { break };
+            let len = r.end - r.start;
+            if len <= want {
+                want -= len;
+                part.push(r);
+                current = iter_ranges.next();
+            } else {
+                part.push(r.start..r.start + want);
+                r.start += want;
+                want = 0;
+                current = Some(r);
+            }
+        }
+        parts.push(part);
+    }
+    debug_assert_eq!(
+        parts.iter().map(|p| ranges_len(p)).sum::<u64>(),
+        total,
+        "split must conserve iterations"
+    );
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    // The single-element range arrays below are deliberate: the API takes
+    // a slice of ranges, and one range is the common case under test.
+    #![allow(clippy::single_range_in_vec_init)]
+
+    use super::*;
+
+    fn lens(parts: &[Vec<Range<u64>>]) -> Vec<u64> {
+        parts.iter().map(|p| ranges_len(p)).collect()
+    }
+
+    #[test]
+    fn splits_evenly_with_remainder_up_front() {
+        let parts = split_ranges(&[0..10], 3);
+        assert_eq!(lens(&parts), vec![4, 3, 3]);
+        assert_eq!(parts[0], vec![0..4]);
+        assert_eq!(parts[1], vec![4..7]);
+        assert_eq!(parts[2], vec![7..10]);
+    }
+
+    #[test]
+    fn spans_multiple_input_ranges() {
+        let parts = split_ranges(&[0..3, 10..13, 20..24], 2);
+        assert_eq!(lens(&parts), vec![5, 5]);
+        assert_eq!(parts[0], vec![0..3, 10..12]);
+        assert_eq!(parts[1], vec![12..13, 20..24]);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_parts() {
+        let parts = split_ranges(&[], 4);
+        assert_eq!(parts.len(), 4);
+        assert!(parts.iter().all(Vec::is_empty));
+        // k = 0 with nothing to hand out is fine too.
+        assert!(split_ranges(&[], 0).is_empty());
+    }
+
+    #[test]
+    fn more_parts_than_iterations() {
+        let parts = split_ranges(&[5..7], 5);
+        assert_eq!(lens(&parts), vec![1, 1, 0, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero survivors")]
+    fn zero_survivors_with_work_panics() {
+        split_ranges(&[0..1], 0);
+    }
+
+    #[test]
+    fn conservation_over_many_shapes() {
+        for k in 1..8 {
+            for n in 0..40u64 {
+                let ranges = [0..n / 2, 100..100 + n.div_ceil(2)];
+                let parts = split_ranges(&ranges, k);
+                assert_eq!(
+                    parts.iter().map(|p| ranges_len(p)).sum::<u64>(),
+                    ranges_len(&ranges),
+                    "k={k} n={n}"
+                );
+            }
+        }
+    }
+}

@@ -69,8 +69,17 @@ mod tests {
 
     #[test]
     fn merge_adds_fields() {
-        let mut a = DlbStats { syncs: 1, iters_moved: 10, ..Default::default() };
-        let b = DlbStats { syncs: 2, iters_moved: 5, bytes_moved: 100, ..Default::default() };
+        let mut a = DlbStats {
+            syncs: 1,
+            iters_moved: 10,
+            ..Default::default()
+        };
+        let b = DlbStats {
+            syncs: 2,
+            iters_moved: 5,
+            bytes_moved: 100,
+            ..Default::default()
+        };
         a.merge(&b);
         assert_eq!(a.syncs, 3);
         assert_eq!(a.iters_moved, 15);

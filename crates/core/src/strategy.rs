@@ -37,7 +37,12 @@ pub enum Strategy {
 
 impl Strategy {
     /// All four strategies, in the paper's reporting order.
-    pub const ALL: [Strategy; 4] = [Strategy::Gcdlb, Strategy::Gddlb, Strategy::Lcdlb, Strategy::Lddlb];
+    pub const ALL: [Strategy; 4] = [
+        Strategy::Gcdlb,
+        Strategy::Gddlb,
+        Strategy::Lcdlb,
+        Strategy::Lddlb,
+    ];
 
     pub fn scope(&self) -> Scope {
         match self {
@@ -70,6 +75,18 @@ impl Strategy {
             Strategy::Gddlb => "GD",
             Strategy::Lcdlb => "LC",
             Strategy::Lddlb => "LD",
+        }
+    }
+
+    /// Position in the paper's reporting order (the index into
+    /// [`Strategy::ALL`]). Total — every variant has a rank — so callers
+    /// can tie-break comparisons without a fallible position lookup.
+    pub fn paper_rank(&self) -> usize {
+        match self {
+            Strategy::Gcdlb => 0,
+            Strategy::Gddlb => 1,
+            Strategy::Lcdlb => 2,
+            Strategy::Lddlb => 3,
         }
     }
 }
@@ -145,9 +162,10 @@ impl StrategyConfig {
                 let k = self.group_size;
                 assert!(k > 0, "local strategies need a positive group size");
                 match self.grouping {
-                    Grouping::KBlock => {
-                        (0..p).step_by(k).map(|s| (s..(s + k).min(p)).collect()).collect()
-                    }
+                    Grouping::KBlock => (0..p)
+                        .step_by(k)
+                        .map(|s| (s..(s + k).min(p)).collect())
+                        .collect(),
                     Grouping::Random { seed } => {
                         let mut ids: Vec<usize> = (0..p).collect();
                         // Fisher-Yates with a splitmix-style inline mixer to
@@ -194,7 +212,10 @@ impl StrategyConfig {
         );
         assert!(self.calc_cost >= 0.0 && self.calc_cost.is_finite());
         if self.strategy.scope() == Scope::Local {
-            assert!(self.group_size > 0, "local strategies need a positive group size");
+            assert!(
+                self.group_size > 0,
+                "local strategies need a positive group size"
+            );
         }
     }
 }

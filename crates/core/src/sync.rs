@@ -86,12 +86,18 @@ impl SyncScript {
 
     /// Count of control messages (everything but work shipments).
     pub fn control_message_count(&self) -> u64 {
-        self.msgs.iter().filter(|m| !matches!(m.kind, MsgKind::Work { .. })).count() as u64
+        self.msgs
+            .iter()
+            .filter(|m| !matches!(m.kind, MsgKind::Work { .. }))
+            .count() as u64
     }
 
     /// Count of work-transfer messages (`μ`).
     pub fn transfer_message_count(&self) -> u64 {
-        self.msgs.iter().filter(|m| matches!(m.kind, MsgKind::Work { .. })).count() as u64
+        self.msgs
+            .iter()
+            .filter(|m| matches!(m.kind, MsgKind::Work { .. }))
+            .count() as u64
     }
 
     /// Total bytes of array data shipped.
@@ -123,11 +129,20 @@ pub fn plan_sync(
     outcome: BalanceOutcome,
     bytes_per_iter: u64,
 ) -> SyncScript {
-    assert!(members.contains(&initiator), "initiator must belong to the group");
+    assert!(
+        members.contains(&initiator),
+        "initiator must belong to the group"
+    );
     let mut msgs = Vec::new();
     let push = |msgs: &mut Vec<LogicalMsg>, stage: u8, from: usize, to: usize, kind: MsgKind| {
         if from != to {
-            msgs.push(LogicalMsg { stage, from, to, kind, bytes: kind.bytes(bytes_per_iter) });
+            msgs.push(LogicalMsg {
+                stage,
+                from,
+                to,
+                kind,
+                bytes: kind.bytes(bytes_per_iter),
+            });
         }
     };
 
@@ -169,7 +184,11 @@ pub fn plan_sync(
         push(&mut msgs, 3, t.from, t.to, MsgKind::Work { iters: t.iters });
     }
 
-    SyncScript { msgs, calc_at, outcome }
+    SyncScript {
+        msgs,
+        calc_at,
+        outcome,
+    }
 }
 
 #[cfg(test)]
@@ -179,7 +198,12 @@ mod tests {
     use crate::strategy::{Strategy, StrategyConfig};
 
     fn prof(proc: usize, done: u64, remaining: u64) -> PerfProfile {
-        PerfProfile { proc, iters_done: done, elapsed: 1.0, remaining }
+        PerfProfile {
+            proc,
+            iters_done: done,
+            elapsed: 1.0,
+            remaining,
+        }
     }
 
     fn outcome_move(members: &[usize]) -> BalanceOutcome {
@@ -213,7 +237,10 @@ mod tests {
             assert_eq!(m.kind, MsgKind::Instruction);
         }
         // Work messages match the plan.
-        assert_eq!(script.transfer_message_count(), script.outcome.transfers.len() as u64);
+        assert_eq!(
+            script.transfer_message_count(),
+            script.outcome.transfers.len() as u64
+        );
     }
 
     #[test]
@@ -248,7 +275,9 @@ mod tests {
         let out = outcome_move(&members);
         let script = plan_sync(&cfg, &members, 3, 0, out, 800);
         assert_eq!(script.stage(1).count(), 2); // 2*(2-1)
-        assert!(script.stage(1).all(|m| members.contains(&m.from) && members.contains(&m.to)));
+        assert!(script
+            .stage(1)
+            .all(|m| members.contains(&m.from) && members.contains(&m.to)));
         assert_eq!(script.calc_at, vec![2, 3]);
     }
 

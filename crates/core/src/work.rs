@@ -64,8 +64,15 @@ impl UniformLoop {
     /// # Panics
     /// Panics if `iter_cost` is not positive and finite.
     pub fn new(iterations: u64, iter_cost: f64, bytes_per_iter: u64) -> Self {
-        assert!(iter_cost > 0.0 && iter_cost.is_finite(), "iteration cost must be positive");
-        Self { iterations, iter_cost, bytes_per_iter }
+        assert!(
+            iter_cost > 0.0 && iter_cost.is_finite(),
+            "iteration cost must be positive"
+        );
+        Self {
+            iterations,
+            iter_cost,
+            bytes_per_iter,
+        }
     }
 }
 
@@ -102,7 +109,11 @@ impl CostFnLoop {
         bytes_per_iter: u64,
         cost: impl Fn(u64) -> f64 + Send + Sync + 'static,
     ) -> Self {
-        Self { iterations, cost: Arc::new(cost), bytes_per_iter }
+        Self {
+            iterations,
+            cost: Arc::new(cost),
+            bytes_per_iter,
+        }
     }
 }
 
@@ -169,7 +180,9 @@ impl<W: LoopWorkload> LoopWorkload for FoldedLoop<W> {
 
 impl<W: std::fmt::Debug> std::fmt::Debug for FoldedLoop<W> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("FoldedLoop").field("inner", &self.inner).finish()
+        f.debug_struct("FoldedLoop")
+            .field("inner", &self.inner)
+            .finish()
     }
 }
 
@@ -225,7 +238,10 @@ mod tests {
         let folded = FoldedLoop::new(tri);
         assert_eq!(folded.iterations(), 5);
         for k in 0..5 {
-            assert!((folded.iter_cost(k) - 11.0).abs() < 1e-12, "pair {k} not uniform");
+            assert!(
+                (folded.iter_cost(k) - 11.0).abs() < 1e-12,
+                "pair {k} not uniform"
+            );
         }
         assert_eq!(folded.bytes_per_iter(), 16);
     }

@@ -95,8 +95,11 @@ impl WorkQueue {
     fn take(&mut self, mut n: u64, front: bool) -> Vec<Range<u64>> {
         let mut out = Vec::new();
         while n > 0 {
-            let Some(mut block) = (if front { self.blocks.pop_front() } else { self.blocks.pop_back() })
-            else {
+            let Some(mut block) = (if front {
+                self.blocks.pop_front()
+            } else {
+                self.blocks.pop_back()
+            }) else {
                 break;
             };
             let len = block.end - block.start;

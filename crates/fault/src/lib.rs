@@ -1,0 +1,30 @@
+//! Fault injection for a simulated network of workstations.
+//!
+//! The paper's evaluation ran on dedicated, fault-free SPARCstations; a
+//! production NOW is neither. This crate defines a deterministic,
+//! seeded fault model that the simulator injects and the DLB protocol
+//! must survive:
+//!
+//! * **Crashes** — a processor dies permanently at a given simulated
+//!   time ([`CrashSpec`]).
+//! * **Stalls** — a processor freezes (no compute progress) over one or
+//!   more intervals and then resumes ([`StallSpec`]).
+//! * **Message loss** — each in-flight protocol message is dropped with
+//!   a seeded probability ([`LossSpec`]).
+//! * **Message delay** — delivery latency is inflated over an interval
+//!   ([`DelaySpec`]).
+//!
+//! All randomness is derived from the spec's own seed via splitmix64,
+//! so a given [`FaultPlan`] replays identically: same plan + same
+//! simulation seed ⇒ same event trace. An empty plan is guaranteed to
+//! inject nothing and cost nothing (the simulator's zero-overhead
+//! invariant is property-tested at the workspace root).
+
+pub mod plan;
+pub mod policy;
+pub mod report;
+pub mod rng;
+
+pub use plan::{CrashSpec, DelaySpec, FaultError, FaultPlan, LossSpec, StallSpec};
+pub use policy::FailurePolicy;
+pub use report::{DetectionRecord, FaultReport};

@@ -1,0 +1,357 @@
+//! Fault specifications and the composite [`FaultPlan`].
+
+use crate::rng;
+use serde::{Deserialize, Serialize};
+
+/// Permanent fail-stop crash: processor `proc` dies at simulated time
+/// `at`. It stops computing, never sends again, and silently discards
+/// anything addressed to it after that instant.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CrashSpec {
+    pub proc: usize,
+    pub at: f64,
+}
+
+/// Transient stall: processor `proc` makes no compute progress during
+/// `[from, until)` but its network endpoint stays alive. Models an OS
+/// freeze, swap storm, or a hostile external job pinning the CPU.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StallSpec {
+    pub proc: usize,
+    pub from: f64,
+    pub until: f64,
+}
+
+/// Probabilistic message loss: each protocol message is independently
+/// dropped with probability `prob`, decided by hashing `(seed, message
+/// sequence number)` — deterministic per plan.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LossSpec {
+    pub prob: f64,
+    pub seed: u64,
+}
+
+/// Delay inflation: message delivery latency is multiplied by `factor`
+/// (≥ 1) for messages sent during `[from, until)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DelaySpec {
+    pub factor: f64,
+    pub from: f64,
+    pub until: f64,
+}
+
+/// A complete, validated-on-use fault scenario for one simulation run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    pub crashes: Vec<CrashSpec>,
+    pub stalls: Vec<StallSpec>,
+    pub loss: Option<LossSpec>,
+    pub delay: Option<DelaySpec>,
+}
+
+/// Why a [`FaultPlan`] was rejected.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultError {
+    /// A spec names a processor outside `0..p`.
+    ProcOutOfRange { proc: usize, procs: usize },
+    /// A time is negative or NaN.
+    BadTime { what: &'static str },
+    /// A stall or delay interval is empty or inverted.
+    EmptyInterval { what: &'static str },
+    /// Loss probability outside `[0, 1)`. A probability of 1 would drop
+    /// every message including every retransmission — no protocol can
+    /// terminate under that, so it is rejected up front.
+    BadLossProb { prob: f64 },
+    /// Delay factor below 1 (delays inflate latency, never shrink it).
+    BadDelayFactor { factor: f64 },
+    /// Two crashes name the same processor.
+    DuplicateCrash { proc: usize },
+    /// Crashing every processor leaves no survivor to finish the work.
+    AllProcsCrash { procs: usize },
+}
+
+impl std::fmt::Display for FaultError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultError::ProcOutOfRange { proc, procs } => {
+                write!(
+                    f,
+                    "fault names processor {proc} but the cluster has {procs}"
+                )
+            }
+            FaultError::BadTime { what } => write!(f, "{what} time must be finite and >= 0"),
+            FaultError::EmptyInterval { what } => {
+                write!(f, "{what} interval must satisfy from < until")
+            }
+            FaultError::BadLossProb { prob } => {
+                write!(f, "loss probability {prob} outside [0, 1)")
+            }
+            FaultError::BadDelayFactor { factor } => {
+                write!(f, "delay factor {factor} must be >= 1")
+            }
+            FaultError::DuplicateCrash { proc } => {
+                write!(f, "processor {proc} crashes more than once")
+            }
+            FaultError::AllProcsCrash { procs } => {
+                write!(f, "all {procs} processors crash; no survivor can finish")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultError {}
+
+impl FaultPlan {
+    /// A plan that injects nothing. Running with this is bit-identical
+    /// to running without the fault subsystem.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Convenience: crash a single processor at `at`.
+    pub fn crash(proc: usize, at: f64) -> Self {
+        FaultPlan {
+            crashes: vec![CrashSpec { proc, at }],
+            ..Self::default()
+        }
+    }
+
+    /// True if the plan injects no faults at all.
+    pub fn is_empty(&self) -> bool {
+        self.crashes.is_empty()
+            && self.stalls.is_empty()
+            && self.loss.is_none()
+            && self.delay.is_none()
+    }
+
+    /// Check the plan against a cluster of `procs` processors.
+    pub fn validate(&self, procs: usize) -> Result<(), FaultError> {
+        let mut crashed = vec![false; procs];
+        for c in &self.crashes {
+            if c.proc >= procs {
+                return Err(FaultError::ProcOutOfRange {
+                    proc: c.proc,
+                    procs,
+                });
+            }
+            if !c.at.is_finite() || c.at < 0.0 {
+                return Err(FaultError::BadTime { what: "crash" });
+            }
+            if std::mem::replace(&mut crashed[c.proc], true) {
+                return Err(FaultError::DuplicateCrash { proc: c.proc });
+            }
+        }
+        if procs > 0 && self.crashes.len() >= procs {
+            return Err(FaultError::AllProcsCrash { procs });
+        }
+        for s in &self.stalls {
+            if s.proc >= procs {
+                return Err(FaultError::ProcOutOfRange {
+                    proc: s.proc,
+                    procs,
+                });
+            }
+            if !s.from.is_finite() || s.from < 0.0 || !s.until.is_finite() {
+                return Err(FaultError::BadTime { what: "stall" });
+            }
+            if s.from >= s.until {
+                return Err(FaultError::EmptyInterval { what: "stall" });
+            }
+        }
+        if let Some(l) = &self.loss {
+            if !(0.0..1.0).contains(&l.prob) {
+                return Err(FaultError::BadLossProb { prob: l.prob });
+            }
+        }
+        if let Some(d) = &self.delay {
+            if !d.factor.is_finite() || d.factor < 1.0 {
+                return Err(FaultError::BadDelayFactor { factor: d.factor });
+            }
+            if !d.from.is_finite() || d.from < 0.0 || !d.until.is_finite() {
+                return Err(FaultError::BadTime { what: "delay" });
+            }
+            if d.from >= d.until {
+                return Err(FaultError::EmptyInterval { what: "delay" });
+            }
+        }
+        Ok(())
+    }
+
+    /// Crash time for `proc`, if the plan crashes it.
+    pub fn crash_time(&self, proc: usize) -> Option<f64> {
+        self.crashes.iter().find(|c| c.proc == proc).map(|c| c.at)
+    }
+
+    /// Stall intervals for `proc`, sorted by start time.
+    pub fn stalls_for(&self, proc: usize) -> Vec<StallSpec> {
+        let mut out: Vec<StallSpec> = self
+            .stalls
+            .iter()
+            .filter(|s| s.proc == proc)
+            .copied()
+            .collect();
+        out.sort_by(|a, b| a.from.total_cmp(&b.from));
+        out
+    }
+
+    /// Should message number `msg_seq` be dropped? Deterministic in
+    /// `(loss seed, msg_seq)`; always `false` without a loss spec.
+    pub fn drops_message(&self, msg_seq: u64) -> bool {
+        match &self.loss {
+            Some(l) => rng::unit(l.seed, msg_seq) < l.prob,
+            None => false,
+        }
+    }
+
+    /// Latency multiplier for a message sent at `time` (1.0 = no
+    /// inflation).
+    pub fn delay_factor_at(&self, time: f64) -> f64 {
+        match &self.delay {
+            Some(d) if time >= d.from && time < d.until => d.factor,
+            _ => 1.0,
+        }
+    }
+
+    /// Total compute time `proc` loses to stalls if it computes from
+    /// `start` to `until` wall-clock (used by tests; the simulator walks
+    /// intervals incrementally).
+    pub fn stalled_time_in(&self, proc: usize, start: f64, until: f64) -> f64 {
+        self.stalls_for(proc)
+            .iter()
+            .map(|s| (s.until.min(until) - s.from.max(start)).max(0.0))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_empty_and_valid() {
+        let p = FaultPlan::none();
+        assert!(p.is_empty());
+        assert!(p.validate(8).is_ok());
+        assert!(!p.drops_message(0));
+        assert_eq!(p.delay_factor_at(5.0), 1.0);
+        assert_eq!(p.crash_time(3), None);
+    }
+
+    #[test]
+    fn validate_rejects_bad_specs() {
+        assert!(matches!(
+            FaultPlan::crash(9, 1.0).validate(4),
+            Err(FaultError::ProcOutOfRange { proc: 9, procs: 4 })
+        ));
+        assert!(matches!(
+            FaultPlan::crash(0, -1.0).validate(4),
+            Err(FaultError::BadTime { .. })
+        ));
+        let mut dup = FaultPlan::crash(1, 1.0);
+        dup.crashes.push(CrashSpec { proc: 1, at: 2.0 });
+        assert!(matches!(
+            dup.validate(4),
+            Err(FaultError::DuplicateCrash { proc: 1 })
+        ));
+        let all = FaultPlan {
+            crashes: (0..2).map(|p| CrashSpec { proc: p, at: 1.0 }).collect(),
+            ..FaultPlan::default()
+        };
+        assert!(matches!(
+            all.validate(2),
+            Err(FaultError::AllProcsCrash { procs: 2 })
+        ));
+        let loss = FaultPlan {
+            loss: Some(LossSpec { prob: 1.0, seed: 7 }),
+            ..FaultPlan::default()
+        };
+        assert!(matches!(
+            loss.validate(4),
+            Err(FaultError::BadLossProb { .. })
+        ));
+        let delay = FaultPlan {
+            delay: Some(DelaySpec {
+                factor: 0.5,
+                from: 0.0,
+                until: 1.0,
+            }),
+            ..FaultPlan::default()
+        };
+        assert!(matches!(
+            delay.validate(4),
+            Err(FaultError::BadDelayFactor { .. })
+        ));
+        let stall = FaultPlan {
+            stalls: vec![StallSpec {
+                proc: 0,
+                from: 2.0,
+                until: 2.0,
+            }],
+            ..FaultPlan::default()
+        };
+        assert!(matches!(
+            stall.validate(4),
+            Err(FaultError::EmptyInterval { .. })
+        ));
+    }
+
+    #[test]
+    fn loss_rate_tracks_probability() {
+        let plan = FaultPlan {
+            loss: Some(LossSpec {
+                prob: 0.25,
+                seed: 99,
+            }),
+            ..FaultPlan::default()
+        };
+        let dropped = (0..10_000).filter(|&i| plan.drops_message(i)).count();
+        let rate = dropped as f64 / 10_000.0;
+        assert!((rate - 0.25).abs() < 0.02, "observed {rate}");
+    }
+
+    #[test]
+    fn stall_overlap_accounting() {
+        let plan = FaultPlan {
+            stalls: vec![
+                StallSpec {
+                    proc: 2,
+                    from: 1.0,
+                    until: 2.0,
+                },
+                StallSpec {
+                    proc: 2,
+                    from: 5.0,
+                    until: 9.0,
+                },
+                StallSpec {
+                    proc: 1,
+                    from: 0.0,
+                    until: 100.0,
+                },
+            ],
+            ..FaultPlan::default()
+        };
+        assert_eq!(plan.stalled_time_in(2, 0.0, 10.0), 5.0);
+        assert_eq!(plan.stalled_time_in(2, 1.5, 6.0), 1.5);
+        assert_eq!(plan.stalled_time_in(0, 0.0, 10.0), 0.0);
+        let spans = plan.stalls_for(2);
+        assert_eq!(spans.len(), 2);
+        assert!(spans[0].from < spans[1].from);
+    }
+
+    #[test]
+    fn delay_window_bounds() {
+        let plan = FaultPlan {
+            delay: Some(DelaySpec {
+                factor: 3.0,
+                from: 2.0,
+                until: 4.0,
+            }),
+            ..FaultPlan::default()
+        };
+        assert_eq!(plan.delay_factor_at(1.9), 1.0);
+        assert_eq!(plan.delay_factor_at(2.0), 3.0);
+        assert_eq!(plan.delay_factor_at(3.9), 3.0);
+        assert_eq!(plan.delay_factor_at(4.0), 1.0);
+    }
+}

@@ -1,0 +1,80 @@
+//! Failure-handling parameters for the DLB protocol.
+
+use serde::{Deserialize, Serialize};
+
+/// Tunables for the failure-aware protocol path.
+///
+/// The balancer uses `sync_timeout` as a watchdog on each load-balance
+/// episode: if an expected profile or acknowledgement has not arrived
+/// within the timeout it retransmits, up to `max_retries` times, then
+/// declares the silent member dead and shrinks the group. Independent
+/// of episodes, every `heartbeat_interval` each group's balancer sweeps
+/// its members; a member that crashed is detected no later than the
+/// next sweep, which bounds detection latency.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FailurePolicy {
+    /// Seconds the balancer waits for an expected episode message
+    /// before retransmitting.
+    pub sync_timeout: f64,
+    /// Retransmissions before a silent member is declared dead.
+    pub max_retries: u32,
+    /// Seconds between liveness sweeps.
+    pub heartbeat_interval: f64,
+}
+
+impl Default for FailurePolicy {
+    fn default() -> Self {
+        // An episode on the paper's 10 Mb/s Ethernet completes in well
+        // under 100 ms, so a 250 ms watchdog never fires spuriously; a
+        // 1 s heartbeat keeps detection latency comparable to the
+        // coarsest load-balance interval used in the experiments.
+        FailurePolicy {
+            sync_timeout: 0.25,
+            max_retries: 2,
+            heartbeat_interval: 1.0,
+        }
+    }
+}
+
+impl FailurePolicy {
+    /// Validate the tunables.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.sync_timeout.is_finite() || self.sync_timeout <= 0.0 {
+            return Err(format!(
+                "sync_timeout {} must be finite and > 0",
+                self.sync_timeout
+            ));
+        }
+        if !self.heartbeat_interval.is_finite() || self.heartbeat_interval <= 0.0 {
+            return Err(format!(
+                "heartbeat_interval {} must be finite and > 0",
+                self.heartbeat_interval
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        assert!(FailurePolicy::default().validate().is_ok());
+    }
+
+    #[test]
+    fn rejects_nonpositive_times() {
+        let p = FailurePolicy {
+            sync_timeout: 0.0,
+            ..FailurePolicy::default()
+        };
+        assert!(p.validate().is_err());
+        let p = FailurePolicy {
+            heartbeat_interval: f64::NAN,
+            ..FailurePolicy::default()
+        };
+        assert!(p.validate().is_err());
+    }
+}

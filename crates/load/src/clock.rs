@@ -28,7 +28,10 @@ impl WorkClock {
     /// # Panics
     /// Panics if `speed` is not positive and finite.
     pub fn new(load: Arc<dyn LoadFunction>, speed: f64) -> Self {
-        assert!(speed > 0.0 && speed.is_finite(), "speed must be positive, got {speed}");
+        assert!(
+            speed > 0.0 && speed.is_finite(),
+            "speed must be positive, got {speed}"
+        );
         Self { load, speed }
     }
 
@@ -53,7 +56,10 @@ impl WorkClock {
     /// # Panics
     /// Panics if `work` is negative or not finite.
     pub fn finish_time(&self, start: f64, work: f64) -> f64 {
-        assert!(work >= 0.0 && work.is_finite(), "work must be non-negative, got {work}");
+        assert!(
+            work >= 0.0 && work.is_finite(),
+            "work must be non-negative, got {work}"
+        );
         let mut remaining = work / self.speed; // base time on *this* processor
         let mut t = start;
         loop {
@@ -77,7 +83,9 @@ impl WorkClock {
 
 impl std::fmt::Debug for WorkClock {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("WorkClock").field("speed", &self.speed).finish_non_exhaustive()
+        f.debug_struct("WorkClock")
+            .field("speed", &self.speed)
+            .finish_non_exhaustive()
     }
 }
 

@@ -112,8 +112,8 @@ mod tests {
     fn integral_is_additive() {
         let f = TraceLoad::new(vec![0, 3, 1, 5, 2], 0.7);
         let whole = inverse_slowdown_integral(&f, 0.0, 3.0);
-        let split = inverse_slowdown_integral(&f, 0.0, 1.234)
-            + inverse_slowdown_integral(&f, 1.234, 3.0);
+        let split =
+            inverse_slowdown_integral(&f, 0.0, 1.234) + inverse_slowdown_integral(&f, 1.234, 3.0);
         assert!((whole - split).abs() < 1e-12);
     }
 

@@ -93,7 +93,11 @@ impl DiscreteRandomLoad {
             persistence > 0.0 && persistence.is_finite(),
             "persistence must be positive and finite, got {persistence}"
         );
-        Self { seed, max_load, persistence }
+        Self {
+            seed,
+            max_load,
+            persistence,
+        }
     }
 
     /// The paper's configuration: `m_l = 5` with the given persistence.
@@ -133,7 +137,10 @@ pub struct ConstantLoad {
 
 impl ConstantLoad {
     pub fn new(level: u32) -> Self {
-        Self { level, persistence: 1.0 }
+        Self {
+            level,
+            persistence: 1.0,
+        }
     }
 
     /// Override the (otherwise irrelevant) persistence, which still controls
@@ -184,7 +191,10 @@ pub struct TraceLoad {
 impl TraceLoad {
     pub fn new(levels: Vec<u32>, persistence: f64) -> Self {
         assert!(persistence > 0.0 && persistence.is_finite());
-        Self { levels, persistence }
+        Self {
+            levels,
+            persistence,
+        }
     }
 
     pub fn levels(&self) -> &[u32] {
@@ -224,9 +234,16 @@ impl PhasedLoad {
     pub fn new(phases: Vec<(f64, u32)>, tail_level: u32, persistence: f64) -> Self {
         assert!(persistence > 0.0 && persistence.is_finite());
         for &(d, _) in &phases {
-            assert!(d >= 0.0 && d.is_finite(), "phase durations must be non-negative");
+            assert!(
+                d >= 0.0 && d.is_finite(),
+                "phase durations must be non-negative"
+            );
         }
-        Self { phases, tail_level, persistence }
+        Self {
+            phases,
+            tail_level,
+            persistence,
+        }
     }
 
     fn level_at_time(&self, t: f64) -> u32 {
@@ -251,7 +268,12 @@ impl LoadFunction for PhasedLoad {
         self.persistence
     }
     fn max_level(&self) -> u32 {
-        self.phases.iter().map(|&(_, l)| l).max().unwrap_or(0).max(self.tail_level)
+        self.phases
+            .iter()
+            .map(|&(_, l)| l)
+            .max()
+            .unwrap_or(0)
+            .max(self.tail_level)
     }
 }
 
@@ -259,7 +281,11 @@ impl LoadFunction for PhasedLoad {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum LoadSpec {
     /// The paper's discrete random load.
-    DiscreteRandom { seed: u64, max_load: u32, persistence: f64 },
+    DiscreteRandom {
+        seed: u64,
+        max_load: u32,
+        persistence: f64,
+    },
     /// Constant level.
     Constant { level: u32 },
     /// Dedicated machine.
@@ -272,14 +298,17 @@ impl LoadSpec {
     /// Instantiate the described load function.
     pub fn build(&self) -> Arc<dyn LoadFunction> {
         match self {
-            LoadSpec::DiscreteRandom { seed, max_load, persistence } => {
-                Arc::new(DiscreteRandomLoad::new(*seed, *max_load, *persistence))
-            }
+            LoadSpec::DiscreteRandom {
+                seed,
+                max_load,
+                persistence,
+            } => Arc::new(DiscreteRandomLoad::new(*seed, *max_load, *persistence)),
             LoadSpec::Constant { level } => Arc::new(ConstantLoad::new(*level)),
             LoadSpec::Zero => Arc::new(ZeroLoad),
-            LoadSpec::Trace { levels, persistence } => {
-                Arc::new(TraceLoad::new(levels.clone(), *persistence))
-            }
+            LoadSpec::Trace {
+                levels,
+                persistence,
+            } => Arc::new(TraceLoad::new(levels.clone(), *persistence)),
         }
     }
 
@@ -382,7 +411,11 @@ mod tests {
 
     #[test]
     fn spec_roundtrip_builds_equivalent_function() {
-        let spec = LoadSpec::DiscreteRandom { seed: 7, max_load: 5, persistence: 0.5 };
+        let spec = LoadSpec::DiscreteRandom {
+            seed: 7,
+            max_load: 5,
+            persistence: 0.5,
+        };
         let f = spec.build();
         let direct = DiscreteRandomLoad::new(7, 5, 0.5);
         for k in 0..200 {

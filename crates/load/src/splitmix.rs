@@ -111,7 +111,10 @@ mod tests {
         }
         for &c in &counts {
             // each bucket should hold ~10_000 ± a generous margin
-            assert!((8_500..11_500).contains(&c), "bucket count {c} out of range");
+            assert!(
+                (8_500..11_500).contains(&c),
+                "bucket count {c} out of range"
+            );
         }
     }
 }

@@ -32,13 +32,13 @@ pub struct DecisionReport {
 /// Rank strategies best-first by predicted total time (ties broken in the
 /// paper's reporting order).
 pub fn predicted_order(predictions: &[Prediction]) -> Vec<Strategy> {
-    let mut v: Vec<(Strategy, f64)> =
-        predictions.iter().map(|p| (p.strategy, p.total_time)).collect();
+    let mut v: Vec<(Strategy, f64)> = predictions
+        .iter()
+        .map(|p| (p.strategy, p.total_time))
+        .collect();
     v.sort_by(|a, b| {
-        a.1.total_cmp(&b.1).then_with(|| {
-            let pos = |s: Strategy| Strategy::ALL.iter().position(|&x| x == s).unwrap();
-            pos(a.0).cmp(&pos(b.0))
-        })
+        a.1.total_cmp(&b.1)
+            .then_with(|| a.0.paper_rank().cmp(&b.0.paper_rank()))
     });
     v.into_iter().map(|(s, _)| s).collect()
 }
@@ -67,13 +67,19 @@ pub fn choose_strategy(
 /// # Panics
 /// Panics if the rankings are not permutations of the same strategies.
 pub fn rank_agreement(actual: &[Strategy], predicted: &[Strategy]) -> f64 {
-    assert_eq!(actual.len(), predicted.len(), "rankings must have equal length");
+    assert_eq!(
+        actual.len(),
+        predicted.len(),
+        "rankings must have equal length"
+    );
     let n = actual.len();
     if n < 2 {
         return 1.0;
     }
     let pos = |list: &[Strategy], s: Strategy| {
-        list.iter().position(|&x| x == s).expect("rankings must contain the same strategies")
+        list.iter()
+            .position(|&x| x == s)
+            .expect("rankings must contain the same strategies")
     };
     let mut discordant = 0usize;
     for i in 0..n {

@@ -33,7 +33,7 @@ pub mod decision;
 pub mod predict;
 pub mod system;
 
+pub use decision::first_sync_progress;
 pub use decision::{choose_strategy, predicted_order, rank_agreement, DecisionReport};
 pub use predict::{predict, predict_all, predict_no_dlb, Prediction};
-pub use decision::first_sync_progress;
 pub use system::SystemModel;

@@ -132,7 +132,13 @@ pub fn predict(
         overhead += g.overhead;
     }
 
-    Prediction { strategy, total_time, syncs, iters_moved, overhead }
+    Prediction {
+        strategy,
+        total_time,
+        syncs,
+        iters_moved,
+        overhead,
+    }
 }
 
 /// Predict all four strategies.
@@ -141,7 +147,10 @@ pub fn predict_all(
     workload: &dyn LoopWorkload,
     group_size: usize,
 ) -> Vec<Prediction> {
-    Strategy::ALL.iter().map(|&s| predict(system, workload, s, group_size)).collect()
+    Strategy::ALL
+        .iter()
+        .map(|&s| predict(system, workload, s, group_size))
+        .collect()
 }
 
 struct GroupPrediction {
@@ -234,11 +243,9 @@ fn predict_group(
         // Control phase, paid by every member: σ + ξ (+ the LCDLB delay)
         // + ι(j) (centralized instruction sends).
         let mut ctl = sigma + system.calc_cost + extra_delay;
-        if outcome.verdict == BalanceVerdict::Move
-            && cfg.strategy.control() == Control::Centralized
+        if outcome.verdict == BalanceVerdict::Move && cfg.strategy.control() == Control::Centralized
         {
-            ctl += outcome.transfers.len() as f64
-                * system.comm.point_to_point(INSTRUCTION_BYTES);
+            ctl += outcome.transfers.len() as f64 * system.comm.point_to_point(INSTRUCTION_BYTES);
         }
         let t_ctl = tj + ctl;
         overhead += ctl;
@@ -275,7 +282,12 @@ fn predict_group(
         alive.retain(|&i| counts[i] > 0);
     }
 
-    GroupPrediction { finish: end, syncs, moved, overhead }
+    GroupPrediction {
+        finish: end,
+        syncs,
+        moved,
+        overhead,
+    }
 }
 
 #[cfg(test)]
@@ -296,7 +308,9 @@ mod tests {
     fn paper_loads(p: usize, seed: u64, persistence: f64) -> SystemModel {
         system(
             p,
-            (0..p).map(|i| LoadSpec::paper_for_processor(seed, i, persistence)).collect(),
+            (0..p)
+                .map(|i| LoadSpec::paper_for_processor(seed, i, persistence))
+                .collect(),
         )
     }
 
@@ -329,7 +343,11 @@ mod tests {
         let no = predict_no_dlb(&sys, &wl);
         let p = predict(&sys, &wl, Strategy::Gddlb, 2);
         assert!(p.iters_moved > 0);
-        assert!(p.total_time < no * 0.8, "DLB {} vs noDLB {no}", p.total_time);
+        assert!(
+            p.total_time < no * 0.8,
+            "DLB {} vs noDLB {no}",
+            p.total_time
+        );
     }
 
     #[test]
@@ -365,8 +383,8 @@ mod tests {
             // LD pays all-to-all, LC pays all-to-one + delay; both are
             // positive. Just check the delay term is present for LC by
             // reconstructing: per-sync overhead must exceed σ + ξ.
-            let sigma_lc = sys.comm.cost(Pattern::OneToAll, 8)
-                + sys.comm.cost(Pattern::AllToOne, 8);
+            let sigma_lc =
+                sys.comm.cost(Pattern::OneToAll, 8) + sys.comm.cost(Pattern::AllToOne, 8);
             assert!(lc_per > sigma_lc + sys.calc_cost - 1e-12);
         }
     }

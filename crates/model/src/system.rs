@@ -73,7 +73,12 @@ mod tests {
     fn from_specs_characterizes_network() {
         let m = SystemModel::from_specs(
             vec![1.0; 4],
-            &[LoadSpec::Zero, LoadSpec::Zero, LoadSpec::Zero, LoadSpec::Zero],
+            &[
+                LoadSpec::Zero,
+                LoadSpec::Zero,
+                LoadSpec::Zero,
+                LoadSpec::Zero,
+            ],
             NetworkParams::paper_ethernet(),
         );
         assert_eq!(m.processors(), 4);

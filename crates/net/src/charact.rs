@@ -90,7 +90,10 @@ pub fn characterize(
     max_procs: usize,
     message_bytes: usize,
 ) -> CharacterizationReport {
-    assert!(max_procs >= 4, "need at least 4 processor counts to fit degree-2 polynomials");
+    assert!(
+        max_procs >= 4,
+        "need at least 4 processor counts to fit degree-2 polynomials"
+    );
     let mut report = CharacterizationReport {
         oa_samples: Vec::new(),
         ao_samples: Vec::new(),
@@ -111,9 +114,18 @@ pub fn characterize(
         let oa = measure_pattern(params, Pattern::OneToAll, n, message_bytes);
         let ao = measure_pattern(params, Pattern::AllToOne, n, message_bytes);
         let aa = measure_pattern(params, Pattern::AllToAll, n, message_bytes);
-        report.oa_samples.push(Sample { procs: n, seconds: oa });
-        report.ao_samples.push(Sample { procs: n, seconds: ao });
-        report.aa_samples.push(Sample { procs: n, seconds: aa });
+        report.oa_samples.push(Sample {
+            procs: n,
+            seconds: oa,
+        });
+        report.ao_samples.push(Sample {
+            procs: n,
+            seconds: ao,
+        });
+        report.aa_samples.push(Sample {
+            procs: n,
+            seconds: aa,
+        });
         xs.push(n as f64);
         oa_ys.push(oa);
         ao_ys.push(ao);
@@ -189,8 +201,14 @@ mod tests {
     fn measured_latency_bandwidth_recover_parameters() {
         let p = NetworkParams::paper_ethernet();
         let (lat, bw) = measure_latency_bandwidth(p);
-        assert!((lat - p.latency()).abs() / p.latency() < 0.01, "latency {lat}");
-        assert!((bw - p.bandwidth).abs() / p.bandwidth < 0.01, "bandwidth {bw}");
+        assert!(
+            (lat - p.latency()).abs() / p.latency() < 0.01,
+            "latency {lat}"
+        );
+        assert!(
+            (bw - p.bandwidth).abs() / p.bandwidth < 0.01,
+            "bandwidth {bw}"
+        );
     }
 
     #[test]

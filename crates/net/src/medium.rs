@@ -38,7 +38,10 @@ pub struct EndpointFactors {
 
 impl Default for EndpointFactors {
     fn default() -> Self {
-        Self { send: 1.0, recv: 1.0 }
+        Self {
+            send: 1.0,
+            recv: 1.0,
+        }
     }
 }
 
@@ -99,13 +102,19 @@ impl MediumSim {
         now: f64,
         factors: EndpointFactors,
     ) -> Transmission {
-        assert!(from < self.nodes() && to < self.nodes(), "node index out of range");
+        assert!(
+            from < self.nodes() && to < self.nodes(),
+            "node index out of range"
+        );
         assert!(
             factors.send >= 1.0 && factors.recv >= 1.0,
             "endpoint factors must be >= 1 (1 = unloaded)"
         );
         if from == to {
-            return Transmission { start: now, delivered: now };
+            return Transmission {
+                start: now,
+                delivered: now,
+            };
         }
         // Sender CPU.
         let start = now.max(self.send_port_free[from]);
@@ -197,7 +206,10 @@ mod tests {
         let mut m = switched(4);
         let a = m.send(0, 1, 100, 0.0);
         let b = m.send(2, 3, 100, 0.0);
-        assert_eq!(a.delivered, b.delivered, "disjoint pairs are fully parallel on a switch");
+        assert_eq!(
+            a.delivered, b.delivered,
+            "disjoint pairs are fully parallel on a switch"
+        );
     }
 
     #[test]
@@ -215,8 +227,16 @@ mod tests {
         let p = *m.params();
         let plain = m.send(0, 1, 0, 0.0);
         m.reset();
-        let loaded =
-            m.send_with_factors(0, 1, 0, 0.0, EndpointFactors { send: 3.0, recv: 2.0 });
+        let loaded = m.send_with_factors(
+            0,
+            1,
+            0,
+            0.0,
+            EndpointFactors {
+                send: 3.0,
+                recv: 2.0,
+            },
+        );
         let extra = 2.0 * p.send_overhead + 1.0 * p.recv_overhead;
         assert!((loaded.delivered - plain.delivered - extra).abs() < 1e-12);
     }
@@ -259,6 +279,15 @@ mod tests {
     #[should_panic(expected = "factors")]
     fn sub_unit_factor_rejected() {
         let mut m = bus(2);
-        let _ = m.send_with_factors(0, 1, 0, 0.0, EndpointFactors { send: 0.5, recv: 1.0 });
+        let _ = m.send_with_factors(
+            0,
+            1,
+            0,
+            0.0,
+            EndpointFactors {
+                send: 0.5,
+                recv: 1.0,
+            },
+        );
     }
 }

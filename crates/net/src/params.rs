@@ -96,7 +96,10 @@ impl NetworkParams {
             ("frame_overhead", self.frame_overhead),
             ("recv_overhead", self.recv_overhead),
         ] {
-            assert!(v >= 0.0 && v.is_finite(), "{name} must be non-negative and finite");
+            assert!(
+                v >= 0.0 && v.is_finite(),
+                "{name} must be non-negative and finite"
+            );
         }
         assert!(self.latency() > 0.0, "latency must be positive overall");
     }
@@ -126,7 +129,11 @@ mod tests {
     #[test]
     fn paper_parameters_match_section_6_1() {
         let p = NetworkParams::paper_ethernet();
-        assert!((p.latency() - PAPER_LATENCY_S).abs() < 1e-9, "L = {}", p.latency());
+        assert!(
+            (p.latency() - PAPER_LATENCY_S).abs() < 1e-9,
+            "L = {}",
+            p.latency()
+        );
         assert!((p.bandwidth - 0.96e6).abs() < 1e-6);
         assert_eq!(p.medium, MediumKind::SharedBus);
         p.validate();

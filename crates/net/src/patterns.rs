@@ -107,11 +107,7 @@ pub fn approx_shared_bus(params: &NetworkParams, pattern: Pattern, n: usize, byt
                 + (m - 1.0) * (params.recv_overhead - frame).max(0.0)
         }
         // P senders work in parallel; P(P-1) frames share one wire.
-        Pattern::AllToAll => {
-            params.send_overhead
-                + (n as f64) * m * frame
-                + params.recv_overhead
-        }
+        Pattern::AllToAll => params.send_overhead + (n as f64) * m * frame + params.recv_overhead,
     }
 }
 
@@ -121,9 +117,7 @@ pub fn approx_switched(params: &NetworkParams, pattern: Pattern, n: usize, bytes
     let frame = params.frame_time(bytes);
     match pattern {
         Pattern::OneToAll => m * params.send_overhead + frame + params.recv_overhead,
-        Pattern::AllToOne => {
-            params.send_overhead + frame + m * params.recv_overhead
-        }
+        Pattern::AllToOne => params.send_overhead + frame + m * params.recv_overhead,
         Pattern::AllToAll => {
             m * params.send_overhead.max(params.recv_overhead) + frame + params.recv_overhead
         }

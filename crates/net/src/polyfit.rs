@@ -18,7 +18,10 @@ impl Poly {
     /// Construct from coefficients, lowest degree first. Trailing zeros are
     /// kept (degree is structural, not mathematical).
     pub fn new(coeffs: Vec<f64>) -> Self {
-        assert!(!coeffs.is_empty(), "a polynomial needs at least one coefficient");
+        assert!(
+            !coeffs.is_empty(),
+            "a polynomial needs at least one coefficient"
+        );
         Self { coeffs }
     }
 
@@ -48,7 +51,11 @@ impl Poly {
         if xs.is_empty() {
             return 0.0;
         }
-        let ss: f64 = xs.iter().zip(ys).map(|(&x, &y)| (self.eval(x) - y).powi(2)).sum();
+        let ss: f64 = xs
+            .iter()
+            .zip(ys)
+            .map(|(&x, &y)| (self.eval(x) - y).powi(2))
+            .sum();
         (ss / xs.len() as f64).sqrt()
     }
 }
@@ -107,7 +114,10 @@ fn solve_linear(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Vec<f64> {
             .map(|r| (r, a[r][col].abs()))
             .max_by(|x, y| x.1.total_cmp(&y.1))
             .expect("non-empty system");
-        assert!(pivot_mag > 1e-12, "singular system in polyfit (column {col})");
+        assert!(
+            pivot_mag > 1e-12,
+            "singular system in polyfit (column {col})"
+        );
         a.swap(col, pivot_row);
         b.swap(col, pivot_row);
 
@@ -165,7 +175,10 @@ mod tests {
     #[test]
     fn fits_exact_quadratic() {
         let xs: Vec<f64> = (2..=16).map(|i| i as f64).collect();
-        let ys: Vec<f64> = xs.iter().map(|x| 0.01 + 0.002 * x + 0.0005 * x * x).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| 0.01 + 0.002 * x + 0.0005 * x * x)
+            .collect();
         let p = polyfit(&xs, &ys, 2);
         assert_close(p.coeffs()[0], 0.01, 1e-9);
         assert_close(p.coeffs()[1], 0.002, 1e-9);

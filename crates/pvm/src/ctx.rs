@@ -57,7 +57,11 @@ impl Ctx {
     /// finished task is a silent no-op, as in PVM where exit races sends.
     pub fn send(&self, to: TaskId, tag: Tag, buf: PackBuf) {
         assert!(to < self.ntasks, "task id {to} out of range");
-        let msg = Message { from: self.tid, tag, body: buf.freeze() };
+        let msg = Message {
+            from: self.tid,
+            tag,
+            body: buf.freeze(),
+        };
         let _ = self.peers[to].send(msg);
     }
 
@@ -69,7 +73,11 @@ impl Ctx {
                 continue;
             }
             assert!(to < self.ntasks, "task id {to} out of range");
-            let _ = self.peers[to].send(Message { from: self.tid, tag, body: body.clone() });
+            let _ = self.peers[to].send(Message {
+                from: self.tid,
+                tag,
+                body: body.clone(),
+            });
         }
     }
 
@@ -84,7 +92,11 @@ impl Ctx {
     /// Panics if every sender is gone and no matching message can ever
     /// arrive (a deadlocked protocol — fail fast instead of hanging).
     pub fn recv(&mut self, from: Option<TaskId>, tag: Option<Tag>) -> Message {
-        if let Some(pos) = self.deferred.iter().position(|m| Self::matches(m, from, tag)) {
+        if let Some(pos) = self
+            .deferred
+            .iter()
+            .position(|m| Self::matches(m, from, tag))
+        {
             return self.deferred.remove(pos).expect("position is valid");
         }
         loop {
@@ -101,7 +113,11 @@ impl Ctx {
 
     /// Non-blocking receive (`pvm_nrecv`).
     pub fn try_recv(&mut self, from: Option<TaskId>, tag: Option<Tag>) -> Option<Message> {
-        if let Some(pos) = self.deferred.iter().position(|m| Self::matches(m, from, tag)) {
+        if let Some(pos) = self
+            .deferred
+            .iter()
+            .position(|m| Self::matches(m, from, tag))
+        {
             return self.deferred.remove(pos);
         }
         while let Ok(msg) = self.inbox.try_recv() {
@@ -186,8 +202,7 @@ impl Pvm {
         F: Fn(Ctx) -> T + Send + Sync + 'static,
     {
         assert!(n > 0, "a virtual machine needs at least one task");
-        let (senders, receivers): (Vec<_>, Vec<_>) =
-            (0..n).map(|_| unbounded::<Message>()).unzip();
+        let (senders, receivers): (Vec<_>, Vec<_>) = (0..n).map(|_| unbounded::<Message>()).unzip();
         let f = std::sync::Arc::new(f);
         let handles: Vec<_> = receivers
             .into_iter()
@@ -213,9 +228,9 @@ impl Pvm {
             .enumerate()
             .map(|(tid, h)| match h.join() {
                 Ok(v) => v,
-                Err(e) => std::panic::resume_unwind(
-                    Box::new(format!("pvm task {tid} panicked: {e:?}")),
-                ),
+                Err(e) => {
+                    std::panic::resume_unwind(Box::new(format!("pvm task {tid} panicked: {e:?}")))
+                }
             })
             .collect()
     }
@@ -322,7 +337,8 @@ mod tests {
     #[test]
     fn recv_timeout_expires() {
         let out = Pvm::run(1, |mut ctx| {
-            ctx.recv_timeout(None, None, Duration::from_millis(10)).is_none()
+            ctx.recv_timeout(None, None, Duration::from_millis(10))
+                .is_none()
         });
         assert!(out[0]);
     }

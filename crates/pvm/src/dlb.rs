@@ -87,8 +87,7 @@ pub fn run_loop(
     let start = Instant::now();
     let outcomes = crate::ctx::Pvm::run(p, move |ctx| {
         let tid = ctx.mytid();
-        let injector =
-            LoadInjector::with_time_scale(loads[tid].build(), time_scale);
+        let injector = LoadInjector::with_time_scale(loads[tid].build(), time_scale);
         Worker::new(ctx, Arc::clone(&kernel), cfg, injector).run()
     });
     let elapsed = start.elapsed();
@@ -154,7 +153,10 @@ impl Worker {
         let p = ctx.ntasks();
         let tid = ctx.mytid();
         let groups = cfg.groups(p);
-        let group = groups.iter().position(|g| g.contains(&tid)).expect("task in a group");
+        let group = groups
+            .iter()
+            .position(|g| g.contains(&tid))
+            .expect("task in a group");
         let members = groups[group].clone();
         // The compiler's initial equal-block distribution + local scatter.
         let initial = dlb_core::Distribution::equal_block(kernel.iterations(), p);
@@ -163,8 +165,10 @@ impl Worker {
             start += initial.count(i);
         }
         let my_range = start..start + initial.count(tid);
-        let items: HashMap<u64, Vec<f64>> =
-            my_range.clone().map(|i| (i, kernel.initial_item(i))).collect();
+        let items: HashMap<u64, Vec<f64>> = my_range
+            .clone()
+            .map(|i| (i, kernel.initial_item(i)))
+            .collect();
         Self {
             kernel,
             cfg,
@@ -203,10 +207,9 @@ impl Worker {
                     self.master_service();
                 }
                 if let Some(m) = self.ctx.try_recv(None, Some(TAG_INTERRUPT)) {
-                    if self.interrupt_is_current(&m)
-                        && self.sync_episode(false) {
-                            break;
-                        }
+                    if self.interrupt_is_current(&m) && self.sync_episode(false) {
+                        break;
+                    }
                 }
             } else {
                 // Out of work: initiate a synchronization for our group.
@@ -233,10 +236,12 @@ impl Worker {
     }
 
     fn execute_iteration(&mut self, iter: u64) {
-        let item = self
-            .items
-            .remove(&iter)
-            .unwrap_or_else(|| panic!("task {} executing iteration {iter} without its payload", self.tid));
+        let item = self.items.remove(&iter).unwrap_or_else(|| {
+            panic!(
+                "task {} executing iteration {iter} without its payload",
+                self.tid
+            )
+        });
         let kernel = Arc::clone(&self.kernel);
         let out = self.injector.taxed(|| kernel.execute(iter, &item));
         self.checksum += out;
@@ -258,8 +263,12 @@ impl Worker {
         if initiator {
             let mut b = PackBuf::new();
             b.pack_u64(self.epoch);
-            let peers: Vec<TaskId> =
-                self.members.iter().copied().filter(|&m| m != self.tid).collect();
+            let peers: Vec<TaskId> = self
+                .members
+                .iter()
+                .copied()
+                .filter(|&m| m != self.tid)
+                .collect();
             self.ctx.mcast(&peers, TAG_INTERRUPT, b);
         }
         self.send_profile();
@@ -325,15 +334,22 @@ impl Worker {
             Control::Distributed => {
                 self.record_profile(self.group, self.epoch, profile);
                 let b = self.pack_profile(&profile);
-                let peers: Vec<TaskId> =
-                    self.members.iter().copied().filter(|&m| m != self.tid).collect();
+                let peers: Vec<TaskId> = self
+                    .members
+                    .iter()
+                    .copied()
+                    .filter(|&m| m != self.tid)
+                    .collect();
                 self.ctx.mcast(&peers, TAG_PROFILE, b);
             }
         }
     }
 
     fn record_profile(&mut self, group: usize, epoch: u64, profile: PerfProfile) {
-        self.pending.entry((group, epoch)).or_default().insert(profile.proc, profile);
+        self.pending
+            .entry((group, epoch))
+            .or_default()
+            .insert(profile.proc, profile);
     }
 
     fn group_complete(&self, group: usize, epoch: u64) -> bool {
@@ -343,7 +359,10 @@ impl Worker {
     }
 
     fn compute_outcome(&mut self, group: usize, epoch: u64) -> BalanceOutcome {
-        let set = self.pending.remove(&(group, epoch)).expect("complete profile set");
+        let set = self
+            .pending
+            .remove(&(group, epoch))
+            .expect("complete profile set");
         let profiles: Vec<PerfProfile> = set.into_values().collect();
         // Movement-cost estimate for the include_move_cost ablation: a
         // thread-local copy is cheap, so charge a nominal per-iteration
@@ -374,8 +393,11 @@ impl Worker {
             self.groups_done += 1;
         }
         let b = Self::pack_outcome(outcome);
-        let peers: Vec<TaskId> =
-            self.groups[group].iter().copied().filter(|&m| m != self.tid).collect();
+        let peers: Vec<TaskId> = self.groups[group]
+            .iter()
+            .copied()
+            .filter(|&m| m != self.tid)
+            .collect();
         self.ctx.mcast(&peers, TAG_OUTCOME, b);
     }
 
@@ -428,9 +450,7 @@ impl Worker {
                     // Keep collecting (and serving other groups) until our
                     // own episode is decidable.
                     while !self.group_complete(self.group, self.epoch) {
-                        let m = self
-                            .ctx
-                            .recv(None, Some(TAG_PROFILE));
+                        let m = self.ctx.recv(None, Some(TAG_PROFILE));
                         let (epoch, group, profile) = Self::unpack_profile(&m);
                         self.record_profile(group, epoch, profile);
                         self.master_service();
@@ -478,16 +498,22 @@ impl Worker {
             }
             for r in &ranges {
                 for i in r.clone() {
-                    let item =
-                        self.items.remove(&i).expect("donated iteration must have its payload");
+                    let item = self
+                        .items
+                        .remove(&i)
+                        .expect("donated iteration must have its payload");
                     b.pack_f64_slice(&item);
                 }
             }
             self.ctx.send(t.to, TAG_WORK, b);
         }
         // Receive.
-        let mut expect: u64 =
-            outcome.transfers.iter().filter(|t| t.to == self.tid).map(|t| t.iters).sum();
+        let mut expect: u64 = outcome
+            .transfers
+            .iter()
+            .filter(|t| t.to == self.tid)
+            .map(|t| t.iters)
+            .sum();
         while expect > 0 {
             let m = self.ctx.recv(None, Some(TAG_WORK));
             let mut u = m.unpack();
@@ -541,17 +567,16 @@ impl Worker {
         loop {
             let m = self.ctx.recv(None, None);
             match m.tag {
-                TAG_INTERRUPT
-                    if self.interrupt_is_current(&m) => {
-                        if self.sync_episode(false) {
-                            return true;
-                        }
-                        if !self.queue.is_empty() {
-                            // Rounding handed us a sliver of work: rejoin
-                            // the compute loop.
-                            return false;
-                        }
+                TAG_INTERRUPT if self.interrupt_is_current(&m) => {
+                    if self.sync_episode(false) {
+                        return true;
                     }
+                    if !self.queue.is_empty() {
+                        // Rounding handed us a sliver of work: rejoin
+                        // the compute loop.
+                        return false;
+                    }
+                }
                 TAG_PROFILE => {
                     let (epoch, group, profile) = Self::unpack_profile(&m);
                     self.record_profile(group, epoch, profile);
@@ -607,36 +632,54 @@ mod tests {
 
     #[test]
     fn all_strategies_preserve_checksum_unloaded() {
-        let kernel = SpinKernel { iters: 64, spin: 500 };
+        let kernel = SpinKernel {
+            iters: 64,
+            spin: 500,
+        };
         let want = sequential_checksum(&kernel);
         for s in Strategy::ALL {
             let report = run_loop(
-                Arc::new(SpinKernel { iters: 64, spin: 500 }),
+                Arc::new(SpinKernel {
+                    iters: 64,
+                    spin: 500,
+                }),
                 StrategyConfig::paper(s, 2),
                 4,
                 zero_loads(4),
                 1.0,
             );
-            assert!((report.checksum - want).abs() < 1e-9, "{s}: checksum mismatch");
+            assert!(
+                (report.checksum - want).abs() < 1e-9,
+                "{s}: checksum mismatch"
+            );
             assert_eq!(report.per_proc_iters.iter().sum::<u64>(), 64, "{s}");
         }
     }
 
     #[test]
     fn skewed_load_moves_work_and_preserves_checksum() {
-        let kernel = SpinKernel { iters: 48, spin: 20_000 };
+        let kernel = SpinKernel {
+            iters: 48,
+            spin: 20_000,
+        };
         let want = sequential_checksum(&kernel);
         let mut loads = zero_loads(4);
         loads[3] = LoadSpec::Constant { level: 5 };
         for s in [Strategy::Gcdlb, Strategy::Gddlb] {
             let report = run_loop(
-                Arc::new(SpinKernel { iters: 48, spin: 20_000 }),
+                Arc::new(SpinKernel {
+                    iters: 48,
+                    spin: 20_000,
+                }),
                 StrategyConfig::paper(s, 2),
                 4,
                 loads.clone(),
                 1.0,
             );
-            assert!((report.checksum - want).abs() < 1e-9, "{s}: checksum mismatch");
+            assert!(
+                (report.checksum - want).abs() < 1e-9,
+                "{s}: checksum mismatch"
+            );
             assert!(report.iters_moved > 0, "{s}: expected work movement");
             assert!(
                 report.per_proc_iters[3] < 12,
@@ -648,12 +691,18 @@ mod tests {
 
     #[test]
     fn local_strategies_keep_work_within_groups() {
-        let kernel = SpinKernel { iters: 40, spin: 10_000 };
+        let kernel = SpinKernel {
+            iters: 40,
+            spin: 10_000,
+        };
         let want = sequential_checksum(&kernel);
         let mut loads = zero_loads(4);
         loads[1] = LoadSpec::Constant { level: 5 };
         let report = run_loop(
-            Arc::new(SpinKernel { iters: 40, spin: 10_000 }),
+            Arc::new(SpinKernel {
+                iters: 40,
+                spin: 10_000,
+            }),
             StrategyConfig::paper(Strategy::Lddlb, 2),
             4,
             loads,
@@ -667,10 +716,16 @@ mod tests {
 
     #[test]
     fn single_task_runs_serially() {
-        let kernel = SpinKernel { iters: 10, spin: 100 };
+        let kernel = SpinKernel {
+            iters: 10,
+            spin: 100,
+        };
         let want = sequential_checksum(&kernel);
         let report = run_loop(
-            Arc::new(SpinKernel { iters: 10, spin: 100 }),
+            Arc::new(SpinKernel {
+                iters: 10,
+                spin: 100,
+            }),
             StrategyConfig::paper(Strategy::Gcdlb, 1),
             1,
             zero_loads(1),
@@ -682,10 +737,16 @@ mod tests {
 
     #[test]
     fn more_tasks_than_iterations() {
-        let kernel = SpinKernel { iters: 3, spin: 100 };
+        let kernel = SpinKernel {
+            iters: 3,
+            spin: 100,
+        };
         let want = sequential_checksum(&kernel);
         let report = run_loop(
-            Arc::new(SpinKernel { iters: 3, spin: 100 }),
+            Arc::new(SpinKernel {
+                iters: 3,
+                spin: 100,
+            }),
             StrategyConfig::paper(Strategy::Gddlb, 4),
             8,
             zero_loads(8),
@@ -697,12 +758,18 @@ mod tests {
 
     #[test]
     fn lcdlb_master_serves_foreign_groups() {
-        let kernel = SpinKernel { iters: 60, spin: 5_000 };
+        let kernel = SpinKernel {
+            iters: 60,
+            spin: 5_000,
+        };
         let want = sequential_checksum(&kernel);
         let mut loads = zero_loads(6);
         loads[4] = LoadSpec::Constant { level: 4 };
         let report = run_loop(
-            Arc::new(SpinKernel { iters: 60, spin: 5_000 }),
+            Arc::new(SpinKernel {
+                iters: 60,
+                spin: 5_000,
+            }),
             StrategyConfig::paper(Strategy::Lcdlb, 2),
             6,
             loads,

@@ -29,7 +29,11 @@ impl LoadInjector {
     /// short test).
     pub fn with_time_scale(load: Arc<dyn LoadFunction>, time_scale: f64) -> Self {
         assert!(time_scale > 0.0 && time_scale.is_finite());
-        Self { load, start: Instant::now(), time_scale }
+        Self {
+            load,
+            start: Instant::now(),
+            time_scale,
+        }
     }
 
     /// Current virtual time on the load-function clock.

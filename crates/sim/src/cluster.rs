@@ -86,7 +86,11 @@ impl ClusterSpec {
     /// Panics if speeds/loads disagree in length, any speed is
     /// non-positive, or the master is out of range.
     pub fn validate(&self) {
-        assert_eq!(self.speeds.len(), self.loads.len(), "speeds/loads length mismatch");
+        assert_eq!(
+            self.speeds.len(),
+            self.loads.len(),
+            "speeds/loads length mismatch"
+        );
         assert!(!self.speeds.is_empty(), "need at least one processor");
         assert!(
             self.speeds.iter().all(|&s| s > 0.0 && s.is_finite()),

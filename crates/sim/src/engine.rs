@@ -24,11 +24,14 @@
 use crate::cluster::ClusterSpec;
 use crate::report::{ProcSummary, RunReport};
 use dlb_core::balance::{balance_group, BalanceOutcome, BalanceVerdict};
+use dlb_core::membership::Membership;
 use dlb_core::profile::PerfProfile;
+use dlb_core::recovery::split_ranges;
 use dlb_core::strategy::{Control, StrategyConfig};
 use dlb_core::work::LoopWorkload;
 use dlb_core::workqueue::{ranges_len, WorkQueue};
 use dlb_core::{Distribution, DlbStats};
+use now_fault::{DetectionRecord, FailurePolicy, FaultPlan, FaultReport};
 use now_load::WorkClock;
 use now_net::MediumSim;
 use std::cmp::Reverse;
@@ -44,21 +47,55 @@ const INSTRUCTION_BYTES: usize = 24;
 
 #[derive(Debug, Clone)]
 enum Payload {
-    Interrupt { group: usize },
-    Profile { group: usize, profile: PerfProfile },
-    Instruction { group: usize, outcome: BalanceOutcome },
-    Work { group: usize, ranges: Vec<Range<u64>> },
+    Interrupt {
+        group: usize,
+    },
+    Profile {
+        group: usize,
+        profile: PerfProfile,
+    },
+    Instruction {
+        group: usize,
+        outcome: BalanceOutcome,
+    },
+    Work {
+        group: usize,
+        ranges: Vec<Range<u64>>,
+    },
 }
 
 #[derive(Debug)]
 enum EvKind {
-    IterDone { proc: usize, iter: u64 },
-    Deliver { to: usize, payload: Payload },
-    CalcCentral { group: usize },
-    CalcLocal { group: usize, proc: usize },
+    IterDone {
+        proc: usize,
+        iter: u64,
+    },
+    Deliver {
+        to: usize,
+        payload: Payload,
+    },
+    CalcCentral {
+        group: usize,
+    },
+    CalcLocal {
+        group: usize,
+        proc: usize,
+    },
     /// Ablation A1.3: a periodic synchronization tick (Dome/Siegell-style
     /// periodic exchanges instead of receiver-initiated interrupts).
     PeriodicTick,
+    /// Fault injection: processor `proc` dies permanently.
+    Crash {
+        proc: usize,
+    },
+    /// Failure handling: liveness sweep over all groups.
+    Heartbeat,
+    /// Failure handling: episode watchdog — if episode `id` of `group` is
+    /// still open when this fires, something went silent.
+    Watchdog {
+        group: usize,
+        id: u64,
+    },
 }
 
 #[derive(Debug)]
@@ -81,7 +118,9 @@ impl PartialOrd for Ev {
 }
 impl Ord for Ev {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.time.total_cmp(&other.time).then(self.seq.cmp(&other.seq))
+        self.time
+            .total_cmp(&other.time)
+            .then(self.seq.cmp(&other.seq))
     }
 }
 
@@ -102,6 +141,10 @@ enum ProcState {
 
 #[derive(Debug)]
 struct Episode {
+    /// Identity for watchdog staleness checks (monotonic per engine).
+    id: u64,
+    /// Member that started the episode (re-sends interrupts on retry).
+    initiator: usize,
     participants: Vec<usize>,
     /// Profiles gathered at the central balancer.
     central_profiles: BTreeMap<usize, PerfProfile>,
@@ -109,24 +152,44 @@ struct Episode {
     local_profiles: BTreeMap<usize, BTreeMap<usize, PerfProfile>>,
     /// Members that have sent their profile.
     profiled: BTreeSet<usize>,
+    /// What each member handed to the transport — the sender's copy,
+    /// available for retransmission if the original is lost.
+    sent_profiles: BTreeMap<usize, PerfProfile>,
     /// Members that have acted on the outcome.
     acted: BTreeSet<usize>,
     /// Members still owed work shipments.
     waiting_work: BTreeSet<usize>,
     /// Whether stats/sync-time were recorded for this episode.
     recorded: bool,
+    /// The computed outcome (identical at every replicated balancer),
+    /// kept for instruction retransmission and donor-death accounting.
+    outcome: Option<BalanceOutcome>,
+    /// Guard against double-scheduling the central calculation when a
+    /// retransmitted profile duplicates one that did arrive.
+    calc_central_scheduled: bool,
+    /// Same guard, per replicated balancer (distributed schemes).
+    calc_scheduled: BTreeSet<usize>,
+    /// Watchdog retransmission rounds consumed.
+    attempts: u32,
 }
 
 impl Episode {
-    fn new(participants: Vec<usize>) -> Self {
+    fn new(id: u64, initiator: usize, participants: Vec<usize>) -> Self {
         Self {
+            id,
+            initiator,
             participants,
             central_profiles: BTreeMap::new(),
             local_profiles: BTreeMap::new(),
             profiled: BTreeSet::new(),
+            sent_profiles: BTreeMap::new(),
             acted: BTreeSet::new(),
             waiting_work: BTreeSet::new(),
             recorded: false,
+            outcome: None,
+            calc_central_scheduled: false,
+            calc_scheduled: BTreeSet::new(),
+            attempts: 0,
         }
     }
 }
@@ -181,6 +244,30 @@ pub struct Engine<'w> {
     /// triggered every `dt` seconds (periodic-exchange schemes) instead of
     /// only by the receiver-initiated interrupts.
     periodic_interval: Option<f64>,
+
+    // --- fault injection & failure handling ---
+    /// What to inject. An empty plan schedules no fault events and takes
+    /// no fault branches: the run is bit-identical to a pre-fault engine.
+    plan: FaultPlan,
+    policy: FailurePolicy,
+    /// `!plan.is_empty()`, cached: every fault branch keys off this.
+    fault_active: bool,
+    faults: FaultReport,
+    membership: Membership,
+    /// Dead processors whose death the protocol has already handled.
+    detected: Vec<bool>,
+    /// Iteration currently executing on each processor, so a crash can
+    /// return it to the queue instead of losing it.
+    in_flight: Vec<Option<u64>>,
+    /// Work shipments the transport failed to deliver (lost message or
+    /// dead receiver): `(to, group, ranges)`. The sender's copy — the
+    /// watchdog retransmits these, and death recovery confiscates the
+    /// ones addressed to a dead node. Iterations never leak.
+    lost_work: Vec<(usize, usize, Vec<Range<u64>>)>,
+    /// Message counter feeding the seeded loss model.
+    msg_seq: u64,
+    /// Episode id source for watchdog staleness checks.
+    episode_seq: u64,
 }
 
 impl<'w> Engine<'w> {
@@ -225,7 +312,11 @@ impl<'w> Engine<'w> {
         }
         let groups = group_lists
             .into_iter()
-            .map(|members| GroupCtl { members, episode: None, pending_initiators: BTreeSet::new() })
+            .map(|members| GroupCtl {
+                members,
+                episode: None,
+                pending_initiators: BTreeSet::new(),
+            })
             .collect();
         let medium = MediumSim::new(cluster.net, p);
         let clocks = cluster.clocks();
@@ -254,7 +345,37 @@ impl<'w> Engine<'w> {
             stats: DlbStats::default(),
             sync_times: Vec::new(),
             periodic_interval: None,
+            plan: FaultPlan::none(),
+            policy: FailurePolicy::default(),
+            fault_active: false,
+            faults: FaultReport::default(),
+            membership: Membership::new(p),
+            detected: vec![false; p],
+            in_flight: vec![None; p],
+            lost_work: Vec::new(),
+            msg_seq: 0,
+            episode_seq: 0,
         }
+    }
+
+    /// Inject faults per `plan`, handled per `policy`. An empty plan is
+    /// guaranteed overhead-free: the run is identical to one without the
+    /// fault subsystem.
+    ///
+    /// # Panics
+    /// Panics if the plan is invalid for this cluster or the policy
+    /// tunables are out of range.
+    pub fn with_faults(mut self, plan: FaultPlan, policy: FailurePolicy) -> Self {
+        if let Err(e) = plan.validate(self.cluster.processors()) {
+            panic!("invalid fault plan: {e}");
+        }
+        if let Err(e) = policy.validate() {
+            panic!("invalid failure policy: {e}");
+        }
+        self.fault_active = !plan.is_empty();
+        self.plan = plan;
+        self.policy = policy;
+        self
     }
 
     /// Enable ablation A1.3: additionally trigger a synchronization every
@@ -263,7 +384,10 @@ impl<'w> Engine<'w> {
     /// # Panics
     /// Panics unless `dt` is positive and finite, or if DLB is disabled.
     pub fn with_periodic_sync(mut self, dt: f64) -> Self {
-        assert!(dt > 0.0 && dt.is_finite(), "periodic interval must be positive");
+        assert!(
+            dt > 0.0 && dt.is_finite(),
+            "periodic interval must be positive"
+        );
         assert!(self.cfg.is_some(), "periodic sync requires a DLB strategy");
         self.periodic_interval = Some(dt);
         self
@@ -284,6 +408,14 @@ impl<'w> Engine<'w> {
         if let Some(dt) = self.periodic_interval {
             self.push_event(dt, EvKind::PeriodicTick);
         }
+        if self.fault_active {
+            for c in self.plan.crashes.clone() {
+                self.push_event(c.at, EvKind::Crash { proc: c.proc });
+            }
+            if !self.plan.crashes.is_empty() {
+                self.push_event(self.policy.heartbeat_interval, EvKind::Heartbeat);
+            }
+        }
         while let Some(Reverse(ev)) = self.events.pop() {
             let now = ev.time;
             match ev.kind {
@@ -292,6 +424,9 @@ impl<'w> Engine<'w> {
                 EvKind::CalcCentral { group } => self.on_calc_central(group, now),
                 EvKind::CalcLocal { group, proc } => self.on_calc_local(group, proc, now),
                 EvKind::PeriodicTick => self.on_periodic_tick(now),
+                EvKind::Crash { proc } => self.on_crash(proc, now),
+                EvKind::Heartbeat => self.on_heartbeat(now),
+                EvKind::Watchdog { group, id } => self.on_watchdog(group, id, now),
             }
         }
         // Hard invariant: the event queue drained, so every processor must
@@ -319,6 +454,11 @@ impl<'w> Engine<'w> {
                 .collect(),
             sync_times: self.sync_times,
             total_iters: self.iters_done.iter().sum(),
+            faults: if self.fault_active {
+                Some(self.faults)
+            } else {
+                None
+            },
         }
     }
 
@@ -327,7 +467,11 @@ impl<'w> Engine<'w> {
 
     fn push_event(&mut self, time: f64, kind: EvKind) {
         self.seq += 1;
-        self.events.push(Reverse(Ev { time, seq: self.seq, kind }));
+        self.events.push(Reverse(Ev {
+            time,
+            seq: self.seq,
+            kind,
+        }));
     }
 
     /// CPU-cost multiplier for protocol processing on `node` at `now`:
@@ -338,7 +482,11 @@ impl<'w> Engine<'w> {
     /// and the computation slave" (Section 6.2).
     fn cpu_factor(&self, node: usize, now: f64) -> f64 {
         let ext = self.clocks[node].load().slowdown_at(now);
-        let share = if self.state[node] == ProcState::Computing { 2.0 } else { 1.0 };
+        let share = if self.state[node] == ProcState::Computing {
+            2.0
+        } else {
+            1.0
+        };
         (ext * share).max(1.0)
     }
 
@@ -356,7 +504,25 @@ impl<'w> Engine<'w> {
             _ => self.stats.control_messages += 1,
         }
         self.finished_at[from] = self.finished_at[from].max(now);
-        self.push_event(tx.delivered, EvKind::Deliver { to, payload });
+        self.msg_seq += 1;
+        if self.fault_active && self.plan.drops_message(self.msg_seq) {
+            self.faults.messages_dropped += 1;
+            if let Payload::Work { group, ranges } = payload {
+                // The donor keeps its transfer log until the episode
+                // closes; the watchdog retransmits from this copy.
+                self.lost_work.push((to, group, ranges));
+            }
+            return;
+        }
+        let mut delivered = tx.delivered;
+        if self.fault_active {
+            let f = self.plan.delay_factor_at(now);
+            if f > 1.0 {
+                delivered = now + (tx.delivered - now) * f;
+                self.faults.messages_delayed += 1;
+            }
+        }
+        self.push_event(delivered, EvKind::Deliver { to, payload });
     }
 
     fn schedule_next_iter(&mut self, proc: usize, now: f64) {
@@ -364,15 +530,44 @@ impl<'w> Engine<'w> {
             .pop_front_iter()
             .expect("schedule_next_iter requires a non-empty queue");
         let cost = self.workload.iter_cost(iter);
-        let done_at = self.clocks[proc].finish_time(now, cost);
+        let mut done_at = self.clocks[proc].finish_time(now, cost);
+        if self.fault_active {
+            done_at = self.apply_stalls(proc, now, done_at);
+        }
+        self.in_flight[proc] = Some(iter);
         self.state[proc] = ProcState::Computing;
         self.push_event(done_at, EvKind::IterDone { proc, iter });
+    }
+
+    /// Push an iteration's completion past any stall interval it overlaps:
+    /// a stalled processor makes no compute progress, so each overlapped
+    /// stall displaces the finish time by its full (clipped) span. Spans
+    /// are scanned in start order; a displacement can expose later spans.
+    fn apply_stalls(&self, proc: usize, start: f64, finish: f64) -> f64 {
+        let mut t = finish;
+        for s in self.plan.stalls_for(proc) {
+            if s.until <= start {
+                continue;
+            }
+            if s.from >= t {
+                break;
+            }
+            t += s.until - s.from.max(start);
+        }
+        t
     }
 
     // ------------------------------------------------------------------
     // compute events
 
     fn on_iter_done(&mut self, proc: usize, iter: u64, now: f64) {
+        if self.membership.is_dead(proc) {
+            // The completion was scheduled before the crash; it never
+            // happens. The iteration itself was returned to the queue at
+            // crash time and will be recovered.
+            return;
+        }
+        self.in_flight[proc] = None;
         self.window_iters[proc] += 1;
         self.iters_done[proc] += 1;
         self.work_done[proc] += self.workload.iter_cost(iter);
@@ -404,9 +599,8 @@ impl<'w> Engine<'w> {
             return;
         }
         let g = self.proc_group[proc];
-        if self.groups[g].episode.is_some() {
-            let profiled =
-                self.groups[g].episode.as_ref().unwrap().profiled.contains(&proc);
+        if let Some(episode) = self.groups[g].episode.as_ref() {
+            let profiled = episode.profiled.contains(&proc);
             if !profiled {
                 // Ran dry before the interrupt arrived: profile proactively.
                 self.send_profile(proc, now);
@@ -461,16 +655,26 @@ impl<'w> Engine<'w> {
             let initiator = actives[0];
             let mut participants = actives.clone();
             participants.sort_unstable();
-            self.groups[g].episode = Some(Episode::new(participants));
+            self.episode_seq += 1;
+            self.groups[g].episode = Some(Episode::new(self.episode_seq, initiator, participants));
             self.stats.syncs += 1;
+            self.arm_watchdog(g, now);
             for &m in &actives[1..] {
-                self.send(initiator, m, INTERRUPT_BYTES, Payload::Interrupt { group: g }, now);
+                self.send(
+                    initiator,
+                    m,
+                    INTERRUPT_BYTES,
+                    Payload::Interrupt { group: g },
+                    now,
+                );
             }
             // The initiator itself reacts at its next iteration boundary.
             self.interrupted[initiator] = true;
         }
         if self.active.iter().filter(|&&a| a).count() >= 2 {
-            let dt = self.periodic_interval.expect("tick only fires when configured");
+            let dt = self
+                .periodic_interval
+                .expect("tick only fires when configured");
             self.push_event(now + dt, EvKind::PeriodicTick);
         }
     }
@@ -479,14 +683,39 @@ impl<'w> Engine<'w> {
         let mut participants = peers.clone();
         participants.push(initiator);
         participants.sort_unstable();
-        self.groups[g].episode = Some(Episode::new(participants));
+        self.episode_seq += 1;
+        self.groups[g].episode = Some(Episode::new(self.episode_seq, initiator, participants));
         self.stats.syncs += 1;
+        self.arm_watchdog(g, now);
         // Interrupt the other active members…
         for &m in &peers {
-            self.send(initiator, m, INTERRUPT_BYTES, Payload::Interrupt { group: g }, now);
+            self.send(
+                initiator,
+                m,
+                INTERRUPT_BYTES,
+                Payload::Interrupt { group: g },
+                now,
+            );
         }
         // …and contribute our own profile.
         self.send_profile(initiator, now);
+    }
+
+    /// Schedule the episode watchdog (failure handling only — a run
+    /// without faults schedules no watchdog events).
+    fn arm_watchdog(&mut self, g: usize, now: f64) {
+        if !self.fault_active {
+            return;
+        }
+        let id = self.groups[g]
+            .episode
+            .as_ref()
+            .expect("watchdog needs an episode")
+            .id;
+        self.push_event(
+            now + self.policy.sync_timeout,
+            EvKind::Watchdog { group: g, id },
+        );
     }
 
     fn make_profile(&self, proc: usize, now: f64) -> PerfProfile {
@@ -502,9 +731,18 @@ impl<'w> Engine<'w> {
         let g = self.proc_group[proc];
         let profile = self.make_profile(proc, now);
         self.state[proc] = ProcState::WaitOutcome;
-        let control = self.cfg.as_ref().expect("profiles only exist under DLB").strategy.control();
-        let episode = self.groups[g].episode.as_mut().expect("profile outside an episode");
+        let control = self
+            .cfg
+            .as_ref()
+            .expect("profiles only exist under DLB")
+            .strategy
+            .control();
+        let episode = self.groups[g]
+            .episode
+            .as_mut()
+            .expect("profile outside an episode");
         episode.profiled.insert(proc);
+        episode.sent_profiles.insert(proc, profile);
         match control {
             Control::Centralized => {
                 let master = self.cluster.master;
@@ -541,31 +779,70 @@ impl<'w> Engine<'w> {
     }
 
     fn record_central_profile(&mut self, g: usize, profile: PerfProfile, now: f64) {
-        let cfg = *self.cfg.as_ref().expect("centralized profile under DLB");
-        let episode = self.groups[g].episode.as_mut().expect("no episode for profile");
+        let episode = self.groups[g]
+            .episode
+            .as_mut()
+            .expect("no episode for profile");
         episode.central_profiles.insert(profile.proc, profile);
-        if episode.central_profiles.len() == episode.participants.len() {
-            // The single balancer serves groups FIFO: the wait in this
-            // queue is the paper's LCDLB delay factor. The calculation
-            // runs on the (possibly loaded, possibly still computing)
-            // master CPU.
-            let start = now.max(self.master_busy_until);
-            let done = start + cfg.calc_cost * self.cpu_factor(self.cluster.master, now);
-            self.master_busy_until = done;
-            self.push_event(done, EvKind::CalcCentral { group: g });
+        self.try_calc_central(g, now);
+    }
+
+    /// Schedule the central balancer calculation once every participant's
+    /// profile is in. Idempotent: duplicates (retransmissions) and
+    /// membership shrink re-checks cannot double-schedule.
+    fn try_calc_central(&mut self, g: usize, now: f64) {
+        let cfg = *self.cfg.as_ref().expect("centralized profile under DLB");
+        let Some(episode) = self.groups[g].episode.as_mut() else {
+            return;
+        };
+        if episode.calc_central_scheduled
+            || episode.participants.is_empty()
+            || episode.central_profiles.len() < episode.participants.len()
+        {
+            return;
         }
+        episode.calc_central_scheduled = true;
+        // The single balancer serves groups FIFO: the wait in this
+        // queue is the paper's LCDLB delay factor. The calculation
+        // runs on the (possibly loaded, possibly still computing)
+        // master CPU.
+        let start = now.max(self.master_busy_until);
+        let done = start + cfg.calc_cost * self.cpu_factor(self.cluster.master, now);
+        self.master_busy_until = done;
+        self.push_event(done, EvKind::CalcCentral { group: g });
     }
 
     fn record_local_profile(&mut self, at: usize, g: usize, profile: PerfProfile, now: f64) {
+        let episode = self.groups[g]
+            .episode
+            .as_mut()
+            .expect("no episode for profile");
+        episode
+            .local_profiles
+            .entry(at)
+            .or_default()
+            .insert(profile.proc, profile);
+        self.try_calc_local(g, at, now);
+    }
+
+    /// Schedule member `at`'s replicated calculation once its profile set
+    /// is complete. Idempotent, like [`Engine::try_calc_central`].
+    fn try_calc_local(&mut self, g: usize, at: usize, now: f64) {
         let cfg = *self.cfg.as_ref().expect("distributed profile under DLB");
-        let episode = self.groups[g].episode.as_mut().expect("no episode for profile");
-        let mine = episode.local_profiles.entry(at).or_default();
-        mine.insert(profile.proc, profile);
-        if mine.len() == episode.participants.len() {
-            // Replicated calculation on each (loaded) member CPU.
-            let done = now + cfg.calc_cost * self.cpu_factor(at, now);
-            self.push_event(done, EvKind::CalcLocal { group: g, proc: at });
+        let Some(episode) = self.groups[g].episode.as_mut() else {
+            return;
+        };
+        let have = episode.local_profiles.get(&at).map_or(0, BTreeMap::len);
+        if episode.calc_scheduled.contains(&at)
+            || episode.participants.is_empty()
+            || have < episode.participants.len()
+        {
+            return;
         }
+        episode.calc_scheduled.insert(at);
+        // Replicated calculation on each (loaded) member CPU.
+        let done = now + cfg.calc_cost * self.cpu_factor(at, now);
+        self.push_event(done, EvKind::CalcLocal { group: g, proc: at });
     }
 
     fn decide(&mut self, profiles: &[PerfProfile]) -> BalanceOutcome {
@@ -591,19 +868,26 @@ impl<'w> Engine<'w> {
     }
 
     fn on_calc_central(&mut self, g: usize, now: f64) {
-        let profiles: Vec<PerfProfile> = self.groups[g]
-            .episode
-            .as_ref()
-            .expect("central calc without episode")
-            .central_profiles
-            .values()
-            .copied()
-            .collect();
+        // The episode may have been aborted, or the balancer host may
+        // have died, between scheduling and firing.
+        let Some(episode) = self.groups[g].episode.as_ref() else {
+            return;
+        };
+        if episode.outcome.is_some() || self.membership.is_dead(self.cluster.master) {
+            return;
+        }
+        let profiles: Vec<PerfProfile> = episode.central_profiles.values().copied().collect();
         let outcome = self.decide(&profiles);
         self.record_decision(g, &outcome, now);
         let master = self.cluster.master;
-        let participants =
-            self.groups[g].episode.as_ref().unwrap().participants.clone();
+        let participants = {
+            let episode = self.groups[g]
+                .episode
+                .as_mut()
+                .expect("episode checked above");
+            episode.outcome = Some(outcome.clone());
+            episode.participants.clone()
+        };
         // Broadcast the outcome ("the load balancer broadcasts the new
         // distribution information to the processors", Section 3.3);
         // the master, if a participant, acts locally.
@@ -615,7 +899,10 @@ impl<'w> Engine<'w> {
                 master,
                 m,
                 INSTRUCTION_BYTES,
-                Payload::Instruction { group: g, outcome: outcome.clone() },
+                Payload::Instruction {
+                    group: g,
+                    outcome: outcome.clone(),
+                },
                 now,
             );
         }
@@ -625,27 +912,39 @@ impl<'w> Engine<'w> {
     }
 
     fn on_calc_local(&mut self, g: usize, proc: usize, now: f64) {
-        let profiles: Vec<PerfProfile> = self.groups[g]
-            .episode
-            .as_ref()
-            .expect("local calc without episode")
-            .local_profiles
-            .get(&proc)
-            .expect("local calc without collected profiles")
-            .values()
-            .copied()
-            .collect();
+        // Aborted episode or a balancer replica that died since
+        // scheduling: nothing to do.
+        let Some(episode) = self.groups[g].episode.as_ref() else {
+            return;
+        };
+        if self.membership.is_dead(proc) {
+            return;
+        }
+        let Some(mine) = episode.local_profiles.get(&proc) else {
+            return;
+        };
+        let profiles: Vec<PerfProfile> = mine.values().copied().collect();
         // Every member computes the same deterministic outcome in parallel.
         let outcome = self.decide(&profiles);
         self.record_decision(g, &outcome, now);
+        if let Some(episode) = self.groups[g].episode.as_mut() {
+            episode.outcome = Some(outcome.clone());
+        }
         self.act_on_outcome(proc, g, &outcome, now);
     }
 
     fn act_on_outcome(&mut self, m: usize, g: usize, outcome: &BalanceOutcome, now: f64) {
         {
-            let episode = self.groups[g].episode.as_mut().expect("act without episode");
+            let episode = self.groups[g]
+                .episode
+                .as_mut()
+                .expect("act without episode");
             debug_assert!(episode.participants.contains(&m), "actor must participate");
-            episode.acted.insert(m);
+            if !episode.acted.insert(m) {
+                // A retransmitted instruction raced its original: acting
+                // twice would ship the same transfers twice.
+                return;
+            }
         }
 
         // Ship what we owe.
@@ -662,8 +961,12 @@ impl<'w> Engine<'w> {
 
         // Wait for what we are owed, crediting any shipments that raced
         // ahead of our own balancer calculation.
-        let mut expect: u64 =
-            outcome.transfers.iter().filter(|t| t.to == m).map(|t| t.iters).sum();
+        let mut expect: u64 = outcome
+            .transfers
+            .iter()
+            .filter(|t| t.to == m)
+            .map(|t| t.iters)
+            .sum();
         let early = std::mem::take(&mut self.early_work[m]);
         for (grp, ranges) in early {
             debug_assert_eq!(grp, g, "early work must belong to the current episode");
@@ -701,7 +1004,9 @@ impl<'w> Engine<'w> {
 
     fn maybe_close_episode(&mut self, g: usize, now: f64) {
         let done = {
-            let Some(e) = self.groups[g].episode.as_ref() else { return };
+            let Some(e) = self.groups[g].episode.as_ref() else {
+                return;
+            };
             e.acted.len() == e.participants.len() && e.waiting_work.is_empty()
         };
         if !done {
@@ -721,9 +1026,530 @@ impl<'w> Engine<'w> {
     }
 
     // ------------------------------------------------------------------
+    // fault injection & failure handling
+
+    /// The injected fail-stop: `proc` dies, silently, at `now`. Detection
+    /// and recovery happen later, via heartbeat sweep or episode watchdog.
+    fn on_crash(&mut self, proc: usize, now: f64) {
+        if !self.membership.declare_dead(proc) {
+            return;
+        }
+        self.faults.crashes_injected += 1;
+        // The iteration executing at the instant of death never
+        // completes; put it back so recovery can hand it to a survivor.
+        if let Some(iter) = self.in_flight[proc].take() {
+            self.queues[proc].push_back(iter..iter + 1);
+        }
+        self.active[proc] = false;
+        self.state[proc] = ProcState::Inactive;
+        self.interrupted[proc] = false;
+        let _ = now;
+    }
+
+    /// Periodic liveness sweep: every dead-but-unhandled processor is
+    /// detected here at the latest, bounding detection latency by the
+    /// heartbeat interval (plus any earlier watchdog detection).
+    fn on_heartbeat(&mut self, now: f64) {
+        self.faults.heartbeat_sweeps += 1;
+        let p = self.cluster.processors();
+        for proc in 0..p {
+            if self.membership.is_dead(proc) && !self.detected[proc] {
+                self.handle_death(proc, now);
+            }
+        }
+        // Keep sweeping while a planned crash is still unhandled.
+        if self.plan.crashes.iter().any(|c| !self.detected[c.proc]) {
+            self.push_event(now + self.policy.heartbeat_interval, EvKind::Heartbeat);
+        }
+    }
+
+    /// Episode watchdog: if episode `id` of group `g` is still open, some
+    /// expected message never arrived — a member died or a message was
+    /// lost. Detect deaths, then retransmit; after `max_retries` rounds,
+    /// abort the episode and release everyone still parked in it.
+    fn on_watchdog(&mut self, g: usize, id: u64, now: f64) {
+        let Some(cur) = self.groups[g].episode.as_ref().map(|e| e.id) else {
+            return;
+        };
+        if cur != id {
+            return; // a later episode; this watchdog is stale
+        }
+        let silent_dead: Vec<usize> = self.groups[g]
+            .episode
+            .as_ref()
+            .expect("episode id just read")
+            .participants
+            .iter()
+            .copied()
+            .filter(|&m| self.membership.is_dead(m) && !self.detected[m])
+            .collect();
+        for d in silent_dead {
+            self.handle_death(d, now);
+        }
+        // Death handling may have aborted or completed the episode.
+        let Some(episode) = self.groups[g].episode.as_mut() else {
+            return;
+        };
+        if episode.id != id {
+            return;
+        }
+        if episode.attempts >= self.policy.max_retries {
+            self.abort_episode(g, now);
+            return;
+        }
+        episode.attempts += 1;
+        self.retransmit(g, now);
+        self.arm_watchdog(g, now);
+    }
+
+    /// Declare `d` dead and recover: confiscate its unexecuted
+    /// iterations (queue + any shipments lost en route to it), shrink its
+    /// group, promote the central balancer if needed, repair the group's
+    /// in-flight episode, and reassign the confiscated work across the
+    /// survivors. Conservation invariant: every iteration is afterwards
+    /// either executed or in some live processor's queue.
+    fn handle_death(&mut self, d: usize, now: f64) {
+        if self.detected[d] {
+            return;
+        }
+        self.detected[d] = true;
+        let crashed_at = self.plan.crash_time(d).unwrap_or(now);
+
+        // Confiscate unexecuted work. The loop's input data is replicated
+        // at startup (arrays ship only on *re*-distribution), so any
+        // survivor can execute a recovered range.
+        let remaining = self.queues[d].remaining();
+        let mut ranges = self.queues[d].take_back(remaining);
+        for (_, rs) in std::mem::take(&mut self.early_work[d]) {
+            ranges.extend(rs);
+        }
+        let mut i = 0;
+        while i < self.lost_work.len() {
+            if self.lost_work[i].0 == d {
+                let (_, _, rs) = self.lost_work.swap_remove(i);
+                ranges.extend(rs);
+            } else {
+                i += 1;
+            }
+        }
+        let recovered = ranges_len(&ranges);
+        self.faults.iters_recovered += recovered;
+        self.faults.detections.push(DetectionRecord {
+            proc: d,
+            crashed_at,
+            detected_at: now,
+            iters_recovered: recovered,
+        });
+
+        // Membership shrink: d leaves its group for good.
+        let g = self.proc_group[d];
+        self.groups[g].members.retain(|&m| m != d);
+        self.groups[g].pending_initiators.remove(&d);
+
+        // Central balancer promotion. Profiles parked in the dead
+        // master's memory are gone; live senders retransmit to the
+        // promoted balancer on the next watchdog round.
+        if self.cluster.master == d {
+            if let Some(new_master) = self.membership.promote(d) {
+                self.cluster.master = new_master;
+            }
+            for gg in 0..self.groups.len() {
+                if let Some(e) = self.groups[gg].episode.as_mut() {
+                    if e.outcome.is_none() {
+                        e.central_profiles.clear();
+                        e.calc_central_scheduled = false;
+                    }
+                }
+            }
+        }
+
+        self.fixup_episode_after_death(g, d, now);
+        self.reassign_ranges(g, ranges, now);
+    }
+
+    /// Distribute confiscated `ranges` across the live members of group
+    /// `g` (any live processor if the group was wiped out), waking any
+    /// heir that had already left the computation.
+    fn reassign_ranges(&mut self, g: usize, ranges: Vec<Range<u64>>, now: f64) {
+        if ranges.is_empty() {
+            return;
+        }
+        let mut heirs: Vec<usize> = self.groups[g]
+            .members
+            .iter()
+            .copied()
+            .filter(|&m| self.membership.is_alive(m))
+            .collect();
+        if heirs.is_empty() {
+            heirs = (0..self.cluster.processors())
+                .filter(|&m| self.membership.is_alive(m))
+                .collect();
+        }
+        let parts = split_ranges(&ranges, heirs.len());
+        for (&m, part) in heirs.iter().zip(parts) {
+            if part.is_empty() {
+                continue;
+            }
+            for r in part {
+                self.queues[m].push_back(r);
+            }
+            self.wake_if_idle(m, now);
+        }
+    }
+
+    /// Route a single orphaned shipment (work delivered to an
+    /// already-handled dead processor) to one survivor of its group.
+    fn reassign_orphan_ranges(&mut self, dead_to: usize, ranges: Vec<Range<u64>>, now: f64) {
+        let g = self.proc_group[dead_to];
+        self.reassign_ranges(g, ranges, now);
+    }
+
+    /// A processor that had left the computation (or was queued to start
+    /// an episode) re-enters it to execute newly assigned work.
+    fn wake_if_idle(&mut self, m: usize, now: f64) {
+        match self.state[m] {
+            ProcState::Inactive | ProcState::IdlePending => {
+                self.groups[self.proc_group[m]]
+                    .pending_initiators
+                    .remove(&m);
+                self.active[m] = true;
+                self.resume(m, now);
+            }
+            // Computing continues; WaitOutcome/WaitWork pick the new
+            // work up when their episode resolves.
+            _ => {}
+        }
+    }
+
+    /// Repair group `g`'s episode after member `d` died: remove every
+    /// trace of `d`, then either abort (too few members left), release
+    /// receivers that were owed work by the dead donor, or let the
+    /// balancer proceed with the shrunken profile set.
+    fn fixup_episode_after_death(&mut self, g: usize, d: usize, now: f64) {
+        let (d_acted, outcome, participants) = {
+            let Some(e) = self.groups[g].episode.as_mut() else {
+                return;
+            };
+            if !e.participants.contains(&d) {
+                return;
+            }
+            let d_acted = e.acted.contains(&d);
+            e.participants.retain(|&m| m != d);
+            e.profiled.remove(&d);
+            e.acted.remove(&d);
+            e.waiting_work.remove(&d);
+            e.central_profiles.remove(&d);
+            e.sent_profiles.remove(&d);
+            e.local_profiles.remove(&d);
+            for profs in e.local_profiles.values_mut() {
+                profs.remove(&d);
+            }
+            e.calc_scheduled.remove(&d);
+            (d_acted, e.outcome.clone(), e.participants.clone())
+        };
+        if participants.len() <= 1 {
+            self.abort_episode(g, now);
+            return;
+        }
+        match outcome {
+            Some(out) if !d_acted => {
+                // The dead member never shipped its donations (they were
+                // confiscated with its queue): release receivers blocked
+                // waiting on them. If it *had* acted, its shipments are
+                // delivered, in flight, or in the lost-work log — all
+                // still reach a live queue — so no release is due.
+                for &m in &participants {
+                    let ProcState::WaitWork { expect } = self.state[m] else {
+                        continue;
+                    };
+                    let owed_by_dead: u64 = out
+                        .transfers
+                        .iter()
+                        .filter(|t| t.to == m && t.from == d)
+                        .map(|t| t.iters)
+                        .sum();
+                    if owed_by_dead == 0 {
+                        continue;
+                    }
+                    let left = expect.saturating_sub(owed_by_dead);
+                    if left == 0 {
+                        if let Some(e) = self.groups[g].episode.as_mut() {
+                            e.waiting_work.remove(&m);
+                        }
+                        self.resume(m, now);
+                    } else {
+                        self.state[m] = ProcState::WaitWork { expect: left };
+                    }
+                }
+            }
+            Some(_) => {}
+            None => {
+                // With d removed, the profile sets may now be complete.
+                let control = self
+                    .cfg
+                    .as_ref()
+                    .expect("episode requires DLB")
+                    .strategy
+                    .control();
+                match control {
+                    Control::Centralized => self.try_calc_central(g, now),
+                    Control::Distributed => {
+                        for &m in &participants {
+                            self.try_calc_local(g, m, now);
+                        }
+                    }
+                }
+            }
+        }
+        self.maybe_close_episode(g, now);
+    }
+
+    /// One watchdog retransmission round for group `g`'s episode: re-send
+    /// whatever the expected-but-missing messages were — lost work
+    /// shipments, unanswered interrupts, profiles missing at a balancer,
+    /// and unacted instructions.
+    fn retransmit(&mut self, g: usize, now: f64) {
+        let control = self
+            .cfg
+            .as_ref()
+            .expect("episode requires DLB")
+            .strategy
+            .control();
+        let (
+            initiator,
+            participants,
+            profiled,
+            sent_profiles,
+            central_have,
+            local_have,
+            acted,
+            outcome,
+        ) = {
+            let e = self.groups[g]
+                .episode
+                .as_ref()
+                .expect("retransmit needs an episode");
+            (
+                e.initiator,
+                e.participants.clone(),
+                e.profiled.clone(),
+                e.sent_profiles.clone(),
+                e.central_profiles
+                    .keys()
+                    .copied()
+                    .collect::<BTreeSet<usize>>(),
+                e.local_profiles
+                    .iter()
+                    .map(|(&m, profs)| (m, profs.keys().copied().collect::<BTreeSet<usize>>()))
+                    .collect::<BTreeMap<usize, BTreeSet<usize>>>(),
+                e.acted.clone(),
+                e.outcome.clone(),
+            )
+        };
+        let alive_now: Vec<bool> = (0..self.cluster.processors())
+            .map(|m| self.membership.is_alive(m))
+            .collect();
+        let alive = move |m: usize| alive_now[m];
+        let sender = if alive(initiator) {
+            initiator
+        } else {
+            match participants.iter().copied().find(|&m| alive(m)) {
+                Some(m) => m,
+                None => return, // nobody left to drive the episode
+            }
+        };
+
+        // 1. Lost work shipments (sender-side copies).
+        let mut stash = Vec::new();
+        let mut i = 0;
+        while i < self.lost_work.len() {
+            if self.lost_work[i].1 == g {
+                stash.push(self.lost_work.swap_remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        for (to, grp, ranges) in stash {
+            self.faults.retries += 1;
+            let bytes = WORK_HEADER_BYTES + (ranges_len(&ranges) * self.bytes_per_iter) as usize;
+            self.send(sender, to, bytes, Payload::Work { group: grp, ranges }, now);
+        }
+
+        // 2. Interrupts that never bit: a live participant still
+        // computing, unprofiled, with no pending interrupt flag.
+        for &m in &participants {
+            if alive(m)
+                && !profiled.contains(&m)
+                && self.state[m] == ProcState::Computing
+                && !self.interrupted[m]
+            {
+                self.faults.retries += 1;
+                self.send(
+                    sender,
+                    m,
+                    INTERRUPT_BYTES,
+                    Payload::Interrupt { group: g },
+                    now,
+                );
+            }
+        }
+
+        // 3. Profiles a balancer is missing, re-sent from the sender's
+        // copy (also repopulates a promoted master after balancer death).
+        match control {
+            Control::Centralized => {
+                let master = self.cluster.master;
+                for (&q, prof) in &sent_profiles {
+                    if !alive(q) || central_have.contains(&q) {
+                        continue;
+                    }
+                    self.faults.retries += 1;
+                    if q == master {
+                        self.record_central_profile(g, *prof, now);
+                    } else {
+                        self.send(
+                            q,
+                            master,
+                            PerfProfile::WIRE_BYTES,
+                            Payload::Profile {
+                                group: g,
+                                profile: *prof,
+                            },
+                            now,
+                        );
+                    }
+                }
+            }
+            Control::Distributed => {
+                for &m in &participants {
+                    if !alive(m) {
+                        continue;
+                    }
+                    let have = local_have.get(&m);
+                    for (&q, prof) in &sent_profiles {
+                        if q == m || !alive(q) || have.is_some_and(|h| h.contains(&q)) {
+                            continue;
+                        }
+                        self.faults.retries += 1;
+                        self.send(
+                            q,
+                            m,
+                            PerfProfile::WIRE_BYTES,
+                            Payload::Profile {
+                                group: g,
+                                profile: *prof,
+                            },
+                            now,
+                        );
+                    }
+                }
+            }
+        }
+
+        // 4. Instructions that never arrived (centralized only — the
+        // distributed schemes have no instruction messages).
+        if control == Control::Centralized {
+            if let Some(out) = outcome {
+                let master = self.cluster.master;
+                for &m in &participants {
+                    if !alive(m) || acted.contains(&m) {
+                        continue;
+                    }
+                    self.faults.retries += 1;
+                    if m == master {
+                        self.act_on_outcome(m, g, &out, now);
+                    } else {
+                        self.send(
+                            master,
+                            m,
+                            INSTRUCTION_BYTES,
+                            Payload::Instruction {
+                                group: g,
+                                outcome: out.clone(),
+                            },
+                            now,
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Give up on an episode: resume every live participant with whatever
+    /// work it holds, flush this group's lost shipments into live queues,
+    /// and let a drained member restart the protocol from scratch.
+    fn abort_episode(&mut self, g: usize, now: f64) {
+        let Some(e) = self.groups[g].episode.take() else {
+            return;
+        };
+        self.faults.aborted_episodes += 1;
+        for &m in &e.participants {
+            if self.membership.is_dead(m) {
+                continue;
+            }
+            self.interrupted[m] = false;
+            // A shipment parked awaiting this member's (now never-coming)
+            // instruction becomes its work outright.
+            for (_, ranges) in std::mem::take(&mut self.early_work[m]) {
+                for r in ranges {
+                    self.queues[m].push_back(r);
+                }
+            }
+            match self.state[m] {
+                ProcState::WaitOutcome | ProcState::WaitWork { .. } => self.resume(m, now),
+                _ => {}
+            }
+        }
+        // Iterations stuck in the lost-work log must not leak.
+        let mut stash = Vec::new();
+        let mut i = 0;
+        while i < self.lost_work.len() {
+            if self.lost_work[i].1 == g {
+                stash.push(self.lost_work.swap_remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        for (to, _, ranges) in stash {
+            if self.membership.is_alive(to) {
+                for r in ranges {
+                    self.queues[to].push_back(r);
+                }
+                self.wake_if_idle(to, now);
+            } else {
+                self.reassign_orphan_ranges(to, ranges, now);
+            }
+        }
+        // A member that drained during the episode gets to restart.
+        while let Some(&p) = self.groups[g].pending_initiators.iter().next() {
+            self.groups[g].pending_initiators.remove(&p);
+            if !self.active[p] || self.state[p] != ProcState::IdlePending {
+                continue;
+            }
+            self.on_out_of_work(p, now);
+            break;
+        }
+    }
+
+    // ------------------------------------------------------------------
     // deliveries
 
     fn on_deliver(&mut self, to: usize, payload: Payload, now: f64) {
+        if self.membership.is_dead(to) {
+            // A dead endpoint acknowledges nothing: the transport reports
+            // the failure and the sender keeps its copy of any work so
+            // iterations cannot vanish with the delivery.
+            if let Payload::Work { group, ranges } = payload {
+                if self.detected[to] {
+                    // Death already handled: route the orphaned shipment
+                    // straight to a survivor.
+                    self.reassign_orphan_ranges(to, ranges, now);
+                } else {
+                    self.lost_work.push((to, group, ranges));
+                }
+            }
+            return;
+        }
         match payload {
             Payload::Interrupt { group } => {
                 if !self.active[to] || self.proc_group[to] != group {
@@ -750,8 +1576,12 @@ impl<'w> Engine<'w> {
                 }
             }
             Payload::Profile { group, profile } => {
-                let control =
-                    self.cfg.as_ref().expect("profile delivery under DLB").strategy.control();
+                let control = self
+                    .cfg
+                    .as_ref()
+                    .expect("profile delivery under DLB")
+                    .strategy
+                    .control();
                 if self.groups[group].episode.is_none() {
                     return; // stale (episode raced to completion)
                 }
@@ -767,6 +1597,16 @@ impl<'w> Engine<'w> {
             }
             Payload::Work { group, ranges } => {
                 let ProcState::WaitWork { expect } = self.state[to] else {
+                    if self.groups[group].episode.is_none() {
+                        // No episode to credit it against (it was aborted
+                        // while this shipment was in flight): keep the
+                        // work directly. Only reachable under faults.
+                        for r in ranges {
+                            self.queues[to].push_back(r);
+                        }
+                        self.wake_if_idle(to, now);
+                        return;
+                    }
                     // The donor's replicated balancer decided (and shipped)
                     // before this receiver finished its own calculation:
                     // hold the shipment until the receiver acts.
@@ -808,7 +1648,11 @@ mod tests {
         let wl = uniform(100, 0.01);
         let report = Engine::new(ClusterSpec::dedicated(4), &wl, None).run();
         // 25 iterations each at 0.01s on unit-speed unloaded processors.
-        assert!((report.total_time - 0.25).abs() < 1e-9, "t = {}", report.total_time);
+        assert!(
+            (report.total_time - 0.25).abs() < 1e-9,
+            "t = {}",
+            report.total_time
+        );
         assert_eq!(report.total_iters, 100);
         assert_eq!(report.stats.syncs, 0);
     }
@@ -819,7 +1663,11 @@ mod tests {
         let mut cluster = ClusterSpec::dedicated(4);
         cluster.loads[3] = LoadSpec::Constant { level: 3 }; // 4x slowdown
         let report = Engine::new(cluster, &wl, None).run();
-        assert!((report.total_time - 1.0).abs() < 1e-9, "t = {}", report.total_time);
+        assert!(
+            (report.total_time - 1.0).abs() < 1e-9,
+            "t = {}",
+            report.total_time
+        );
     }
 
     fn run_strategy(strategy: Strategy, loaded: usize, level: u32) -> RunReport {
@@ -861,7 +1709,11 @@ mod tests {
     #[test]
     fn global_schemes_move_work_once_profitable() {
         let report = run_strategy(Strategy::Gddlb, 3, 4);
-        assert!(report.stats.redistributions >= 1, "stats: {:?}", report.stats);
+        assert!(
+            report.stats.redistributions >= 1,
+            "stats: {:?}",
+            report.stats
+        );
         assert!(report.stats.iters_moved > 0);
         assert!(report.stats.bytes_moved > 0);
     }
@@ -873,7 +1725,10 @@ mod tests {
         assert_eq!(report.total_iters, 400);
         // Work can only have moved between 0 and 1 (groups are K-block).
         let p = &report.per_proc;
-        assert!(p[0].iters_done + p[1].iters_done == 200, "local groups must conserve work");
+        assert!(
+            p[0].iters_done + p[1].iters_done == 200,
+            "local groups must conserve work"
+        );
     }
 
     #[test]
@@ -938,5 +1793,217 @@ mod tests {
             "fast processor should do the bulk: {:?}",
             report.per_proc
         );
+    }
+
+    // ------------------------------------------------------------------
+    // fault injection
+
+    use now_fault::{DelaySpec, FailurePolicy, FaultPlan, LossSpec, StallSpec};
+
+    fn run_faulty(strategy: Strategy, plan: FaultPlan) -> RunReport {
+        let wl = uniform(400, 0.01);
+        let cluster = ClusterSpec::dedicated(4);
+        let cfg = StrategyConfig::paper(strategy, 2);
+        Engine::new(cluster, &wl, Some(cfg))
+            .with_faults(plan, FailurePolicy::default())
+            .run()
+    }
+
+    #[test]
+    fn empty_plan_is_identical_to_no_faults() {
+        for s in Strategy::ALL {
+            let plain = run_strategy(s, 3, 4);
+            let wl = uniform(400, 0.01);
+            let mut cluster = ClusterSpec::dedicated(4);
+            cluster.loads[3] = LoadSpec::Constant { level: 4 };
+            let cfg = StrategyConfig::paper(s, 2);
+            let faulty = Engine::new(cluster, &wl, Some(cfg))
+                .with_faults(FaultPlan::none(), FailurePolicy::default())
+                .run();
+            assert_eq!(plain, faulty, "{s}: empty plan must not perturb the run");
+        }
+    }
+
+    #[test]
+    fn single_crash_every_strategy_terminates_and_conserves() {
+        for s in Strategy::ALL {
+            let report = run_faulty(s, FaultPlan::crash(3, 0.3));
+            // The engine's own final assert already guarantees done ==
+            // workload iterations; re-check through the report.
+            assert_eq!(report.total_iters, 400, "{s} lost iterations");
+            assert!(report.total_time.is_finite(), "{s} never terminated");
+            let f = report.faults.expect("fault plan was active");
+            assert_eq!(f.crashes_injected, 1, "{s}");
+            assert_eq!(f.detections.len(), 1, "{s}");
+            assert_eq!(f.detections[0].proc, 3, "{s}");
+            assert!(f.detections[0].detected_at >= 0.3, "{s}");
+            // The dead processor stops; survivors absorb its share.
+            let survivors: u64 = (0..3).map(|i| report.per_proc[i].iters_done).sum();
+            assert_eq!(survivors + report.per_proc[3].iters_done, 400, "{s}");
+            assert!(
+                report.per_proc[3].iters_done < 100,
+                "{s}: dead proc did a full share"
+            );
+        }
+    }
+
+    #[test]
+    fn master_crash_promotes_and_completes() {
+        // Processor 0 hosts the central balancer in GCDLB; kill it.
+        let report = run_faulty(Strategy::Gcdlb, FaultPlan::crash(0, 0.2));
+        assert_eq!(report.total_iters, 400);
+        let f = report.faults.expect("fault plan was active");
+        assert_eq!(f.detections.len(), 1);
+        assert!(
+            f.iters_recovered > 0,
+            "the dead master held unexecuted work"
+        );
+    }
+
+    #[test]
+    fn two_crashes_still_conserve() {
+        let mut plan = FaultPlan::crash(1, 0.25);
+        plan.crashes.push(now_fault::CrashSpec { proc: 2, at: 0.6 });
+        for s in Strategy::ALL {
+            let report = run_faulty(s, plan.clone());
+            assert_eq!(report.total_iters, 400, "{s}");
+            let f = report.faults.expect("fault plan was active");
+            assert_eq!(f.crashes_injected, 2, "{s}");
+            assert_eq!(f.detections.len(), 2, "{s}");
+        }
+    }
+
+    #[test]
+    fn detection_latency_bounded_by_heartbeat_interval() {
+        let policy = FailurePolicy::default();
+        let wl = uniform(2000, 0.01);
+        let cfg = StrategyConfig::paper(Strategy::Gddlb, 2);
+        let report = Engine::new(ClusterSpec::dedicated(4), &wl, Some(cfg))
+            .with_faults(FaultPlan::crash(2, 0.5), policy)
+            .run();
+        let f = report.faults.expect("fault plan was active");
+        let d = &f.detections[0];
+        // Watchdog may detect earlier; the heartbeat sweep is the
+        // worst-case backstop.
+        assert!(
+            d.latency() <= policy.heartbeat_interval + 1e-9,
+            "latency {} exceeds heartbeat interval",
+            d.latency()
+        );
+    }
+
+    #[test]
+    fn stall_displaces_finish_time() {
+        let wl = uniform(100, 0.01);
+        let plain = Engine::new(ClusterSpec::dedicated(4), &wl, None).run();
+        let plan = FaultPlan {
+            stalls: vec![StallSpec {
+                proc: 0,
+                from: 0.1,
+                until: 0.6,
+            }],
+            ..FaultPlan::default()
+        };
+        let stalled = Engine::new(ClusterSpec::dedicated(4), &wl, None)
+            .with_faults(plan, FailurePolicy::default())
+            .run();
+        assert_eq!(stalled.total_iters, 100);
+        // 0.25s of compute, frozen from 0.1 for 0.5s: finish at 0.75.
+        assert!((plain.total_time - 0.25).abs() < 1e-9);
+        assert!(
+            (stalled.total_time - 0.75).abs() < 1e-9,
+            "t = {}",
+            stalled.total_time
+        );
+    }
+
+    #[test]
+    fn message_loss_is_retransmitted_to_completion() {
+        let plan = FaultPlan {
+            loss: Some(LossSpec {
+                prob: 0.2,
+                seed: 11,
+            }),
+            ..FaultPlan::default()
+        };
+        for s in Strategy::ALL {
+            let wl = uniform(400, 0.01);
+            let mut cluster = ClusterSpec::dedicated(4);
+            cluster.loads[3] = LoadSpec::Constant { level: 4 };
+            let cfg = StrategyConfig::paper(s, 2);
+            let report = Engine::new(cluster, &wl, Some(cfg))
+                .with_faults(plan.clone(), FailurePolicy::default())
+                .run();
+            assert_eq!(
+                report.total_iters, 400,
+                "{s} lost iterations to dropped messages"
+            );
+            let f = report.faults.expect("fault plan was active");
+            if f.messages_dropped > 0 {
+                assert!(
+                    f.retries > 0 || f.aborted_episodes > 0,
+                    "{s}: drops must be recovered by retransmission or abort"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn delay_inflation_slows_protocol_but_conserves() {
+        let plan = FaultPlan {
+            delay: Some(DelaySpec {
+                factor: 50.0,
+                from: 0.0,
+                until: 1e9,
+            }),
+            ..FaultPlan::default()
+        };
+        let wl = uniform(400, 0.01);
+        let mut cluster = ClusterSpec::dedicated(4);
+        cluster.loads[3] = LoadSpec::Constant { level: 4 };
+        let cfg = StrategyConfig::paper(Strategy::Gddlb, 2);
+        let fast = Engine::new(cluster.clone(), &wl, Some(cfg)).run();
+        let slow = Engine::new(cluster, &wl, Some(cfg))
+            .with_faults(plan, FailurePolicy::default())
+            .run();
+        assert_eq!(slow.total_iters, 400);
+        let f = slow.faults.expect("fault plan was active");
+        assert!(f.messages_delayed > 0);
+        assert!(
+            slow.total_time >= fast.total_time,
+            "inflated latency cannot speed the run up: {} vs {}",
+            slow.total_time,
+            fast.total_time
+        );
+    }
+
+    #[test]
+    fn crash_runs_are_deterministic() {
+        let a = run_faulty(Strategy::Lcdlb, FaultPlan::crash(1, 0.3));
+        let b = run_faulty(Strategy::Lcdlb, FaultPlan::crash(1, 0.3));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn crash_under_external_load_conserves() {
+        for s in Strategy::ALL {
+            let wl = uniform(400, 0.02);
+            let cluster = ClusterSpec::paper_homogeneous(4, 7, 0.5);
+            let cfg = StrategyConfig::paper(s, 2);
+            let report = Engine::new(cluster, &wl, Some(cfg))
+                .with_faults(FaultPlan::crash(2, 0.4), FailurePolicy::default())
+                .run();
+            assert_eq!(report.total_iters, 400, "{s}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "all 2 processors crash")]
+    fn with_faults_rejects_unfinishable_plan() {
+        let wl = uniform(10, 0.01);
+        let mut plan = FaultPlan::crash(0, 0.1);
+        plan.crashes.push(now_fault::CrashSpec { proc: 1, at: 0.1 });
+        let _ = Engine::new(ClusterSpec::dedicated(2), &wl, None)
+            .with_faults(plan, FailurePolicy::default());
     }
 }

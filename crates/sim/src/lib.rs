@@ -26,7 +26,9 @@ pub mod runner;
 pub mod taskqueue;
 
 pub use cluster::ClusterSpec;
-pub use report::{rank_strategies, ProcSummary, RunReport};
 pub use engine::Engine;
-pub use runner::{run_all_strategies, run_dlb, run_dlb_periodic, run_no_dlb, StrategySweep};
+pub use report::{rank_strategies, ProcSummary, RunReport};
+pub use runner::{
+    run_all_strategies, run_dlb, run_dlb_faulty, run_dlb_periodic, run_no_dlb, StrategySweep,
+};
 pub use taskqueue::run_task_queue;

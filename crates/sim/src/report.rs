@@ -1,6 +1,7 @@
 //! Run reports: what one simulated execution produced.
 
 use dlb_core::{DlbStats, Strategy};
+use now_fault::FaultReport;
 use serde::{Deserialize, Serialize};
 
 /// Per-processor summary of a run.
@@ -29,13 +30,19 @@ pub struct RunReport {
     pub sync_times: Vec<f64>,
     /// Total iterations executed (must equal the workload's count).
     pub total_iters: u64,
+    /// Fault-injection accounting; `None` when the run had no fault plan
+    /// (the failure-aware machinery never engaged).
+    pub faults: Option<FaultReport>,
 }
 
 impl RunReport {
     /// Execution time normalized to a baseline (the paper's figures plot
     /// time normalized to the no-DLB run of the same configuration).
     pub fn normalized_to(&self, baseline: &RunReport) -> f64 {
-        assert!(baseline.total_time > 0.0, "baseline must have positive time");
+        assert!(
+            baseline.total_time > 0.0,
+            "baseline must have positive time"
+        );
         self.total_time / baseline.total_time
     }
 
@@ -53,10 +60,8 @@ pub fn rank_strategies(reports: &[RunReport]) -> Vec<Strategy> {
         .filter_map(|r| r.strategy.map(|s| (s, r.total_time)))
         .collect();
     with.sort_by(|a, b| {
-        a.1.total_cmp(&b.1).then_with(|| {
-            let pos = |s: Strategy| Strategy::ALL.iter().position(|&x| x == s).unwrap();
-            pos(a.0).cmp(&pos(b.0))
-        })
+        a.1.total_cmp(&b.1)
+            .then_with(|| a.0.paper_rank().cmp(&b.0.paper_rank()))
     });
     with.into_iter().map(|(s, _)| s).collect()
 }
@@ -73,6 +78,7 @@ mod tests {
             per_proc: vec![],
             sync_times: vec![],
             total_iters: 0,
+            faults: None,
         }
     }
 
@@ -101,7 +107,12 @@ mod tests {
         let order = rank_strategies(&reports);
         assert_eq!(
             order,
-            vec![Strategy::Gddlb, Strategy::Lddlb, Strategy::Gcdlb, Strategy::Lcdlb]
+            vec![
+                Strategy::Gddlb,
+                Strategy::Lddlb,
+                Strategy::Gcdlb,
+                Strategy::Lcdlb
+            ]
         );
     }
 

@@ -5,6 +5,7 @@ use crate::engine::Engine;
 use crate::report::{rank_strategies, RunReport};
 use dlb_core::strategy::{Strategy, StrategyConfig};
 use dlb_core::work::LoopWorkload;
+use now_fault::{FailurePolicy, FaultPlan};
 use serde::{Deserialize, Serialize};
 
 /// Run one workload under a DLB strategy.
@@ -22,6 +23,25 @@ pub fn run_no_dlb(cluster: &ClusterSpec, workload: &dyn LoopWorkload) -> RunRepo
     Engine::new(cluster.clone(), workload, None).run()
 }
 
+/// Run one workload under a DLB strategy with fault injection: the
+/// processors named in `plan` crash / stall / lose messages as specified,
+/// and the failure-aware protocol (`policy`) detects and recovers. The
+/// run still executes every iteration of the workload exactly once.
+///
+/// An empty `plan` is guaranteed to produce a report identical to
+/// [`run_dlb`] — the fault machinery adds no events and no time.
+pub fn run_dlb_faulty(
+    cluster: &ClusterSpec,
+    workload: &dyn LoopWorkload,
+    cfg: StrategyConfig,
+    plan: FaultPlan,
+    policy: FailurePolicy,
+) -> RunReport {
+    Engine::new(cluster.clone(), workload, Some(cfg))
+        .with_faults(plan, policy)
+        .run()
+}
+
 /// Ablation A1.3: run with *periodic* synchronization every `dt` seconds
 /// in addition to the receiver-initiated interrupts.
 pub fn run_dlb_periodic(
@@ -30,7 +50,9 @@ pub fn run_dlb_periodic(
     cfg: StrategyConfig,
     dt: f64,
 ) -> RunReport {
-    Engine::new(cluster.clone(), workload, Some(cfg)).with_periodic_sync(dt).run()
+    Engine::new(cluster.clone(), workload, Some(cfg))
+        .with_periodic_sync(dt)
+        .run()
 }
 
 /// The five bars of one figure group: noDLB plus the four strategies.
@@ -46,7 +68,9 @@ impl StrategySweep {
     pub fn normalized_rows(&self) -> Vec<(&'static str, f64)> {
         let mut rows = vec![("noDLB", 1.0)];
         rows.extend(
-            self.strategies.iter().map(|r| (r.label(), r.normalized_to(&self.no_dlb))),
+            self.strategies
+                .iter()
+                .map(|r| (r.label(), r.normalized_to(&self.no_dlb))),
         );
         rows
     }
@@ -136,6 +160,9 @@ mod tests {
         let wl = UniformLoop::new(100, 0.01, 8);
         let cluster = ClusterSpec::dedicated(4);
         let sweep = run_all_strategies(&cluster, &wl, 2);
-        assert_eq!(sweep.report_for(Strategy::Lddlb).strategy, Some(Strategy::Lddlb));
+        assert_eq!(
+            sweep.report_for(Strategy::Lddlb).strategy,
+            Some(Strategy::Lddlb)
+        );
     }
 }

@@ -46,7 +46,9 @@ impl PartialOrd for Ev {
 }
 impl Ord for Ev {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.time.total_cmp(&other.time).then(self.seq.cmp(&other.seq))
+        self.time
+            .total_cmp(&other.time)
+            .then(self.seq.cmp(&other.seq))
     }
 }
 
@@ -86,7 +88,12 @@ pub fn run_task_queue(
             stats.control_messages += 1;
             t.delivered
         };
-        events.push(Reverse(Ev { time: arrive, seq, proc, kind: EvKind::RequestArrives }));
+        events.push(Reverse(Ev {
+            time: arrive,
+            seq,
+            proc,
+            kind: EvKind::RequestArrives,
+        }));
     }
 
     let bpi = workload.bytes_per_iter();
@@ -113,7 +120,10 @@ pub fn run_task_queue(
                         ev.proc,
                         bytes,
                         now,
-                        EndpointFactors { send: load.max(1.0), recv: 1.0 },
+                        EndpointFactors {
+                            send: load.max(1.0),
+                            recv: 1.0,
+                        },
                     );
                     t.delivered
                 };
@@ -165,6 +175,7 @@ pub fn run_task_queue(
             .collect(),
         sync_times: Vec::new(),
         total_iters: total,
+        faults: None,
     }
 }
 

@@ -43,8 +43,9 @@ fn main() {
     }
 
     // 3: bind R, C, R2 to one of the paper's data sizes.
-    let bindings: BTreeMap<String, u64> =
-        [("R", 400u64), ("C", 400), ("R2", 400)].map(|(k, v)| (k.to_string(), v)).into();
+    let bindings: BTreeMap<String, u64> = [("R", 400u64), ("C", 400), ("R2", 400)]
+        .map(|(k, v)| (k.to_string(), v))
+        .into();
     let bound = analyzed.bind(&bindings).expect("binding succeeds");
     let class = &bound.loops[0];
     println!(
@@ -61,7 +62,12 @@ fn main() {
     println!("\n== customization ==");
     println!(
         "predicted order: {}",
-        decision.order.iter().map(|s| s.abbrev()).collect::<Vec<_>>().join(" > ")
+        decision
+            .order
+            .iter()
+            .map(|s| s.abbrev())
+            .collect::<Vec<_>>()
+            .join(" > ")
     );
     println!("committed: {}", decision.chosen);
 
@@ -69,7 +75,11 @@ fn main() {
     let sweep = run_all_strategies(&cluster, &class.workload, 2);
     println!("\n== simulated execution ==");
     for r in &sweep.strategies {
-        let marker = if Some(decision.chosen) == r.strategy { "  <- committed" } else { "" };
+        let marker = if Some(decision.chosen) == r.strategy {
+            "  <- committed"
+        } else {
+            ""
+        };
         println!(
             "  {:>5}: {:6.2}s (normalized {:.3}){marker}",
             r.label(),

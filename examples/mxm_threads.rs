@@ -53,7 +53,9 @@ fn main() {
     loads[3] = LoadSpec::Constant { level: 5 };
 
     for strategy in Strategy::ALL {
-        let kernel = Arc::new(MxmKernel { data: MxmData::new(cfg) });
+        let kernel = Arc::new(MxmKernel {
+            data: MxmData::new(cfg),
+        });
         let report = run_loop(
             kernel,
             StrategyConfig::paper(strategy, 2),
@@ -70,7 +72,10 @@ fn main() {
             report.iters_moved,
             if ok { "OK" } else { "MISMATCH" },
         );
-        assert!(ok, "{strategy}: work moved by the balancer changed the result!");
+        assert!(
+            ok,
+            "{strategy}: work moved by the balancer changed the result!"
+        );
     }
     println!("all strategies preserved the numerical result.");
 }

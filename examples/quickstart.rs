@@ -30,11 +30,7 @@ fn main() {
     println!("  measured best: {}", sweep.actual_order()[0]);
 
     println!("\n== the model's hybrid decision (Section 4.3) ==");
-    let system = SystemModel::from_specs(
-        cluster.speeds.clone(),
-        &cluster.loads,
-        cluster.net,
-    );
+    let system = SystemModel::from_specs(cluster.speeds.clone(), &cluster.loads, cluster.net);
     let decision = choose_strategy(&system, &work, 2);
     for p in &decision.predictions {
         println!(

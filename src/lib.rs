@@ -23,6 +23,7 @@
 //! | [`net`](now_net) | `now-net` | medium model, pattern costs, polyfit characterization |
 //! | [`load`](now_load) | `now-load` | external load functions and effective-speed math |
 //! | [`pvm`](pvm_rt) | `pvm-rt` | threaded PVM-style runtime + real-data DLB executor |
+//! | [`fault`](now_fault) | `now-fault` | seeded fault injection + failure-aware protocol parameters |
 //!
 //! ## Quickstart
 //!
@@ -44,6 +45,7 @@ pub use dlb_apps as apps;
 pub use dlb_compile as compile;
 pub use dlb_core as core;
 pub use dlb_model as model;
+pub use now_fault as fault;
 pub use now_load as load;
 pub use now_net as net;
 pub use now_sim as sim;
@@ -57,10 +59,12 @@ pub mod prelude {
         CostFnLoop, FoldedLoop, LoopWorkload, Strategy, StrategyConfig, UniformLoop,
     };
     pub use dlb_model::{choose_strategy, predict, predict_all, SystemModel};
+    pub use now_fault::{FailurePolicy, FaultPlan};
     pub use now_load::{DiscreteRandomLoad, LoadFunction, LoadSpec};
     pub use now_net::NetworkParams;
     pub use now_sim::{
-        run_all_strategies, run_dlb, run_dlb_periodic, run_no_dlb, ClusterSpec, RunReport,
+        run_all_strategies, run_dlb, run_dlb_faulty, run_dlb_periodic, run_no_dlb, ClusterSpec,
+        RunReport,
     };
     pub use pvm_rt::{run_loop, RowKernel};
 }

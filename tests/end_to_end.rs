@@ -44,7 +44,10 @@ fn compiled_mxm_matches_handwritten_workload_shape() {
     let compiled = &bound.loops[0];
     let handwritten = MxmConfig::new(400, 400, 400).workload();
     assert_eq!(compiled.workload.iterations(), handwritten.iterations());
-    assert_eq!(compiled.workload.bytes_per_iter(), handwritten.bytes_per_iter());
+    assert_eq!(
+        compiled.workload.bytes_per_iter(),
+        handwritten.bytes_per_iter()
+    );
     // The compiler counts mul+add = 2 basic ops per inner iteration; the
     // hand model (following the paper's W = C·R2) counts fused
     // multiply-accumulates. The compiled cost is exactly twice.
@@ -86,7 +89,10 @@ fn model_and_simulator_agree_on_dedicated_cluster() {
     let system = SystemModel::from_specs(cluster.speeds.clone(), &cluster.loads, cluster.net);
     let sim_no = run_no_dlb(&cluster, &wl).total_time;
     let model_no = customized_dlb::model::predict_no_dlb(&system, &wl);
-    assert!((sim_no - model_no).abs() / sim_no < 1e-6, "sim {sim_no} vs model {model_no}");
+    assert!(
+        (sim_no - model_no).abs() / sim_no < 1e-6,
+        "sim {sim_no} vs model {model_no}"
+    );
     for s in Strategy::ALL {
         let sim_t = run_dlb(&cluster, &wl, StrategyConfig::paper(s, 2)).total_time;
         let model_t = predict(&system, &wl, s, 2).total_time;
@@ -108,9 +114,16 @@ fn model_ranks_match_simulation_under_stable_skew() {
     let actual = sweep.actual_order();
     let decision = choose_strategy(&system, &wl, 2);
     let agreement = customized_dlb::model::rank_agreement(&actual, &decision.order);
-    assert!(agreement >= 0.5, "agreement {agreement}: {actual:?} vs {:?}", decision.order);
+    assert!(
+        agreement >= 0.5,
+        "agreement {agreement}: {actual:?} vs {:?}",
+        decision.order
+    );
     use customized_dlb::prelude::Strategy::*;
-    assert!(matches!(actual[0], Gcdlb | Gddlb), "globals must win: {actual:?}");
+    assert!(
+        matches!(actual[0], Gcdlb | Gddlb),
+        "globals must win: {actual:?}"
+    );
 }
 
 #[test]
@@ -138,7 +151,9 @@ fn threaded_runtime_matches_sequential_trfd_loop1() {
     let cfg = TrfdConfig::new(8); // msize = 36 — fast
     let seq = TrfdData::new(cfg).loop1_sequential_checksum();
     let report = run_loop(
-        Arc::new(TrfdLoop1 { data: TrfdData::new(cfg) }),
+        Arc::new(TrfdLoop1 {
+            data: TrfdData::new(cfg),
+        }),
         StrategyConfig::paper(Strategy::Lddlb, 2),
         4,
         vec![LoadSpec::Zero; 4],
@@ -153,8 +168,7 @@ fn hybrid_first_sync_guarantee_holds_under_paper_load() {
     // Section 4.3: at least 1/P of the work is done by the first sync.
     for seed in [1u64, 7, 42, 1996] {
         let cluster = ClusterSpec::paper_homogeneous(8, seed, 0.5);
-        let system =
-            SystemModel::from_specs(cluster.speeds.clone(), &cluster.loads, cluster.net);
+        let system = SystemModel::from_specs(cluster.speeds.clone(), &cluster.loads, cluster.net);
         let wl = UniformLoop::new(800, 0.005, 64);
         let frac = customized_dlb::model::first_sync_progress(&system, &wl);
         assert!(frac >= 1.0 / 8.0 - 1e-9, "seed {seed}: progress {frac}");

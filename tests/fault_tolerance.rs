@@ -1,0 +1,158 @@
+//! Cross-crate fault-tolerance invariants.
+//!
+//! Two guarantees are pinned here end to end:
+//!
+//! 1. **Zero overhead** — running with an empty [`FaultPlan`] produces a
+//!    [`RunReport`] *identical* (all fields, bit-for-bit on times) to
+//!    running without the fault subsystem at all.
+//! 2. **Conservation under crashes** — whatever crashes, every iteration
+//!    of the workload is executed exactly once; the protocol terminates
+//!    for all four strategies.
+
+use customized_dlb::core::{Strategy, StrategyConfig, UniformLoop};
+use customized_dlb::fault::{CrashSpec, FailurePolicy, FaultPlan, FaultReport, LossSpec};
+use customized_dlb::sim::{run_dlb, run_dlb_faulty, ClusterSpec, RunReport};
+use proptest::prelude::*;
+
+fn strategy_from(idx: u8) -> Strategy {
+    Strategy::ALL[idx as usize % Strategy::ALL.len()]
+}
+
+proptest! {
+    /// The zero-overhead guarantee, over random clusters and strategies:
+    /// an empty plan leaves the report exactly equal — same simulated
+    /// times, same stats, same per-processor summaries — except for the
+    /// (empty) fault accounting being attached.
+    #[test]
+    fn empty_plan_runs_are_identical(
+        seed in 0u64..1000,
+        strat in 0u8..4,
+        iters in 50u64..400,
+        persistence in 0.1f64..2.0,
+    ) {
+        let s = strategy_from(strat);
+        let wl = UniformLoop::new(iters, 0.01, 800);
+        let cluster = ClusterSpec::paper_homogeneous(4, seed, persistence);
+        let cfg = StrategyConfig::paper(s, 2);
+        let plain = run_dlb(&cluster, &wl, cfg);
+        let faulty =
+            run_dlb_faulty(&cluster, &wl, cfg, FaultPlan::none(), FailurePolicy::default());
+        prop_assert_eq!(plain, faulty);
+    }
+
+    /// Conservation under a random single crash: any processor, any
+    /// reasonable crash time, any strategy — the run terminates and
+    /// executes every iteration exactly once.
+    #[test]
+    fn single_random_crash_conserves_iterations(
+        seed in 0u64..500,
+        strat in 0u8..4,
+        victim in 0usize..4,
+        at in 0.0f64..2.0,
+    ) {
+        let s = strategy_from(strat);
+        let wl = UniformLoop::new(300, 0.01, 800);
+        let cluster = ClusterSpec::paper_homogeneous(4, seed, 0.5);
+        let cfg = StrategyConfig::paper(s, 2);
+        let report = run_dlb_faulty(
+            &cluster,
+            &wl,
+            cfg,
+            FaultPlan::crash(victim, at),
+            FailurePolicy::default(),
+        );
+        prop_assert_eq!(report.total_iters, 300);
+        let f = report.faults.expect("plan was non-empty");
+        prop_assert_eq!(f.crashes_injected, 1);
+        prop_assert_eq!(f.detections.len(), 1);
+        prop_assert!(f.detections[0].latency() >= 0.0);
+    }
+
+    /// Crash + message loss together still conserve.
+    #[test]
+    fn crash_with_loss_conserves_iterations(
+        seed in 0u64..200,
+        strat in 0u8..4,
+        loss_seed in 0u64..1000,
+    ) {
+        let s = strategy_from(strat);
+        let wl = UniformLoop::new(200, 0.01, 800);
+        let cluster = ClusterSpec::paper_homogeneous(4, seed, 0.5);
+        let cfg = StrategyConfig::paper(s, 2);
+        let plan = FaultPlan {
+            crashes: vec![CrashSpec { proc: 1, at: 0.3 }],
+            loss: Some(LossSpec { prob: 0.1, seed: loss_seed }),
+            ..FaultPlan::default()
+        };
+        let report = run_dlb_faulty(&cluster, &wl, cfg, plan, FailurePolicy::default());
+        prop_assert_eq!(report.total_iters, 200);
+    }
+}
+
+#[test]
+fn run_report_serde_round_trips_with_faults() {
+    let wl = UniformLoop::new(200, 0.01, 800);
+    let cluster = ClusterSpec::paper_homogeneous(4, 9, 0.5);
+    let cfg = StrategyConfig::paper(Strategy::Gddlb, 2);
+    let report = run_dlb_faulty(
+        &cluster,
+        &wl,
+        cfg,
+        FaultPlan::crash(2, 0.25),
+        FailurePolicy::default(),
+    );
+    assert!(report.faults.is_some());
+    let json = serde_json::to_string(&report).expect("serialize");
+    let back: RunReport = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(report, back);
+}
+
+#[test]
+fn run_report_serde_round_trips_without_faults() {
+    let wl = UniformLoop::new(100, 0.01, 800);
+    let cluster = ClusterSpec::paper_homogeneous(4, 9, 0.5);
+    let report = run_dlb(&cluster, &wl, StrategyConfig::paper(Strategy::Lcdlb, 2));
+    assert!(report.faults.is_none());
+    let json = serde_json::to_string(&report).expect("serialize");
+    let back: RunReport = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(report, back);
+}
+
+#[test]
+fn fault_plan_and_report_serde_round_trip() {
+    let plan = FaultPlan {
+        crashes: vec![CrashSpec { proc: 3, at: 1.25 }],
+        stalls: vec![customized_dlb::fault::StallSpec {
+            proc: 1,
+            from: 0.5,
+            until: 0.75,
+        }],
+        loss: Some(LossSpec {
+            prob: 0.05,
+            seed: 77,
+        }),
+        delay: Some(customized_dlb::fault::DelaySpec {
+            factor: 2.0,
+            from: 0.0,
+            until: 4.0,
+        }),
+    };
+    let json = serde_json::to_string(&plan).expect("serialize plan");
+    let back: FaultPlan = serde_json::from_str(&json).expect("deserialize plan");
+    assert_eq!(plan, back);
+
+    let wl = UniformLoop::new(150, 0.01, 800);
+    let cluster = ClusterSpec::paper_homogeneous(4, 3, 0.5);
+    let cfg = StrategyConfig::paper(Strategy::Gcdlb, 2);
+    let report = run_dlb_faulty(
+        &cluster,
+        &wl,
+        cfg,
+        FaultPlan::crash(1, 0.2),
+        FailurePolicy::default(),
+    );
+    let faults = report.faults.expect("crash plan active");
+    let json = serde_json::to_string(&faults).expect("serialize report");
+    let back: FaultReport = serde_json::from_str(&json).expect("deserialize report");
+    assert_eq!(faults, back);
+}

@@ -110,12 +110,10 @@ fn task_queue_baselines_lose_to_dlb_on_the_now() {
     for seed in 0..4u64 {
         let cluster = paper_cluster(4, 5000 + seed);
         let no = run_no_dlb(&cluster, &wl).total_time;
-        dlb_sum += run_dlb(&cluster, &wl, StrategyConfig::paper(Strategy::Gddlb, 2))
-            .total_time
-            / no;
+        dlb_sum +=
+            run_dlb(&cluster, &wl, StrategyConfig::paper(Strategy::Gddlb, 2)).total_time / no;
         queue_sum +=
-            customized_dlb::sim::run_task_queue(&cluster, &wl, ChunkScheme::Guided).total_time
-                / no;
+            customized_dlb::sim::run_task_queue(&cluster, &wl, ChunkScheme::Guided).total_time / no;
     }
     assert!(
         dlb_sum < queue_sum,

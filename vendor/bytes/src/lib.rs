@@ -1,0 +1,146 @@
+//! Offline stand-in for `bytes`.
+//!
+//! Implements the subset this workspace uses: `BytesMut` as a growable
+//! little-endian write buffer, `Bytes` as a cheaply-cloneable read view
+//! with an internal cursor, and the `Buf`/`BufMut` trait methods for
+//! 8-byte scalars. `Bytes::len` reports *remaining* (unread) bytes so a
+//! cursor-style unpacker can track progress, matching how the real
+//! crate's `Buf::remaining`-backed accessors behave.
+
+use std::sync::Arc;
+
+/// Read-side accessors for 8-byte little-endian scalars.
+pub trait Buf {
+    fn get_u64_le(&mut self) -> u64;
+    fn get_i64_le(&mut self) -> i64;
+    fn get_f64_le(&mut self) -> f64;
+}
+
+/// Write-side accessors for 8-byte little-endian scalars.
+pub trait BufMut {
+    fn put_u64_le(&mut self, v: u64);
+    fn put_i64_le(&mut self, v: i64);
+    fn put_f64_le(&mut self, v: f64);
+}
+
+/// Growable byte buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    pub fn extend_from_slice(&mut self, s: &[u8]) {
+        self.data.extend_from_slice(s);
+    }
+
+    /// Convert into an immutable, cheaply-cloneable buffer.
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            data: Arc::from(self.data.into_boxed_slice()),
+            pos: 0,
+        }
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_u64_le(&mut self, v: u64) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_i64_le(&mut self, v: i64) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_f64_le(&mut self, v: f64) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Immutable byte buffer sharing its backing storage across clones, with
+/// a read cursor advanced by the [`Buf`] accessors.
+#[derive(Debug, Clone)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    pos: usize,
+}
+
+impl Bytes {
+    /// Unread bytes remaining.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn take8(&mut self) -> [u8; 8] {
+        assert!(self.len() >= 8, "advance past end of Bytes");
+        let mut out = [0u8; 8];
+        out.copy_from_slice(&self.data[self.pos..self.pos + 8]);
+        self.pos += 8;
+        out
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        BytesMut::new().freeze()
+    }
+}
+
+impl Buf for Bytes {
+    fn get_u64_le(&mut self) -> u64 {
+        u64::from_le_bytes(self.take8())
+    }
+
+    fn get_i64_le(&mut self) -> i64 {
+        i64::from_le_bytes(self.take8())
+    }
+
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_le_bytes(self.take8())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_cursor() {
+        let mut b = BytesMut::new();
+        b.put_u64_le(7);
+        b.put_i64_le(-3);
+        b.put_f64_le(2.5);
+        assert_eq!(b.len(), 24);
+        let mut r = b.freeze();
+        let shared = r.clone();
+        assert_eq!(r.get_u64_le(), 7);
+        assert_eq!(r.len(), 16);
+        assert_eq!(r.get_i64_le(), -3);
+        assert_eq!(r.get_f64_le(), 2.5);
+        assert!(r.is_empty());
+        // Clones keep their own cursor.
+        assert_eq!(shared.len(), 24);
+    }
+}

@@ -1,0 +1,128 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API surface the workspace benches use and executes each
+//! benchmark closure a small fixed number of times with wall-clock
+//! timing. There is no statistical analysis; the point is that
+//! `cargo bench` compiles and runs offline.
+
+use std::time::Instant;
+
+/// How many timed iterations each benchmark runs.
+const RUNS: u32 = 10;
+
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.to_string(),
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id, &mut f);
+        self
+    }
+}
+
+pub struct BenchmarkGroup {
+    name: String,
+}
+
+impl BenchmarkGroup {
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_one(&full, &mut f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, f: &mut F) {
+    let mut b = Bencher {
+        total_nanos: 0,
+        iters: 0,
+    };
+    f(&mut b);
+    let avg = if b.iters > 0 {
+        b.total_nanos / b.iters as u128
+    } else {
+        0
+    };
+    println!("bench {id}: {avg} ns/iter ({} iters)", b.iters);
+}
+
+pub struct Bencher {
+    total_nanos: u128,
+    iters: u64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        for _ in 0..RUNS {
+            let t = Instant::now();
+            black_box(f());
+            self.total_nanos += t.elapsed().as_nanos();
+            self.iters += 1;
+        }
+    }
+
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        for _ in 0..RUNS {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            self.total_nanos += t.elapsed().as_nanos();
+            self.iters += 1;
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Optimization barrier (best-effort on stable).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

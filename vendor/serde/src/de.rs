@@ -1,0 +1,45 @@
+//! Deserialization errors.
+
+use crate::value::Value;
+
+/// Why a value could not be rebuilt into the requested type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Free-form error.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Self { msg: msg.into() }
+    }
+
+    /// The value's shape did not match the expected type.
+    pub fn type_mismatch(expected: &str, got: &Value) -> Self {
+        Self {
+            msg: format!("expected {expected}, got {}", got.kind()),
+        }
+    }
+
+    /// A struct field was absent from the map.
+    pub fn missing_field(ty: &str, field: &str) -> Self {
+        Self {
+            msg: format!("missing field `{field}` for {ty}"),
+        }
+    }
+
+    /// An enum tag did not name a known variant.
+    pub fn unknown_variant(ty: &str, tag: &str) -> Self {
+        Self {
+            msg: format!("unknown variant `{tag}` for {ty}"),
+        }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}

@@ -1,0 +1,301 @@
+//! Offline stand-in for `serde`.
+//!
+//! This build environment has no access to crates.io, so the workspace
+//! vendors a minimal serde-compatible surface: the `Serialize` /
+//! `Deserialize` traits (over a self-describing [`value::Value`] model
+//! instead of serde's visitor machinery), derive macros re-exported from
+//! `serde_derive`, and impls for the std types the workspace serializes.
+//!
+//! The JSON representation produced through `serde_json` matches real
+//! serde's defaults for the shapes used here: structs as objects, unit
+//! structs as `null`, unit enum variants as strings, struct enum variants
+//! as externally tagged single-key objects, tuples as arrays, and
+//! `Range<T>` as `{"start": …, "end": …}`.
+
+pub mod de;
+pub mod value;
+
+pub use serde_derive::{Deserialize, Serialize};
+pub use value::Value;
+
+/// Types that can render themselves into the self-describing value model.
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be rebuilt from the self-describing value model.
+pub trait Deserialize: Sized {
+    fn from_value(v: &Value) -> Result<Self, de::Error>;
+}
+
+// ---------------------------------------------------------------------
+// primitive impls
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, de::Error> {
+                let n = match v {
+                    Value::U64(n) => *n,
+                    Value::I64(n) if *n >= 0 => *n as u64,
+                    other => return Err(de::Error::type_mismatch(stringify!($t), other)),
+                };
+                <$t>::try_from(n)
+                    .map_err(|_| de::Error::custom(format!("{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, de::Error> {
+                let n = match v {
+                    Value::I64(n) => *n,
+                    Value::U64(n) => {
+                        i64::try_from(*n).map_err(|_| de::Error::custom("integer overflow"))?
+                    }
+                    other => return Err(de::Error::type_mismatch(stringify!($t), other)),
+                };
+                <$t>::try_from(n)
+                    .map_err(|_| de::Error::custom(format!("{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::F64(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, de::Error> {
+                match v {
+                    Value::F64(x) => Ok(*x as $t),
+                    Value::U64(n) => Ok(*n as $t),
+                    Value::I64(n) => Ok(*n as $t),
+                    other => Err(de::Error::type_mismatch(stringify!($t), other)),
+                }
+            }
+        }
+    )*};
+}
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(de::Error::type_mismatch("bool", other)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(de::Error::type_mismatch("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+// ---------------------------------------------------------------------
+// containers
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => Err(de::Error::type_mismatch("sequence", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::VecDeque<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for std::collections::VecDeque<T> {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => Err(de::Error::type_mismatch("sequence", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($($name:ident : $idx:tt),+ ; $len:expr) => {
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, de::Error> {
+                match v {
+                    Value::Seq(items) if items.len() == $len => {
+                        Ok(($($name::from_value(&items[$idx])?,)+))
+                    }
+                    other => Err(de::Error::type_mismatch(
+                        concat!("tuple of length ", $len),
+                        other,
+                    )),
+                }
+            }
+        }
+    };
+}
+impl_tuple!(A:0 ; 1);
+impl_tuple!(A:0, B:1 ; 2);
+impl_tuple!(A:0, B:1, C:2 ; 3);
+impl_tuple!(A:0, B:1, C:2, D:3 ; 4);
+
+impl<T: Serialize> Serialize for std::ops::Range<T> {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("start".to_string(), self.start.to_value()),
+            ("end".to_string(), self.end.to_value()),
+        ])
+    }
+}
+impl<T: Deserialize> Deserialize for std::ops::Range<T> {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        let m = v
+            .as_map()
+            .ok_or_else(|| de::Error::type_mismatch("Range map", v))?;
+        let get = |name: &str| {
+            value::get_field(m, name).ok_or_else(|| de::Error::missing_field("Range", name))
+        };
+        Ok(T::from_value(get("start")?)?..T::from_value(get("end")?)?)
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        // Keys render through their own serialization; string keys map to
+        // JSON object keys, everything else is an entry sequence.
+        let all_strings = self.keys().all(|k| matches!(k.to_value(), Value::Str(_)));
+        if all_strings {
+            Value::Map(
+                self.iter()
+                    .map(|(k, v)| {
+                        let Value::Str(s) = k.to_value() else {
+                            unreachable!()
+                        };
+                        (s, v.to_value())
+                    })
+                    .collect(),
+            )
+        } else {
+            Value::Seq(
+                self.iter()
+                    .map(|(k, v)| Value::Seq(vec![k.to_value(), v.to_value()]))
+                    .collect(),
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_roundtrip() {
+        let some: Option<u64> = Some(7);
+        let none: Option<u64> = None;
+        assert_eq!(
+            Option::<u64>::from_value(&some.to_value()).unwrap(),
+            Some(7)
+        );
+        assert_eq!(Option::<u64>::from_value(&none.to_value()).unwrap(), None);
+    }
+
+    #[test]
+    fn range_roundtrip() {
+        let r = 3u64..9;
+        let v = r.to_value();
+        assert_eq!(std::ops::Range::<u64>::from_value(&v).unwrap(), r);
+    }
+
+    #[test]
+    fn tuple_roundtrip() {
+        let t = (4usize, 9u64);
+        assert_eq!(<(usize, u64)>::from_value(&t.to_value()).unwrap(), t);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let v = Value::U64(300);
+        assert!(u8::from_value(&v).is_err());
+    }
+}

@@ -1,0 +1,53 @@
+//! The self-describing value model shared by serialization and
+//! deserialization.
+
+/// A JSON-shaped value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Str(String),
+    Seq(Vec<Value>),
+    /// Object entries in insertion order (field declaration order for
+    /// derived structs).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Entries if this is a map.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// Items if this is a sequence.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Short description of the value's shape, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::U64(_) | Value::I64(_) => "integer",
+            Value::F64(_) => "number",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+}
+
+/// Look up a field by name in map entries.
+pub fn get_field<'a>(entries: &'a [(String, Value)], name: &str) -> Option<&'a Value> {
+    entries.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+}

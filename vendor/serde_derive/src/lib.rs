@@ -1,0 +1,428 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the vendored
+//! serde stand-in.
+//!
+//! Implemented without `syn`/`quote` (this environment is offline): the
+//! macro walks the raw token stream to extract the item's shape — struct
+//! or enum name, field names, variant names — and emits the impl as
+//! formatted source text. Only the shapes this workspace uses are
+//! supported: named-field structs, unit structs, and enums whose variants
+//! are unit, struct-like, or tuple-like. Generic items and tuple structs
+//! are rejected with a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The parsed shape of the deriving item.
+enum Item {
+    /// `struct Name { field, … }` (empty for unit structs).
+    Struct {
+        name: String,
+        fields: Vec<String>,
+        unit: bool,
+    },
+    /// `enum Name { Variant, Variant { field, … }, Variant(T, …), … }`.
+    Enum {
+        name: String,
+        variants: Vec<(String, VariantShape)>,
+    },
+}
+
+/// The payload shape of one enum variant.
+enum VariantShape {
+    Unit,
+    /// Named fields, in declaration order.
+    Struct(Vec<String>),
+    /// Positional fields (arity only; types come from inference).
+    Tuple(usize),
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => return compile_error(&msg),
+    };
+    let code = match &item {
+        Item::Struct { name, fields, unit } => serialize_struct(name, fields, *unit),
+        Item::Enum { name, variants } => serialize_enum(name, variants),
+    };
+    code.parse().expect("generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => return compile_error(&msg),
+    };
+    let code = match &item {
+        Item::Struct { name, fields, unit } => deserialize_struct(name, fields, *unit),
+        Item::Enum { name, variants } => deserialize_enum(name, variants),
+    };
+    code.parse().expect("generated Deserialize impl must parse")
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("error token stream")
+}
+
+// ---------------------------------------------------------------------
+// token-stream parsing
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => "struct",
+        Some(TokenTree::Ident(id)) if id.to_string() == "enum" => "enum",
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, found {other:?}")),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!("derive does not support generic item `{name}`"));
+    }
+    match tokens.get(i) {
+        // Unit struct: `struct Name;`
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' && kind == "struct" => Ok(Item::Struct {
+            name,
+            fields: Vec::new(),
+            unit: true,
+        }),
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let body: Vec<TokenTree> = g.stream().into_iter().collect();
+            if kind == "struct" {
+                Ok(Item::Struct {
+                    name,
+                    fields: parse_named_fields(&body)?,
+                    unit: false,
+                })
+            } else {
+                Ok(Item::Enum {
+                    name,
+                    variants: parse_variants(&body)?,
+                })
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Err(format!("derive does not support tuple struct `{name}`"))
+        }
+        other => Err(format!("unexpected token after `{name}`: {other:?}")),
+    }
+}
+
+/// Advance past `#[…]` attributes (including doc comments) and `pub` /
+/// `pub(…)` visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // '#' then the bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(
+                    tokens.get(*i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *i += 1; // pub(crate), pub(super), …
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// `field: Type, …` — returns the field names in declaration order.
+fn parse_named_fields(body: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        skip_attrs_and_vis(body, &mut i);
+        if i >= body.len() {
+            break;
+        }
+        let name = match &body[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        i += 1;
+        match body.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{name}`, found {other:?}"
+                ))
+            }
+        }
+        skip_type(body, &mut i);
+        fields.push(name);
+        if matches!(body.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    Ok(fields)
+}
+
+/// Advance past one type, stopping at a top-level `,` (generic angle
+/// brackets appear as `<` / `>` puncts at this token level and are depth
+/// counted; parenthesized and bracketed types are single groups).
+fn skip_type(body: &[TokenTree], i: &mut usize) {
+    let mut depth = 0usize;
+    while let Some(tt) = body.get(*i) {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth = depth.saturating_sub(1),
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => return,
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+/// Enum body: unit, struct, and tuple variants.
+fn parse_variants(body: &[TokenTree]) -> Result<Vec<(String, VariantShape)>, String> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        skip_attrs_and_vis(body, &mut i);
+        if i >= body.len() {
+            break;
+        }
+        let name = match &body[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        i += 1;
+        let shape = match body.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                i += 1;
+                VariantShape::Struct(parse_named_fields(&inner)?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                i += 1;
+                VariantShape::Tuple(count_tuple_fields(&inner))
+            }
+            _ => VariantShape::Unit,
+        };
+        variants.push((name, shape));
+        if matches!(body.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    Ok(variants)
+}
+
+/// Arity of a tuple variant: count types separated by top-level commas.
+fn count_tuple_fields(body: &[TokenTree]) -> usize {
+    let mut n = 0;
+    let mut i = 0;
+    while i < body.len() {
+        skip_attrs_and_vis(body, &mut i);
+        if i >= body.len() {
+            break;
+        }
+        skip_type(body, &mut i);
+        n += 1;
+        if matches!(body.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    n
+}
+
+// ---------------------------------------------------------------------
+// code generation
+
+fn serialize_struct(name: &str, fields: &[String], unit: bool) -> String {
+    if unit {
+        return format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{ ::serde::Value::Null }}\n\
+             }}\n"
+        );
+    }
+    let entries: String = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from({f:?}), \
+                 ::serde::Serialize::to_value(&self.{f})),"
+            )
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Map(::std::vec![{entries}])\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+fn deserialize_struct(name: &str, fields: &[String], unit: bool) -> String {
+    if unit {
+        return format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::de::Error> {{\n\
+                     match v {{\n\
+                         ::serde::Value::Null => ::std::result::Result::Ok({name}),\n\
+                         other => ::std::result::Result::Err(::serde::de::Error::type_mismatch({name:?}, other)),\n\
+                     }}\n\
+                 }}\n\
+             }}\n"
+        );
+    }
+    let inits: String = fields.iter().map(|f| field_init(name, f)).collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::de::Error> {{\n\
+                 let m = v.as_map().ok_or_else(|| ::serde::de::Error::type_mismatch({name:?}, v))?;\n\
+                 ::std::result::Result::Ok({name} {{ {inits} }})\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+/// `field: Deserialize::from_value(lookup("field")?)?,`
+fn field_init(ty: &str, field: &str) -> String {
+    format!(
+        "{field}: ::serde::Deserialize::from_value(\
+             ::serde::value::get_field(m, {field:?})\
+                 .ok_or_else(|| ::serde::de::Error::missing_field({ty:?}, {field:?}))?\
+         )?,"
+    )
+}
+
+fn serialize_enum(name: &str, variants: &[(String, VariantShape)]) -> String {
+    let arms: String = variants
+        .iter()
+        .map(|(v, shape)| match shape {
+            VariantShape::Unit => {
+                format!("{name}::{v} => ::serde::Value::Str(::std::string::String::from({v:?})),")
+            }
+            VariantShape::Struct(fs) => {
+                let binds = fs.join(", ");
+                let entries: String = fs
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "(::std::string::String::from({f:?}), \
+                             ::serde::Serialize::to_value({f})),"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "{name}::{v} {{ {binds} }} => ::serde::Value::Map(::std::vec![\
+                         (::std::string::String::from({v:?}), \
+                          ::serde::Value::Map(::std::vec![{entries}])),\
+                     ]),"
+                )
+            }
+            // Newtype variants carry the value directly; wider tuples
+            // carry a sequence — matching serde's externally-tagged form.
+            VariantShape::Tuple(1) => format!(
+                "{name}::{v}(x0) => ::serde::Value::Map(::std::vec![\
+                     (::std::string::String::from({v:?}), \
+                      ::serde::Serialize::to_value(x0)),\
+                 ]),"
+            ),
+            VariantShape::Tuple(n) => {
+                let binds: Vec<String> = (0..*n).map(|k| format!("x{k}")).collect();
+                let elems: String = binds
+                    .iter()
+                    .map(|b| format!("::serde::Serialize::to_value({b}),"))
+                    .collect();
+                format!(
+                    "{name}::{v}({}) => ::serde::Value::Map(::std::vec![\
+                         (::std::string::String::from({v:?}), \
+                          ::serde::Value::Seq(::std::vec![{elems}])),\
+                     ]),",
+                    binds.join(", ")
+                )
+            }
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 match self {{ {arms} }}\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+fn deserialize_enum(name: &str, variants: &[(String, VariantShape)]) -> String {
+    let unit_arms: String = variants
+        .iter()
+        .filter(|(_, shape)| matches!(shape, VariantShape::Unit))
+        .map(|(v, _)| format!("{v:?} => ::std::result::Result::Ok({name}::{v}),"))
+        .collect();
+    let struct_arms: String = variants
+        .iter()
+        .filter_map(|(v, shape)| match shape {
+            VariantShape::Struct(fs) => {
+                let inits: String = fs.iter().map(|f| field_init(name, f)).collect();
+                Some(format!(
+                    "{v:?} => {{\n\
+                         let m = inner.as_map().ok_or_else(|| ::serde::de::Error::type_mismatch({name:?}, inner))?;\n\
+                         ::std::result::Result::Ok({name}::{v} {{ {inits} }})\n\
+                     }}"
+                ))
+            }
+            VariantShape::Tuple(1) => Some(format!(
+                "{v:?} => ::std::result::Result::Ok({name}::{v}(\
+                     ::serde::Deserialize::from_value(inner)?)),"
+            )),
+            VariantShape::Tuple(n) => {
+                let inits: String = (0..*n)
+                    .map(|k| {
+                        format!(
+                            "::serde::Deserialize::from_value(&seq[{k}])?,"
+                        )
+                    })
+                    .collect();
+                Some(format!(
+                    "{v:?} => {{\n\
+                         let seq = inner.as_seq().ok_or_else(|| ::serde::de::Error::type_mismatch({name:?}, inner))?;\n\
+                         if seq.len() != {n} {{\n\
+                             return ::std::result::Result::Err(::serde::de::Error::custom(\
+                                 ::std::format!(\"tuple variant {name}::{v} expects {n} elements, got {{}}\", seq.len())));\n\
+                         }}\n\
+                         ::std::result::Result::Ok({name}::{v}({inits}))\n\
+                     }}"
+                ))
+            }
+            VariantShape::Unit => None,
+        })
+        .collect::<Vec<_>>()
+        .join("\n");
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::de::Error> {{\n\
+                 match v {{\n\
+                     ::serde::Value::Str(tag) => match tag.as_str() {{\n\
+                         {unit_arms}\n\
+                         other => ::std::result::Result::Err(::serde::de::Error::unknown_variant({name:?}, other)),\n\
+                     }},\n\
+                     ::serde::Value::Map(entries) if entries.len() == 1 => {{\n\
+                         let (tag, inner) = &entries[0];\n\
+                         match tag.as_str() {{\n\
+                             {struct_arms}\n\
+                             other => ::std::result::Result::Err(::serde::de::Error::unknown_variant({name:?}, other)),\n\
+                         }}\n\
+                     }}\n\
+                     other => ::std::result::Result::Err(::serde::de::Error::type_mismatch({name:?}, other)),\n\
+                 }}\n\
+             }}\n\
+         }}\n"
+    )
+}
