@@ -1,0 +1,33 @@
+//! Repro attempt: stale CalcCentral after master death + promotion fires
+//! with cleared central_profiles -> balance_group panics on empty slice.
+use now_dlb::core::strategy::{Strategy, StrategyConfig};
+use now_dlb::fault::{DelaySpec, FailurePolicy, FaultPlan};
+use now_dlb::load::LoadSpec;
+use now_dlb::sim::{ClusterSpec, Engine};
+use now_dlb::core::work::UniformLoop;
+
+#[test]
+fn stale_calc_central_after_master_death() {
+    // LCDLB: single central balancer (proc 0) serving groups {0,1},{2,3}.
+    let wl = UniformLoop::new(400, 0.01, 800);
+    let mut cluster = ClusterSpec::dedicated(4);
+    // Skew loads so both groups trigger episodes early.
+    cluster.loads[1] = LoadSpec::Constant { level: 4 };
+    cluster.loads[3] = LoadSpec::Constant { level: 4 };
+    let mut cfg = StrategyConfig::paper(Strategy::Lcdlb, 2);
+    // Long calculation: wide window between scheduling and firing.
+    cfg.calc_cost = 2.0;
+    let plan = FaultPlan {
+        crashes: vec![now_dlb::fault::CrashSpec { proc: 0, at: 1.05 }],
+        // Inflate latencies massively after the crash so retransmitted
+        // profiles cannot reach the promoted master before the stale
+        // CalcCentral fires.
+        delay: Some(DelaySpec { factor: 1000.0, from: 1.1, until: 1e9 }),
+        ..FaultPlan::default()
+    };
+    let policy = FailurePolicy { sync_timeout: 0.25, max_retries: 10, heartbeat_interval: 0.2 };
+    let report = Engine::new(cluster, &wl, Some(cfg))
+        .with_faults(plan, policy)
+        .run();
+    assert_eq!(report.total_iters, 400);
+}
