@@ -19,6 +19,7 @@
 
 use crate::calibrate::ops_to_seconds;
 use dlb_core::arrays::{DataDistribution, DlbArray};
+use dlb_core::costindex::IndexedLoop;
 use dlb_core::work::{CostFnLoop, FoldedLoop, UniformLoop};
 use serde::{Deserialize, Serialize};
 
@@ -100,9 +101,11 @@ impl TrfdConfig {
     }
 
     /// Loop 2 as actually run: bitonic-folded to ~`n(n+1)/4` near-uniform
-    /// iterations.
-    pub fn loop2_workload(&self) -> FoldedLoop<CostFnLoop> {
-        FoldedLoop::new(self.loop2_raw_workload())
+    /// iterations, with a prefix-sum cost index so `range_cost` queries
+    /// (the model asks one per processor per strategy) are O(1) instead
+    /// of O(n) sqrt-evaluating sums.
+    pub fn loop2_workload(&self) -> IndexedLoop<FoldedLoop<CostFnLoop>> {
+        IndexedLoop::new(FoldedLoop::new(self.loop2_raw_workload()))
     }
 
     /// The distributed array descriptor (column-block, moves with work).

@@ -8,7 +8,7 @@
 //! 5. shared-bus (Ethernet) vs switched medium.
 
 use dlb_apps::MxmConfig;
-use dlb_bench::{format_table, persistence_for, Align, LOAD_SEED};
+use dlb_bench::{format_table, persistence_for, Align, SweepExecutor, LOAD_SEED};
 use dlb_core::strategy::{Grouping, Strategy, StrategyConfig};
 use now_net::NetworkParams;
 use now_sim::{run_dlb, run_dlb_periodic, run_no_dlb, ClusterSpec};
@@ -24,24 +24,26 @@ fn cluster(p: usize, replica: u64, persistence: f64) -> ClusterSpec {
 }
 
 /// Mean normalized time of `cfg` over the replicas (normalized per replica
-/// to its own noDLB run).
+/// to its own noDLB run). Replicas fan out on `exec`; the fold-back is in
+/// replica order so the mean matches a serial loop bit for bit.
 fn mean_norm(
+    exec: &SweepExecutor,
     p: usize,
     wl: &dyn dlb_core::LoopWorkload,
     persistence: f64,
-    run: impl Fn(&ClusterSpec) -> now_sim::RunReport,
+    run: impl Fn(&ClusterSpec) -> now_sim::RunReport + Sync,
 ) -> f64 {
-    let mut acc = 0.0;
-    for r in 0..REPLICAS {
-        let c = cluster(p, r, persistence);
+    let norms = exec.run_indexed(REPLICAS as usize, |r| {
+        let c = cluster(p, r as u64, persistence);
         let no = run_no_dlb(&c, wl);
-        acc += run(&c).total_time / no.total_time;
-    }
-    acc / REPLICAS as f64
+        run(&c).total_time / no.total_time
+    });
+    norms.iter().sum::<f64>() / REPLICAS as f64
 }
 
 fn main() {
     let p = 4;
+    let exec = SweepExecutor::from_env();
     let cfg_mxm = MxmConfig::new(400, 400, 400);
     let wl = cfg_mxm.workload();
     let tl = persistence_for(&wl);
@@ -56,7 +58,7 @@ fn main() {
     for margin in [0.0, 0.05, 0.10, 0.30, 0.60] {
         let mut cfg = StrategyConfig::paper(Strategy::Gddlb, 2);
         cfg.profitability_margin = margin;
-        let t = mean_norm(p, &wl, tl, |c| run_dlb(c, &wl, cfg));
+        let t = mean_norm(&exec, p, &wl, tl, |c| run_dlb(c, &wl, cfg));
         rows.push(vec![format!("{:.0}%", margin * 100.0), format!("{t:.3}")]);
     }
     println!(
@@ -76,7 +78,7 @@ fn main() {
     for include in [false, true] {
         let mut cfg = StrategyConfig::paper(Strategy::Gddlb, 2);
         cfg.include_move_cost = include;
-        let t = mean_norm(p, &wl, tl, |c| run_dlb(c, &wl, cfg));
+        let t = mean_norm(&exec, p, &wl, tl, |c| run_dlb(c, &wl, cfg));
         rows.push(vec![
             (if include {
                 "included"
@@ -103,11 +105,14 @@ fn main() {
     let cfg = StrategyConfig::paper(Strategy::Gddlb, 2);
     let mut rows = vec![vec![
         "interrupt (paper)".to_string(),
-        format!("{:.3}", mean_norm(p, &wl, tl, |c| run_dlb(c, &wl, cfg))),
+        format!(
+            "{:.3}",
+            mean_norm(&exec, p, &wl, tl, |c| run_dlb(c, &wl, cfg))
+        ),
     ]];
     for dt_frac in [0.05, 0.2, 1.0] {
         let dt = tl * dt_frac;
-        let t = mean_norm(p, &wl, tl, |c| run_dlb_periodic(c, &wl, cfg, dt));
+        let t = mean_norm(&exec, p, &wl, tl, |c| run_dlb_periodic(c, &wl, cfg, dt));
         rows.push(vec![format!("periodic dt={dt:.2}s"), format!("{t:.3}")]);
     }
     println!(
@@ -129,7 +134,7 @@ fn main() {
     ] {
         let mut cfg = StrategyConfig::paper(Strategy::Lddlb, 2);
         cfg.grouping = grouping;
-        let t = mean_norm(p, &wl, tl, |c| run_dlb(c, &wl, cfg));
+        let t = mean_norm(&exec, p, &wl, tl, |c| run_dlb(c, &wl, cfg));
         rows.push(vec![label.to_string(), format!("{t:.3}")]);
     }
     println!(
@@ -156,17 +161,16 @@ fn main() {
     ] {
         for strat in [Strategy::Gddlb, Strategy::Lddlb] {
             let cfg = StrategyConfig::paper(strat, 8);
-            let mut acc = 0.0;
-            for r in 0..REPLICAS {
-                let mut c = cluster(p16, r, tl16);
+            let norms = exec.run_indexed(REPLICAS as usize, |r| {
+                let mut c = cluster(p16, r as u64, tl16);
                 c.net = net;
                 let no = run_no_dlb(&c, &wl16);
-                acc += run_dlb(&c, &wl16, cfg).total_time / no.total_time;
-            }
+                run_dlb(&c, &wl16, cfg).total_time / no.total_time
+            });
             rows.push(vec![
                 label.to_string(),
                 strat.abbrev().to_string(),
-                format!("{:.3}", acc / REPLICAS as f64),
+                format!("{:.3}", norms.iter().sum::<f64>() / REPLICAS as f64),
             ]);
         }
     }

@@ -6,7 +6,7 @@
 //! paper builds coarse, redistribution-based schemes instead.
 
 use dlb_apps::MxmConfig;
-use dlb_bench::{format_table, persistence_for, Align, LOAD_SEED};
+use dlb_bench::{format_table, persistence_for, Align, SweepExecutor, LOAD_SEED};
 use dlb_core::loopsched::ChunkScheme;
 use dlb_core::{Strategy, StrategyConfig};
 use now_sim::{run_dlb, run_no_dlb, run_task_queue, ClusterSpec};
@@ -23,21 +23,23 @@ fn main() {
         cfg.label()
     );
 
+    let exec = SweepExecutor::from_env();
     let mut rows = Vec::new();
-    let mut add = |label: String, f: &dyn Fn(&ClusterSpec) -> now_sim::RunReport| {
-        let mut acc = 0.0;
-        let mut syncs = 0u64;
-        for r in 0..REPLICAS {
+    let mut add = |label: String, f: &(dyn Fn(&ClusterSpec) -> now_sim::RunReport + Sync)| {
+        // Replicas are independent draws; fan them out and fold back in
+        // replica order so the means match the serial loop exactly.
+        let per_replica = exec.run_indexed(REPLICAS as usize, |r| {
             let cluster = ClusterSpec::paper_homogeneous(
                 p,
-                LOAD_SEED ^ 0xBA5E ^ r.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                LOAD_SEED ^ 0xBA5E ^ (r as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
                 tl,
             );
             let no = run_no_dlb(&cluster, &wl);
             let run = f(&cluster);
-            acc += run.total_time / no.total_time;
-            syncs += run.stats.syncs;
-        }
+            (run.total_time / no.total_time, run.stats.syncs)
+        });
+        let acc: f64 = per_replica.iter().map(|(t, _)| t).sum();
+        let syncs: u64 = per_replica.iter().map(|(_, s)| s).sum();
         rows.push(vec![
             label,
             format!("{:.3}", acc / REPLICAS as f64),

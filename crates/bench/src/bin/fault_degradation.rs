@@ -8,7 +8,7 @@
 //! accounting: iterations confiscated from dead members and worst-case
 //! detection latency.
 
-use dlb_bench::{format_table, Align};
+use dlb_bench::{format_table, Align, SweepExecutor};
 use dlb_core::strategy::{Strategy, StrategyConfig};
 use dlb_core::work::UniformLoop;
 use now_fault::{CrashSpec, FailurePolicy, FaultPlan};
@@ -42,17 +42,29 @@ fn main() {
     let policy = FailurePolicy::default();
     let group_size = PROCS / 2;
 
-    let mut rows = Vec::new();
-    for s in Strategy::ALL {
+    // The (strategy × crash-count) grid is embarrassingly parallel: each
+    // run only reads the shared cluster/workload. Fan it out and read the
+    // results back in grid order.
+    let exec = SweepExecutor::from_env();
+    const CRASH_COUNTS: usize = 4; // 0..=3 crashes
+    let jobs: Vec<(Strategy, usize)> = Strategy::ALL
+        .iter()
+        .flat_map(|&s| (0..CRASH_COUNTS).map(move |c| (s, c)))
+        .collect();
+    let reports = exec.par_map(&jobs, |&(s, crashes)| {
         let cfg = StrategyConfig::paper(s, group_size);
-        let clean = run_dlb(&cluster, &wl, cfg);
+        if crashes == 0 {
+            run_dlb(&cluster, &wl, cfg)
+        } else {
+            run_dlb_faulty(&cluster, &wl, cfg, crash_plan(crashes), policy)
+        }
+    });
+
+    let mut rows = Vec::new();
+    for (chunk, s) in reports.chunks(CRASH_COUNTS).zip(Strategy::ALL) {
+        let clean = &chunk[0];
         assert_eq!(clean.total_iters, ITERS, "{s}: fault-free run lost work");
-        for crashes in 0..=3usize {
-            let report = if crashes == 0 {
-                clean.clone()
-            } else {
-                run_dlb_faulty(&cluster, &wl, cfg, crash_plan(crashes), policy)
-            };
+        for (crashes, report) in chunk.iter().enumerate() {
             assert_eq!(report.total_iters, ITERS, "{s}: crashed run lost work");
             let f = report.faults.clone().unwrap_or_default();
             rows.push(vec![

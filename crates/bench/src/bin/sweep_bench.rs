@@ -1,0 +1,201 @@
+//! Self-benchmark of the parallel sweep executor: wall-clock serial vs
+//! parallel on real experiment cells, plus a byte-identity check of the
+//! two results (the executor's determinism contract).
+//!
+//! Usage:
+//!
+//! ```text
+//! sweep_bench [--quick] [--threads N] [--repeat R] [--out PATH]
+//! ```
+//!
+//! `--quick` runs scaled-down cells once (CI smoke); the default runs
+//! the heaviest paper cells (P = 16) repeated enough times for stable
+//! wall-clock numbers — a single cell simulates in milliseconds, so the
+//! benchmark measures sweep *throughput*, the quantity that matters when
+//! the binaries regenerate whole figures. `--threads` overrides the
+//! parallel pool size (default: `DLB_SWEEP_THREADS` or the machine's
+//! available parallelism). Results land in `BENCH_sweep.json` (override
+//! with `--out`).
+
+use dlb_apps::{MxmConfig, TrfdConfig};
+use dlb_bench::{
+    format_table, mxm_experiment_with, trfd_loop_experiment_with, Align, SweepExecutor, TrfdLoop,
+};
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Debug, Serialize)]
+struct CellBench {
+    name: String,
+    /// Wall-clock for all repetitions on the serial executor.
+    serial_s: f64,
+    /// Wall-clock for all repetitions on the parallel executor.
+    parallel_s: f64,
+    speedup: f64,
+    /// Parallel result serializes to exactly the same bytes as serial.
+    identical: bool,
+}
+
+#[derive(Debug, Serialize)]
+struct SweepBench {
+    mode: String,
+    threads: usize,
+    cores: usize,
+    /// Repetitions per timed measurement.
+    repeat: usize,
+    cells: Vec<CellBench>,
+}
+
+/// One benchmarkable cell: a closure producing a serializable result on a
+/// given executor.
+struct Cell {
+    name: String,
+    run: Box<dyn Fn(&SweepExecutor) -> String + Sync>,
+}
+
+fn mxm_cell(p: usize, cfg: MxmConfig) -> Cell {
+    Cell {
+        name: format!("MXM {} P={p}", cfg.label()),
+        run: Box::new(move |exec| {
+            serde_json::to_string(&mxm_experiment_with(exec, p, cfg)).expect("serialize")
+        }),
+    }
+}
+
+fn trfd_cell(p: usize, cfg: TrfdConfig, which: TrfdLoop) -> Cell {
+    Cell {
+        name: format!("TRFD {} {} P={p}", cfg.label(), which.label()),
+        run: Box::new(move |exec| {
+            serde_json::to_string(&trfd_loop_experiment_with(exec, p, cfg, which))
+                .expect("serialize")
+        }),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let mut out = "BENCH_sweep.json".to_string();
+    let mut threads: Option<usize> = None;
+    let mut repeat: usize = if quick { 1 } else { 20 };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => out = it.next().expect("--out needs a path").clone(),
+            "--threads" => {
+                threads = Some(
+                    it.next()
+                        .expect("--threads needs a count")
+                        .parse()
+                        .expect("--threads needs a number"),
+                )
+            }
+            "--repeat" => {
+                repeat = it
+                    .next()
+                    .expect("--repeat needs a count")
+                    .parse()
+                    .expect("--repeat needs a number");
+                assert!(repeat > 0, "--repeat must be at least 1");
+            }
+            "--quick" => {}
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+
+    let serial = SweepExecutor::serial();
+    let parallel = match threads {
+        Some(n) => SweepExecutor::new(n),
+        None => SweepExecutor::from_env(),
+    };
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let cells: Vec<Cell> = if quick {
+        vec![
+            mxm_cell(4, MxmConfig::new(100, 400, 400)),
+            trfd_cell(4, TrfdConfig::new(10), TrfdLoop::L2),
+        ]
+    } else {
+        // The heaviest cells of Fig. 6 and Table 2: P = 16, largest data.
+        vec![
+            mxm_cell(16, MxmConfig::new(3200, 800, 400)),
+            trfd_cell(16, TrfdConfig::new(50), TrfdLoop::L2),
+        ]
+    };
+
+    println!(
+        "sweep_bench — serial vs {} worker thread(s) on {} core(s), {} rep(s){}",
+        parallel.threads(),
+        cores,
+        repeat,
+        if quick { " [quick]" } else { "" }
+    );
+    println!("(each cell: full replica × strategy grid, byte-compared)\n");
+
+    let time_reps = |exec: &SweepExecutor, cell: &Cell| {
+        let t0 = Instant::now();
+        let mut last = String::new();
+        for _ in 0..repeat {
+            last = (cell.run)(exec);
+        }
+        (t0.elapsed().as_secs_f64(), last)
+    };
+
+    let mut rows = Vec::new();
+    let mut benches = Vec::new();
+    for cell in &cells {
+        let (serial_s, serial_out) = time_reps(&serial, cell);
+        let (parallel_s, parallel_out) = time_reps(&parallel, cell);
+
+        let identical = serial_out == parallel_out;
+        assert!(
+            identical,
+            "{}: parallel sweep diverged from serial — determinism bug",
+            cell.name
+        );
+        let speedup = serial_s / parallel_s.max(1e-12);
+        rows.push(vec![
+            cell.name.clone(),
+            format!("{serial_s:.3}"),
+            format!("{parallel_s:.3}"),
+            format!("{speedup:.2}x"),
+            "yes".to_string(),
+        ]);
+        benches.push(CellBench {
+            name: cell.name.clone(),
+            serial_s,
+            parallel_s,
+            speedup,
+            identical,
+        });
+    }
+
+    println!(
+        "{}",
+        format_table(
+            &["cell", "serial [s]", "parallel [s]", "speedup", "identical"],
+            &[
+                Align::Left,
+                Align::Right,
+                Align::Right,
+                Align::Right,
+                Align::Right
+            ],
+            &rows
+        )
+    );
+
+    let bench = SweepBench {
+        mode: if quick { "quick" } else { "full" }.to_string(),
+        threads: parallel.threads(),
+        cores,
+        repeat,
+        cells: benches,
+    };
+    let json = serde_json::to_string_pretty(&bench).expect("serialize bench");
+    std::fs::write(&out, format!("{json}\n")).expect("write bench output");
+    println!("wrote {out}");
+    if parallel.threads() == 1 {
+        println!("note: single worker thread — speedup is expected to be ~1.0x");
+    }
+}

@@ -9,10 +9,12 @@
 
 use dlb_apps::{ops_to_seconds, MxmConfig, TrfdConfig};
 use dlb_core::work::LoopWorkload;
-use dlb_core::Strategy;
+use dlb_core::{IndexedLoop, Strategy, StrategyConfig};
 use dlb_model::{choose_strategy, DecisionReport, SystemModel};
-use now_sim::{run_all_strategies, ClusterSpec, StrategySweep};
+use now_sim::{run_dlb_arc, run_no_dlb_arc, ClusterSpec, RunReport, StrategySweep};
+use now_sweep::SweepExecutor;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Base seed for the external load streams (fixed: all experiments are
 /// deterministic).
@@ -145,15 +147,94 @@ fn system_for(cluster: &ClusterSpec) -> SystemModel {
     SystemModel::from_specs(cluster.speeds.clone(), &cluster.loads, cluster.net)
 }
 
-fn run_cell(label: String, p: usize, salt: u64, workload: &dyn LoopWorkload) -> ExperimentResult {
+/// One unit of a cell's job grid: a replica's noDLB baseline, one of its
+/// four strategy runs, or its model decision. Each job is a pure function
+/// of its grid coordinates (the replica fixes the load seed), so the grid
+/// can be executed in any order — including concurrently — and merged
+/// back by index with bit-identical results.
+enum CellJob {
+    NoDlb(usize),
+    Strat(usize, Strategy),
+    Decide(usize),
+}
+
+enum CellOut {
+    Report(RunReport),
+    Decision(DecisionReport),
+}
+
+/// Jobs per replica in the cell grid: noDLB + four strategies + decision.
+const JOBS_PER_REPLICA: usize = Strategy::ALL.len() + 2;
+
+fn run_cell_with(
+    exec: &SweepExecutor,
+    label: String,
+    p: usize,
+    salt: u64,
+    workload: &dyn LoopWorkload,
+) -> ExperimentResult {
+    // Non-uniform workloads get a prefix-sum cost index so the model's
+    // per-processor `range_cost` probes are O(1). Uniform loops already
+    // answer in O(1) and are left untouched (indexing would perturb no
+    // value but costs an O(n) build per cell).
+    let indexed;
+    let workload: &dyn LoopWorkload = if workload.is_uniform() {
+        workload
+    } else {
+        indexed = IndexedLoop::new(workload);
+        &indexed
+    };
+
     let k = paper_group_size(p);
-    let mut sweeps = Vec::new();
-    let mut decisions = Vec::new();
-    for replica in 0..REPLICAS {
-        let cluster = paper_cluster(p, salt, replica, workload);
-        sweeps.push(run_all_strategies(&cluster, workload, k));
-        decisions.push(choose_strategy(&system_for(&cluster), workload, k));
+    let clusters: Vec<Arc<ClusterSpec>> = (0..REPLICAS)
+        .map(|replica| Arc::new(paper_cluster(p, salt, replica, workload)))
+        .collect();
+
+    let mut jobs = Vec::with_capacity(REPLICAS as usize * JOBS_PER_REPLICA);
+    for replica in 0..REPLICAS as usize {
+        jobs.push(CellJob::NoDlb(replica));
+        for &s in Strategy::ALL.iter() {
+            jobs.push(CellJob::Strat(replica, s));
+        }
+        jobs.push(CellJob::Decide(replica));
     }
+
+    let outs = exec.par_map(&jobs, |job| match *job {
+        CellJob::NoDlb(r) => CellOut::Report(run_no_dlb_arc(&clusters[r], workload)),
+        CellJob::Strat(r, s) => CellOut::Report(run_dlb_arc(
+            &clusters[r],
+            workload,
+            StrategyConfig::paper(s, k),
+        )),
+        CellJob::Decide(r) => {
+            CellOut::Decision(choose_strategy(&system_for(&clusters[r]), workload, k))
+        }
+    });
+
+    // Reassemble in grid order: par_map returns results positionally, so
+    // this is exactly the serial loop's output.
+    let mut outs = outs.into_iter();
+    let mut sweeps = Vec::with_capacity(REPLICAS as usize);
+    let mut decisions = Vec::with_capacity(REPLICAS as usize);
+    for _ in 0..REPLICAS {
+        let no_dlb = match outs.next() {
+            Some(CellOut::Report(r)) => r,
+            _ => unreachable!("grid starts each replica with its noDLB run"),
+        };
+        let strategies = Strategy::ALL
+            .iter()
+            .map(|_| match outs.next() {
+                Some(CellOut::Report(r)) => r,
+                _ => unreachable!("strategy slots hold reports"),
+            })
+            .collect();
+        sweeps.push(StrategySweep { no_dlb, strategies });
+        match outs.next() {
+            Some(CellOut::Decision(d)) => decisions.push(d),
+            _ => unreachable!("each replica ends with its decision"),
+        }
+    }
+
     ExperimentResult {
         label,
         processors: p,
@@ -165,8 +246,14 @@ fn run_cell(label: String, p: usize, salt: u64, workload: &dyn LoopWorkload) -> 
 
 /// Run one MXM cell (Figs. 5/6, Table 1 rows).
 pub fn mxm_experiment(p: usize, cfg: MxmConfig) -> ExperimentResult {
+    mxm_experiment_with(&SweepExecutor::default(), p, cfg)
+}
+
+/// [`mxm_experiment`] on an explicit executor (serial for baselines,
+/// sized pools for benchmarks). Output is identical for every executor.
+pub fn mxm_experiment_with(exec: &SweepExecutor, p: usize, cfg: MxmConfig) -> ExperimentResult {
     let wl = cfg.workload();
-    run_cell(cfg.label(), p, cfg.r ^ (cfg.c << 16), &wl)
+    run_cell_with(exec, cfg.label(), p, cfg.r ^ (cfg.c << 16), &wl)
 }
 
 /// Which TRFD loop nest an experiment covers.
@@ -190,11 +277,21 @@ impl TrfdLoop {
 /// Run one TRFD loop nest as its own experiment (the loops are balanced
 /// independently; Table 2 reports them separately).
 pub fn trfd_loop_experiment(p: usize, cfg: TrfdConfig, which: TrfdLoop) -> ExperimentResult {
+    trfd_loop_experiment_with(&SweepExecutor::default(), p, cfg, which)
+}
+
+/// [`trfd_loop_experiment`] on an explicit executor.
+pub fn trfd_loop_experiment_with(
+    exec: &SweepExecutor,
+    p: usize,
+    cfg: TrfdConfig,
+    which: TrfdLoop,
+) -> ExperimentResult {
     let salt = cfg.n ^ (((which == TrfdLoop::L2) as u64) << 32);
     let label = format!("{} {}", cfg.label(), which.label());
     match which {
-        TrfdLoop::L1 => run_cell(label, p, salt, &cfg.loop1_workload()),
-        TrfdLoop::L2 => run_cell(label, p, salt, &cfg.loop2_workload()),
+        TrfdLoop::L1 => run_cell_with(exec, label, p, salt, &cfg.loop1_workload()),
+        TrfdLoop::L2 => run_cell_with(exec, label, p, salt, &cfg.loop2_workload()),
     }
 }
 
@@ -212,14 +309,44 @@ pub struct TrfdTotals {
 
 /// Run the whole TRFD program for Figs. 7/8.
 pub fn trfd_experiment(p: usize, cfg: TrfdConfig) -> TrfdTotals {
+    trfd_experiment_with(&SweepExecutor::default(), p, cfg)
+}
+
+/// [`trfd_experiment`] on an explicit executor: the 2 loops × 5 runs ×
+/// [`REPLICAS`] grid fans out; the transpose splice and normalization
+/// fold back serially in replica order, so totals match the serial run
+/// bit for bit.
+pub fn trfd_experiment_with(exec: &SweepExecutor, p: usize, cfg: TrfdConfig) -> TrfdTotals {
     let wl1 = cfg.loop1_workload();
     let wl2 = cfg.loop2_workload();
+    let wls: [&dyn LoopWorkload; 2] = [&wl1, &wl2];
     let k = paper_group_size(p);
+    let clusters: Vec<Arc<ClusterSpec>> = (0..REPLICAS)
+        .map(|replica| Arc::new(paper_cluster(p, cfg.n, replica, &wl1)))
+        .collect();
+
+    // Grid: for each replica, loop 1 then loop 2, each as noDLB + the four
+    // strategies — 10 independent engine runs per replica.
+    let runs_per_loop = 1 + Strategy::ALL.len();
+    let per_replica = 2 * runs_per_loop;
+    let reports = exec.run_indexed(REPLICAS as usize * per_replica, |i| {
+        let replica = i / per_replica;
+        let slot = i % per_replica;
+        let wl = wls[slot / runs_per_loop];
+        match slot % runs_per_loop {
+            0 => run_no_dlb_arc(&clusters[replica], wl),
+            j => run_dlb_arc(
+                &clusters[replica],
+                wl,
+                StrategyConfig::paper(Strategy::ALL[j - 1], k),
+            ),
+        }
+    });
+
     let mut sums = vec![0.0f64; Strategy::ALL.len()];
-    for replica in 0..REPLICAS {
-        let cluster = paper_cluster(p, cfg.n, replica, &wl1);
-        let l1 = run_all_strategies(&cluster, &wl1, k);
-        let l2 = run_all_strategies(&cluster, &wl2, k);
+    for (replica, chunk) in reports.chunks(per_replica).enumerate() {
+        let (l1, l2) = chunk.split_at(runs_per_loop);
+        let cluster = &clusters[replica];
 
         // Sequential transpose at the master between the loops: msize²
         // swaps (~2 basic ops each) executed under the master's external
@@ -230,9 +357,9 @@ pub fn trfd_experiment(p: usize, cfg: TrfdConfig) -> TrfdTotals {
             let tr = clocks[cluster.master].finish_time(t1, transpose_work) - t1;
             t1 + tr + t2
         };
-        let no_dlb_total = total(l1.no_dlb.total_time, l2.no_dlb.total_time);
-        for (i, s) in Strategy::ALL.iter().enumerate() {
-            let t = total(l1.report_for(*s).total_time, l2.report_for(*s).total_time);
+        let no_dlb_total = total(l1[0].total_time, l2[0].total_time);
+        for i in 0..Strategy::ALL.len() {
+            let t = total(l1[i + 1].total_time, l2[i + 1].total_time);
             sums[i] += t / no_dlb_total;
         }
     }

@@ -21,8 +21,10 @@ pub mod experiments;
 pub mod table;
 
 pub use experiments::{
-    assert_work_conserved, mxm_experiment, paper_group_size, persistence_for, trfd_experiment,
-    trfd_loop_experiment, ExperimentResult, TrfdLoop, EPOCHS_PER_RUN, LOAD_PERSISTENCE, LOAD_SEED,
+    assert_work_conserved, mxm_experiment, mxm_experiment_with, paper_group_size, persistence_for,
+    trfd_experiment, trfd_experiment_with, trfd_loop_experiment, trfd_loop_experiment_with,
+    ExperimentResult, TrfdLoop, EPOCHS_PER_RUN, LOAD_PERSISTENCE, LOAD_SEED,
     REPLICAS as CELL_REPLICAS,
 };
+pub use now_sweep::SweepExecutor;
 pub use table::{format_table, Align};

@@ -43,6 +43,7 @@
 
 pub mod arrays;
 pub mod balance;
+pub mod costindex;
 pub mod distribution;
 pub mod loopsched;
 pub mod membership;
@@ -57,6 +58,7 @@ pub mod workqueue;
 
 pub use arrays::{DataDistribution, DlbArray};
 pub use balance::{balance_group, BalanceOutcome, BalanceVerdict};
+pub use costindex::{CostIndex, IndexedLoop};
 pub use distribution::Distribution;
 pub use loopsched::{ChunkQueue, ChunkScheme};
 pub use membership::Membership;

@@ -22,7 +22,9 @@ pub trait LoopWorkload: Send + Sync {
     /// Array bytes shipped per moved iteration (`Σ_a DC_a` in bytes).
     fn bytes_per_iter(&self) -> u64;
 
-    /// Total base-processor work of an iteration range (default: sum).
+    /// Total base-processor work of an iteration range (default: O(n)
+    /// left-to-right sum; wrap non-uniform loops in
+    /// [`crate::IndexedLoop`] for an O(1) prefix-sum answer).
     fn range_cost(&self, start: u64, end: u64) -> f64 {
         (start..end).map(|i| self.iter_cost(i)).sum()
     }
@@ -31,6 +33,24 @@ pub trait LoopWorkload: Send + Sync {
     /// use the cheaper uniform-loop recurrences).
     fn is_uniform(&self) -> bool {
         false
+    }
+}
+
+impl<T: LoopWorkload + ?Sized> LoopWorkload for &T {
+    fn iterations(&self) -> u64 {
+        (**self).iterations()
+    }
+    fn iter_cost(&self, iter: u64) -> f64 {
+        (**self).iter_cost(iter)
+    }
+    fn bytes_per_iter(&self) -> u64 {
+        (**self).bytes_per_iter()
+    }
+    fn range_cost(&self, start: u64, end: u64) -> f64 {
+        (**self).range_cost(start, end)
+    }
+    fn is_uniform(&self) -> bool {
+        (**self).is_uniform()
     }
 }
 

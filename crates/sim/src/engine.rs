@@ -37,6 +37,7 @@ use now_net::MediumSim;
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 use std::ops::Range;
+use std::sync::Arc;
 
 /// Per-iteration work message header bytes (range descriptors etc.).
 const WORK_HEADER_BYTES: usize = 16;
@@ -56,7 +57,10 @@ enum Payload {
     },
     Instruction {
         group: usize,
-        outcome: BalanceOutcome,
+        /// Shared, not cloned: the same computed outcome is broadcast to
+        /// every participant, so the payload carries a cheap `Arc` handle
+        /// instead of a deep copy of the transfer plan.
+        outcome: Arc<BalanceOutcome>,
     },
     Work {
         group: usize,
@@ -145,7 +149,10 @@ struct Episode {
     id: u64,
     /// Member that started the episode (re-sends interrupts on retry).
     initiator: usize,
-    participants: Vec<usize>,
+    /// Shared participant list: cloned once per protocol step in the old
+    /// code, now a cheap `Arc` handle (`Arc::make_mut` on the rare
+    /// membership-shrink path).
+    participants: Arc<Vec<usize>>,
     /// Profiles gathered at the central balancer.
     central_profiles: BTreeMap<usize, PerfProfile>,
     /// Per-member profile collections (distributed schemes).
@@ -163,7 +170,7 @@ struct Episode {
     recorded: bool,
     /// The computed outcome (identical at every replicated balancer),
     /// kept for instruction retransmission and donor-death accounting.
-    outcome: Option<BalanceOutcome>,
+    outcome: Option<Arc<BalanceOutcome>>,
     /// Guard against double-scheduling the central calculation when a
     /// retransmitted profile duplicates one that did arrive.
     calc_central_scheduled: bool,
@@ -178,7 +185,7 @@ impl Episode {
         Self {
             id,
             initiator,
-            participants,
+            participants: Arc::new(participants),
             central_profiles: BTreeMap::new(),
             local_profiles: BTreeMap::new(),
             profiled: BTreeSet::new(),
@@ -205,10 +212,16 @@ struct GroupCtl {
 /// [`Engine::run`].
 pub struct Engine<'w> {
     // --- static configuration ---
-    cluster: ClusterSpec,
+    /// Shared, immutable cluster description. `Arc` so a sweep hands the
+    /// same allocation to every run instead of deep-cloning speeds/loads
+    /// five times per `StrategySweep`.
+    cluster: Arc<ClusterSpec>,
     workload: &'w dyn LoopWorkload,
     cfg: Option<StrategyConfig>,
     bytes_per_iter: u64,
+    /// Current central-balancer host. Starts at `cluster.master`; mutable
+    /// (promotion on master death) without touching the shared spec.
+    master: usize,
 
     // --- substrate ---
     clocks: Vec<WorkClock>,
@@ -277,10 +290,11 @@ impl<'w> Engine<'w> {
     /// # Panics
     /// Panics on inconsistent cluster/config parameters.
     pub fn new(
-        cluster: ClusterSpec,
+        cluster: impl Into<Arc<ClusterSpec>>,
         workload: &'w dyn LoopWorkload,
         cfg: Option<StrategyConfig>,
     ) -> Self {
+        let cluster: Arc<ClusterSpec> = cluster.into();
         cluster.validate();
         if let Some(c) = &cfg {
             c.validate();
@@ -322,6 +336,7 @@ impl<'w> Engine<'w> {
         let clocks = cluster.clocks();
         Self {
             bytes_per_iter: workload.bytes_per_iter(),
+            master: cluster.master,
             cluster,
             workload,
             cfg,
@@ -745,7 +760,7 @@ impl<'w> Engine<'w> {
         episode.sent_profiles.insert(proc, profile);
         match control {
             Control::Centralized => {
-                let master = self.cluster.master;
+                let master = self.master;
                 if proc == master {
                     self.record_central_profile(g, profile, now);
                 } else {
@@ -759,11 +774,11 @@ impl<'w> Engine<'w> {
                 }
             }
             Control::Distributed => {
-                let participants = episode.participants.clone();
+                let participants = Arc::clone(&episode.participants);
                 // Record locally first…
                 self.record_local_profile(proc, g, profile, now);
                 // …then broadcast to the other participants.
-                for to in participants {
+                for &to in participants.iter() {
                     if to != proc {
                         self.send(
                             proc,
@@ -807,7 +822,7 @@ impl<'w> Engine<'w> {
         // runs on the (possibly loaded, possibly still computing)
         // master CPU.
         let start = now.max(self.master_busy_until);
-        let done = start + cfg.calc_cost * self.cpu_factor(self.cluster.master, now);
+        let done = start + cfg.calc_cost * self.cpu_factor(self.master, now);
         self.master_busy_until = done;
         self.push_event(done, EvKind::CalcCentral { group: g });
     }
@@ -873,25 +888,26 @@ impl<'w> Engine<'w> {
         let Some(episode) = self.groups[g].episode.as_ref() else {
             return;
         };
-        if episode.outcome.is_some() || self.membership.is_dead(self.cluster.master) {
+        if episode.outcome.is_some() || self.membership.is_dead(self.master) {
             return;
         }
         let profiles: Vec<PerfProfile> = episode.central_profiles.values().copied().collect();
-        let outcome = self.decide(&profiles);
+        let outcome = Arc::new(self.decide(&profiles));
         self.record_decision(g, &outcome, now);
-        let master = self.cluster.master;
+        let master = self.master;
         let participants = {
             let episode = self.groups[g]
                 .episode
                 .as_mut()
                 .expect("episode checked above");
-            episode.outcome = Some(outcome.clone());
-            episode.participants.clone()
+            episode.outcome = Some(Arc::clone(&outcome));
+            Arc::clone(&episode.participants)
         };
         // Broadcast the outcome ("the load balancer broadcasts the new
         // distribution information to the processors", Section 3.3);
-        // the master, if a participant, acts locally.
-        for &m in &participants {
+        // the master, if a participant, acts locally. The instruction
+        // payload shares the outcome allocation across all receivers.
+        for &m in participants.iter() {
             if m == master {
                 continue;
             }
@@ -901,7 +917,7 @@ impl<'w> Engine<'w> {
                 INSTRUCTION_BYTES,
                 Payload::Instruction {
                     group: g,
-                    outcome: outcome.clone(),
+                    outcome: Arc::clone(&outcome),
                 },
                 now,
             );
@@ -925,10 +941,10 @@ impl<'w> Engine<'w> {
         };
         let profiles: Vec<PerfProfile> = mine.values().copied().collect();
         // Every member computes the same deterministic outcome in parallel.
-        let outcome = self.decide(&profiles);
+        let outcome = Arc::new(self.decide(&profiles));
         self.record_decision(g, &outcome, now);
         if let Some(episode) = self.groups[g].episode.as_mut() {
-            episode.outcome = Some(outcome.clone());
+            episode.outcome = Some(Arc::clone(&outcome));
         }
         self.act_on_outcome(proc, g, &outcome, now);
     }
@@ -1149,9 +1165,9 @@ impl<'w> Engine<'w> {
         // Central balancer promotion. Profiles parked in the dead
         // master's memory are gone; live senders retransmit to the
         // promoted balancer on the next watchdog round.
-        if self.cluster.master == d {
+        if self.master == d {
             if let Some(new_master) = self.membership.promote(d) {
-                self.cluster.master = new_master;
+                self.master = new_master;
             }
             for gg in 0..self.groups.len() {
                 if let Some(e) = self.groups[gg].episode.as_mut() {
@@ -1234,7 +1250,7 @@ impl<'w> Engine<'w> {
                 return;
             }
             let d_acted = e.acted.contains(&d);
-            e.participants.retain(|&m| m != d);
+            Arc::make_mut(&mut e.participants).retain(|&m| m != d);
             e.profiled.remove(&d);
             e.acted.remove(&d);
             e.waiting_work.remove(&d);
@@ -1245,7 +1261,7 @@ impl<'w> Engine<'w> {
                 profs.remove(&d);
             }
             e.calc_scheduled.remove(&d);
-            (d_acted, e.outcome.clone(), e.participants.clone())
+            (d_acted, e.outcome.clone(), Arc::clone(&e.participants))
         };
         if participants.len() <= 1 {
             self.abort_episode(g, now);
@@ -1258,7 +1274,7 @@ impl<'w> Engine<'w> {
                 // waiting on them. If it *had* acted, its shipments are
                 // delivered, in flight, or in the lost-work log — all
                 // still reach a live queue — so no release is due.
-                for &m in &participants {
+                for &m in participants.iter() {
                     let ProcState::WaitWork { expect } = self.state[m] else {
                         continue;
                     };
@@ -1294,7 +1310,7 @@ impl<'w> Engine<'w> {
                 match control {
                     Control::Centralized => self.try_calc_central(g, now),
                     Control::Distributed => {
-                        for &m in &participants {
+                        for &m in participants.iter() {
                             self.try_calc_local(g, m, now);
                         }
                     }
@@ -1331,7 +1347,7 @@ impl<'w> Engine<'w> {
                 .expect("retransmit needs an episode");
             (
                 e.initiator,
-                e.participants.clone(),
+                Arc::clone(&e.participants),
                 e.profiled.clone(),
                 e.sent_profiles.clone(),
                 e.central_profiles
@@ -1377,7 +1393,7 @@ impl<'w> Engine<'w> {
 
         // 2. Interrupts that never bit: a live participant still
         // computing, unprofiled, with no pending interrupt flag.
-        for &m in &participants {
+        for &m in participants.iter() {
             if alive(m)
                 && !profiled.contains(&m)
                 && self.state[m] == ProcState::Computing
@@ -1398,7 +1414,7 @@ impl<'w> Engine<'w> {
         // copy (also repopulates a promoted master after balancer death).
         match control {
             Control::Centralized => {
-                let master = self.cluster.master;
+                let master = self.master;
                 for (&q, prof) in &sent_profiles {
                     if !alive(q) || central_have.contains(&q) {
                         continue;
@@ -1421,7 +1437,7 @@ impl<'w> Engine<'w> {
                 }
             }
             Control::Distributed => {
-                for &m in &participants {
+                for &m in participants.iter() {
                     if !alive(m) {
                         continue;
                     }
@@ -1450,8 +1466,8 @@ impl<'w> Engine<'w> {
         // distributed schemes have no instruction messages).
         if control == Control::Centralized {
             if let Some(out) = outcome {
-                let master = self.cluster.master;
-                for &m in &participants {
+                let master = self.master;
+                for &m in participants.iter() {
                     if !alive(m) || acted.contains(&m) {
                         continue;
                     }
@@ -1465,7 +1481,7 @@ impl<'w> Engine<'w> {
                             INSTRUCTION_BYTES,
                             Payload::Instruction {
                                 group: g,
-                                outcome: out.clone(),
+                                outcome: Arc::clone(&out),
                             },
                             now,
                         );
@@ -1483,7 +1499,7 @@ impl<'w> Engine<'w> {
             return;
         };
         self.faults.aborted_episodes += 1;
-        for &m in &e.participants {
+        for &m in e.participants.iter() {
             if self.membership.is_dead(m) {
                 continue;
             }

@@ -29,6 +29,7 @@ pub use cluster::ClusterSpec;
 pub use engine::Engine;
 pub use report::{rank_strategies, ProcSummary, RunReport};
 pub use runner::{
-    run_all_strategies, run_dlb, run_dlb_faulty, run_dlb_periodic, run_no_dlb, StrategySweep,
+    run_all_strategies, run_all_strategies_arc, run_dlb, run_dlb_arc, run_dlb_faulty,
+    run_dlb_periodic, run_no_dlb, run_no_dlb_arc, StrategySweep,
 };
 pub use taskqueue::run_task_queue;

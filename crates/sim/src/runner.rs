@@ -7,20 +7,39 @@ use dlb_core::strategy::{Strategy, StrategyConfig};
 use dlb_core::work::LoopWorkload;
 use now_fault::{FailurePolicy, FaultPlan};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Run one workload under a DLB strategy.
+///
+/// Convenience wrapper that clones `cluster` once; callers holding an
+/// `Arc` (sweeps, parallel executors) should use [`run_dlb_arc`].
 pub fn run_dlb(
     cluster: &ClusterSpec,
     workload: &dyn LoopWorkload,
     cfg: StrategyConfig,
 ) -> RunReport {
-    Engine::new(cluster.clone(), workload, Some(cfg)).run()
+    run_dlb_arc(&Arc::new(cluster.clone()), workload, cfg)
+}
+
+/// [`run_dlb`] without any cluster deep-clone: the engine shares the
+/// caller's allocation.
+pub fn run_dlb_arc(
+    cluster: &Arc<ClusterSpec>,
+    workload: &dyn LoopWorkload,
+    cfg: StrategyConfig,
+) -> RunReport {
+    Engine::new(Arc::clone(cluster), workload, Some(cfg)).run()
 }
 
 /// Run the no-DLB baseline: static equal blocks, run to completion under
 /// the external load.
 pub fn run_no_dlb(cluster: &ClusterSpec, workload: &dyn LoopWorkload) -> RunReport {
-    Engine::new(cluster.clone(), workload, None).run()
+    run_no_dlb_arc(&Arc::new(cluster.clone()), workload)
+}
+
+/// [`run_no_dlb`] without any cluster deep-clone.
+pub fn run_no_dlb_arc(cluster: &Arc<ClusterSpec>, workload: &dyn LoopWorkload) -> RunReport {
+    Engine::new(Arc::clone(cluster), workload, None).run()
 }
 
 /// Run one workload under a DLB strategy with fault injection: the
@@ -92,15 +111,28 @@ impl StrategySweep {
 
 /// Run noDLB + all four strategies on the same cluster and workload, with
 /// `group_size` for the local schemes.
+///
+/// Clones the cluster **once** for all five runs (the engines share the
+/// allocation via `Arc`); callers already holding an `Arc` should use
+/// [`run_all_strategies_arc`] and pay no clone at all.
 pub fn run_all_strategies(
     cluster: &ClusterSpec,
     workload: &dyn LoopWorkload,
     group_size: usize,
 ) -> StrategySweep {
-    let no_dlb = run_no_dlb(cluster, workload);
+    run_all_strategies_arc(&Arc::new(cluster.clone()), workload, group_size)
+}
+
+/// [`run_all_strategies`] over a shared cluster allocation.
+pub fn run_all_strategies_arc(
+    cluster: &Arc<ClusterSpec>,
+    workload: &dyn LoopWorkload,
+    group_size: usize,
+) -> StrategySweep {
+    let no_dlb = run_no_dlb_arc(cluster, workload);
     let strategies = Strategy::ALL
         .iter()
-        .map(|&s| run_dlb(cluster, workload, StrategyConfig::paper(s, group_size)))
+        .map(|&s| run_dlb_arc(cluster, workload, StrategyConfig::paper(s, group_size)))
         .collect();
     StrategySweep { no_dlb, strategies }
 }

@@ -1,0 +1,193 @@
+//! The scoped worker pool.
+
+use std::panic;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+
+/// Environment variable overriding the default worker count.
+pub const THREADS_ENV: &str = "DLB_SWEEP_THREADS";
+
+/// A deterministic parallel map over independent jobs.
+///
+/// The executor owns nothing but a thread count; each call to
+/// [`SweepExecutor::run_indexed`] spins up a scoped pool, drains the job
+/// grid through an atomic index counter, and merges the results in index
+/// order. Output is guaranteed bit-identical to the serial execution of
+/// the same jobs as long as each job is a pure function of its index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepExecutor {
+    threads: usize,
+}
+
+impl SweepExecutor {
+    /// An executor with exactly `threads` workers.
+    ///
+    /// # Panics
+    /// Panics if `threads` is zero.
+    pub fn new(threads: usize) -> Self {
+        assert!(threads >= 1, "executor needs at least one worker");
+        Self { threads }
+    }
+
+    /// The serial executor: one worker, no threads spawned. The reference
+    /// behaviour every parallel configuration must reproduce exactly.
+    pub fn serial() -> Self {
+        Self::new(1)
+    }
+
+    /// Default executor: `DLB_SWEEP_THREADS` if set (and ≥ 1), else the
+    /// machine's available parallelism, else serial.
+    pub fn from_env() -> Self {
+        if let Ok(v) = std::env::var(THREADS_ENV) {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n >= 1 {
+                    return Self::new(n);
+                }
+            }
+        }
+        Self::new(
+            thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+        )
+    }
+
+    /// Configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run `n` index-identified jobs and return their results in index
+    /// order.
+    ///
+    /// `f(i)` must be a pure function of `i` (derive seeds from the
+    /// index, not from shared mutable state); under that contract the
+    /// returned `Vec` is bit-identical for every thread count, because
+    /// the merge reorders by index regardless of completion order.
+    ///
+    /// Worker panics are propagated to the caller after the scope joins.
+    pub fn run_indexed<R, F>(&self, n: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        let workers = self.threads.min(n);
+        if workers <= 1 {
+            return (0..n).map(f).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let buckets: Vec<thread::Result<Vec<(usize, R)>>> = thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut out = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            out.push((i, f(i)));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join()).collect()
+        });
+        let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        for bucket in buckets {
+            match bucket {
+                Ok(pairs) => {
+                    for (i, r) in pairs {
+                        debug_assert!(slots[i].is_none(), "job {i} computed twice");
+                        slots[i] = Some(r);
+                    }
+                }
+                Err(cause) => panic::resume_unwind(cause),
+            }
+        }
+        slots
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| r.unwrap_or_else(|| panic!("job {i} never ran")))
+            .collect()
+    }
+
+    /// Parallel map over a slice, preserving input order in the output.
+    pub fn par_map<I, R, F>(&self, items: &[I], f: F) -> Vec<R>
+    where
+        I: Sync,
+        R: Send,
+        F: Fn(&I) -> R + Sync,
+    {
+        self.run_indexed(items.len(), |i| f(&items[i]))
+    }
+}
+
+impl Default for SweepExecutor {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_and_parallel_agree_on_order() {
+        let items: Vec<u64> = (0..97).collect();
+        let serial = SweepExecutor::serial().par_map(&items, |&x| x * x + 1);
+        for threads in [2, 3, 8, 64] {
+            let par = SweepExecutor::new(threads).par_map(&items, |&x| x * x + 1);
+            assert_eq!(serial, par, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_item_grids() {
+        let exec = SweepExecutor::new(4);
+        let empty: Vec<u32> = exec.par_map(&Vec::<u32>::new(), |&x| x);
+        assert!(empty.is_empty());
+        assert_eq!(exec.par_map(&[7u32], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn uneven_jobs_still_merge_by_index() {
+        // Make early indices slow so a naive completion-order merge
+        // would come back scrambled.
+        let exec = SweepExecutor::new(4);
+        let out = exec.run_indexed(16, |i| {
+            if i < 4 {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            i
+        });
+        assert_eq!(out, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn borrows_non_static_inputs() {
+        let data = vec![1.0f64, 2.0, 3.0];
+        let slice: &[f64] = &data;
+        let out = SweepExecutor::new(2).run_indexed(3, |i| slice[i] * 2.0);
+        assert_eq!(out, vec![2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn worker_panic_propagates() {
+        SweepExecutor::new(2).run_indexed(8, |i| {
+            if i == 5 {
+                panic!("boom");
+            }
+            i
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_threads_rejected() {
+        let _ = SweepExecutor::new(0);
+    }
+}

@@ -1,0 +1,28 @@
+//! Deterministic parallel sweep execution.
+//!
+//! Every experiment in this repository is a *sweep*: a grid of independent
+//! cells — (workload, cluster, load draw, strategy) — each of which is a
+//! pure function of its own inputs. The discrete-event simulator is
+//! single-threaded per run but runs share nothing, so the whole grid is
+//! embarrassingly parallel, the same shape rDLB (Mohammed et al., 2019)
+//! and task-parallel DLB runtimes (Zafari & Larsson, 2018) exploit.
+//!
+//! [`SweepExecutor`] fans such a grid across a scoped `std::thread` worker
+//! pool and guarantees **bit-identical output to the serial path**:
+//!
+//! * every job is identified by its index in the submitted grid and must
+//!   be a pure function of that index (all seed derivation happens from
+//!   the index, never from execution order);
+//! * workers pull indices from a shared atomic counter (dynamic
+//!   self-scheduling — ironically, the very first scheme the paper's
+//!   Section 2.2 surveys), so an expensive cell never stalls the pool;
+//! * results are merged back **in index order**, making the output
+//!   `Vec` independent of which worker computed which cell and of any
+//!   scheduling interleaving.
+//!
+//! No external crates: scoped threads borrow the jobs and inputs, so the
+//! executor works with plain references and needs no `'static` bounds.
+
+pub mod executor;
+
+pub use executor::SweepExecutor;

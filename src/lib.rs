@@ -24,6 +24,7 @@
 //! | [`load`](now_load) | `now-load` | external load functions and effective-speed math |
 //! | [`pvm`](pvm_rt) | `pvm-rt` | threaded PVM-style runtime + real-data DLB executor |
 //! | [`fault`](now_fault) | `now-fault` | seeded fault injection + failure-aware protocol parameters |
+//! | [`sweep`](now_sweep) | `now-sweep` | deterministic parallel sweep executor for experiment grids |
 //!
 //! ## Quickstart
 //!
@@ -49,6 +50,7 @@ pub use now_fault as fault;
 pub use now_load as load;
 pub use now_net as net;
 pub use now_sim as sim;
+pub use now_sweep as sweep;
 pub use pvm_rt as pvm;
 
 /// Everything most programs need.
@@ -56,15 +58,16 @@ pub mod prelude {
     pub use dlb_apps::{MxmConfig, MxmData, TrfdConfig, TrfdData};
     pub use dlb_compile::{compile, compile_and_bind};
     pub use dlb_core::{
-        CostFnLoop, FoldedLoop, LoopWorkload, Strategy, StrategyConfig, UniformLoop,
+        CostFnLoop, FoldedLoop, IndexedLoop, LoopWorkload, Strategy, StrategyConfig, UniformLoop,
     };
     pub use dlb_model::{choose_strategy, predict, predict_all, SystemModel};
     pub use now_fault::{FailurePolicy, FaultPlan};
     pub use now_load::{DiscreteRandomLoad, LoadFunction, LoadSpec};
     pub use now_net::NetworkParams;
     pub use now_sim::{
-        run_all_strategies, run_dlb, run_dlb_faulty, run_dlb_periodic, run_no_dlb, ClusterSpec,
-        RunReport,
+        run_all_strategies, run_all_strategies_arc, run_dlb, run_dlb_arc, run_dlb_faulty,
+        run_dlb_periodic, run_no_dlb, run_no_dlb_arc, ClusterSpec, RunReport,
     };
+    pub use now_sweep::SweepExecutor;
     pub use pvm_rt::{run_loop, RowKernel};
 }

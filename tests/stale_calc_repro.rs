@@ -1,10 +1,10 @@
 //! Repro attempt: stale CalcCentral after master death + promotion fires
 //! with cleared central_profiles -> balance_group panics on empty slice.
-use now_dlb::core::strategy::{Strategy, StrategyConfig};
-use now_dlb::fault::{DelaySpec, FailurePolicy, FaultPlan};
-use now_dlb::load::LoadSpec;
-use now_dlb::sim::{ClusterSpec, Engine};
-use now_dlb::core::work::UniformLoop;
+use customized_dlb::core::strategy::{Strategy, StrategyConfig};
+use customized_dlb::core::work::UniformLoop;
+use customized_dlb::fault::{DelaySpec, FailurePolicy, FaultPlan};
+use customized_dlb::load::LoadSpec;
+use customized_dlb::sim::{ClusterSpec, Engine};
 
 #[test]
 fn stale_calc_central_after_master_death() {
@@ -18,14 +18,22 @@ fn stale_calc_central_after_master_death() {
     // Long calculation: wide window between scheduling and firing.
     cfg.calc_cost = 2.0;
     let plan = FaultPlan {
-        crashes: vec![now_dlb::fault::CrashSpec { proc: 0, at: 1.05 }],
+        crashes: vec![customized_dlb::fault::CrashSpec { proc: 0, at: 1.05 }],
         // Inflate latencies massively after the crash so retransmitted
         // profiles cannot reach the promoted master before the stale
         // CalcCentral fires.
-        delay: Some(DelaySpec { factor: 1000.0, from: 1.1, until: 1e9 }),
+        delay: Some(DelaySpec {
+            factor: 1000.0,
+            from: 1.1,
+            until: 1e9,
+        }),
         ..FaultPlan::default()
     };
-    let policy = FailurePolicy { sync_timeout: 0.25, max_retries: 10, heartbeat_interval: 0.2 };
+    let policy = FailurePolicy {
+        sync_timeout: 0.25,
+        max_retries: 10,
+        heartbeat_interval: 0.2,
+    };
     let report = Engine::new(cluster, &wl, Some(cfg))
         .with_faults(plan, policy)
         .run();
