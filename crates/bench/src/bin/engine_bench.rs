@@ -1,0 +1,227 @@
+//! Engine self-benchmark: batched event-horizon execution vs the
+//! per-iteration reference, on the paper's heaviest MXM cell.
+//!
+//! Usage:
+//!
+//! ```text
+//! engine_bench [--quick] [--repeat R] [--out PATH]
+//! ```
+//!
+//! For noDLB plus each of the four strategies, the run is executed in
+//! both engine modes `R` times; the table reports the **median**
+//! wall-clock per mode, the heap-event totals, and asserts that the two
+//! modes' `RunReport`s serialize to exactly the same bytes (the batched
+//! engine's correctness contract — CI fails if it trips). `--quick`
+//! scales the cell down for CI smoke; the default is the full Fig. 6
+//! cell (MXM R=3200, P=16). Results land in `BENCH_engine.json`
+//! (override with `--out`).
+
+use dlb_apps::MxmConfig;
+use dlb_bench::{format_table, paper_group_size, persistence_for, Align, LOAD_SEED};
+use dlb_core::strategy::{Strategy, StrategyConfig};
+use dlb_core::work::LoopWorkload;
+use now_sim::{ClusterSpec, Engine, EngineCounters, EngineMode, RunReport};
+use serde::Serialize;
+use std::sync::Arc;
+use std::time::Instant;
+
+#[derive(Debug, Serialize)]
+struct RunBench {
+    name: String,
+    /// Median wall-clock of the per-iteration reference, seconds.
+    per_iter_s: f64,
+    /// Median wall-clock of the batched engine, seconds.
+    batched_s: f64,
+    /// per_iter_s / batched_s.
+    speedup: f64,
+    /// Heap events pushed over the run, per mode.
+    events_per_iter: u64,
+    events_batched: u64,
+    /// events_per_iter / events_batched.
+    event_reduction: f64,
+    /// The two modes' reports serialize to exactly the same bytes.
+    identical: bool,
+}
+
+#[derive(Debug, Serialize)]
+struct EngineBench {
+    mode: String,
+    cores: usize,
+    /// Repetitions per timed measurement (median reported).
+    repeat: usize,
+    runs: Vec<RunBench>,
+    /// Cell aggregates: summed medians and summed event counts.
+    total_per_iter_s: f64,
+    total_batched_s: f64,
+    wall_speedup: f64,
+    total_events_per_iter: u64,
+    total_events_batched: u64,
+    total_event_reduction: f64,
+}
+
+/// Median of an odd-length sample (the default repeat counts are odd);
+/// for an even length this is the upper median.
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn timed_runs(
+    cluster: &Arc<ClusterSpec>,
+    wl: &dyn LoopWorkload,
+    cfg: Option<StrategyConfig>,
+    mode: EngineMode,
+    repeat: usize,
+) -> (f64, RunReport, EngineCounters) {
+    let mut samples = Vec::with_capacity(repeat);
+    let mut last = None;
+    for _ in 0..repeat {
+        let engine = Engine::new(Arc::clone(cluster), wl, cfg).with_mode(mode);
+        let t0 = Instant::now();
+        let out = engine.run_counted();
+        samples.push(t0.elapsed().as_secs_f64());
+        last = Some(out);
+    }
+    let (report, counters) = last.expect("repeat >= 1");
+    (median(&mut samples), report, counters)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let mut out = "BENCH_engine.json".to_string();
+    let mut repeat: usize = if quick { 3 } else { 5 };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => out = it.next().expect("--out needs a path").clone(),
+            "--repeat" => {
+                repeat = it
+                    .next()
+                    .expect("--repeat needs a count")
+                    .parse()
+                    .expect("--repeat needs a number");
+                assert!(repeat > 0, "--repeat must be at least 1");
+            }
+            "--quick" => {}
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+
+    let (p, cfg) = if quick {
+        (4, MxmConfig::new(100, 400, 400))
+    } else {
+        // The heaviest Fig. 6 cell: one simulated event per iteration in
+        // the reference path means R = 3200 iter events per noDLB run.
+        (16, MxmConfig::new(3200, 800, 400))
+    };
+    let wl = cfg.workload();
+    let cluster = Arc::new(ClusterSpec::paper_homogeneous(
+        p,
+        LOAD_SEED,
+        persistence_for(&wl),
+    ));
+    let group = paper_group_size(p);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    println!(
+        "engine_bench — per-iteration vs batched on MXM {} P={p}, {repeat} rep(s){}",
+        cfg.label(),
+        if quick { " [quick]" } else { "" }
+    );
+    println!("(median wall-clock per mode; reports byte-compared)\n");
+
+    let mut kinds: Vec<(String, Option<StrategyConfig>)> = vec![("noDLB".into(), None)];
+    for s in Strategy::ALL {
+        kinds.push((s.to_string(), Some(StrategyConfig::paper(s, group))));
+    }
+
+    let mut rows = Vec::new();
+    let mut runs = Vec::new();
+    for (name, scfg) in &kinds {
+        let (per_iter_s, ref_report, ref_counters) =
+            timed_runs(&cluster, &wl, *scfg, EngineMode::PerIter, repeat);
+        let (batched_s, bat_report, bat_counters) =
+            timed_runs(&cluster, &wl, *scfg, EngineMode::Batched, repeat);
+        let ref_bytes = serde_json::to_string(&ref_report).expect("serialize");
+        let bat_bytes = serde_json::to_string(&bat_report).expect("serialize");
+        let identical = ref_bytes == bat_bytes;
+        assert!(
+            identical,
+            "{name}: batched report diverged from the per-iteration reference"
+        );
+        let speedup = per_iter_s / batched_s.max(1e-12);
+        let event_reduction = ref_counters.events as f64 / bat_counters.events.max(1) as f64;
+        rows.push(vec![
+            name.clone(),
+            format!("{per_iter_s:.4}"),
+            format!("{batched_s:.4}"),
+            format!("{speedup:.1}x"),
+            format!("{}", ref_counters.events),
+            format!("{}", bat_counters.events),
+            format!("{event_reduction:.1}x"),
+            "yes".to_string(),
+        ]);
+        runs.push(RunBench {
+            name: name.clone(),
+            per_iter_s,
+            batched_s,
+            speedup,
+            events_per_iter: ref_counters.events,
+            events_batched: bat_counters.events,
+            event_reduction,
+            identical,
+        });
+    }
+
+    println!(
+        "{}",
+        format_table(
+            &[
+                "run",
+                "per-iter [s]",
+                "batched [s]",
+                "speedup",
+                "ev ref",
+                "ev batched",
+                "ev redux",
+                "identical",
+            ],
+            &[
+                Align::Left,
+                Align::Right,
+                Align::Right,
+                Align::Right,
+                Align::Right,
+                Align::Right,
+                Align::Right,
+                Align::Right,
+            ],
+            &rows
+        )
+    );
+
+    let total_per_iter_s: f64 = runs.iter().map(|r| r.per_iter_s).sum();
+    let total_batched_s: f64 = runs.iter().map(|r| r.batched_s).sum();
+    let total_events_per_iter: u64 = runs.iter().map(|r| r.events_per_iter).sum();
+    let total_events_batched: u64 = runs.iter().map(|r| r.events_batched).sum();
+    let bench = EngineBench {
+        mode: if quick { "quick" } else { "full" }.to_string(),
+        cores,
+        repeat,
+        runs,
+        total_per_iter_s,
+        total_batched_s,
+        wall_speedup: total_per_iter_s / total_batched_s.max(1e-12),
+        total_events_per_iter,
+        total_events_batched,
+        total_event_reduction: total_events_per_iter as f64 / total_events_batched.max(1) as f64,
+    };
+    println!(
+        "cell aggregate: wall {:.1}x, events {:.1}x",
+        bench.wall_speedup, bench.total_event_reduction
+    );
+    let json = serde_json::to_string_pretty(&bench).expect("serialize bench");
+    std::fs::write(&out, format!("{json}\n")).expect("write bench output");
+    println!("wrote {out}");
+}

@@ -9,10 +9,12 @@
 //! ```
 //!
 //! `--quick` runs scaled-down cells once (CI smoke); the default runs
-//! the heaviest paper cells (P = 16) repeated enough times for stable
-//! wall-clock numbers — a single cell simulates in milliseconds, so the
-//! benchmark measures sweep *throughput*, the quantity that matters when
-//! the binaries regenerate whole figures. `--threads` overrides the
+//! the heaviest paper cells (P = 16) and reports the **median** of
+//! `--repeat` individually-timed repetitions — a single cell simulates
+//! in milliseconds, so the benchmark measures sweep *throughput*, the
+//! quantity that matters when the binaries regenerate whole figures.
+//! On a single-core machine `speedup` is recorded as `null` with an
+//! explanatory note: a parallel-vs-serial ratio there is noise. `--threads` overrides the
 //! parallel pool size (default: `DLB_SWEEP_THREADS` or the machine's
 //! available parallelism). Results land in `BENCH_sweep.json` (override
 //! with `--out`).
@@ -27,11 +29,13 @@ use std::time::Instant;
 #[derive(Debug, Serialize)]
 struct CellBench {
     name: String,
-    /// Wall-clock for all repetitions on the serial executor.
+    /// Median wall-clock of one repetition on the serial executor.
     serial_s: f64,
-    /// Wall-clock for all repetitions on the parallel executor.
+    /// Median wall-clock of one repetition on the parallel executor.
     parallel_s: f64,
-    speedup: f64,
+    /// `null` when only one core is available — a parallel-vs-serial
+    /// ratio measured on a single core is noise, not a speedup.
+    speedup: Option<f64>,
     /// Parallel result serializes to exactly the same bytes as serial.
     identical: bool,
 }
@@ -41,8 +45,10 @@ struct SweepBench {
     mode: String,
     threads: usize,
     cores: usize,
-    /// Repetitions per timed measurement.
+    /// Repetitions per timed measurement (median reported).
     repeat: usize,
+    /// Set (with `speedup: null` per cell) when only one core is available.
+    note: Option<String>,
     cells: Vec<CellBench>,
 }
 
@@ -132,15 +138,22 @@ fn main() {
     );
     println!("(each cell: full replica × strategy grid, byte-compared)\n");
 
+    // Time each repetition separately and report the median: a single
+    // aggregate Instant over all reps folds warm-up and scheduler noise
+    // into the number.
     let time_reps = |exec: &SweepExecutor, cell: &Cell| {
-        let t0 = Instant::now();
+        let mut samples = Vec::with_capacity(repeat);
         let mut last = String::new();
         for _ in 0..repeat {
+            let t0 = Instant::now();
             last = (cell.run)(exec);
+            samples.push(t0.elapsed().as_secs_f64());
         }
-        (t0.elapsed().as_secs_f64(), last)
+        samples.sort_by(f64::total_cmp);
+        (samples[samples.len() / 2], last)
     };
 
+    let single_core = cores == 1;
     let mut rows = Vec::new();
     let mut benches = Vec::new();
     for cell in &cells {
@@ -153,12 +166,12 @@ fn main() {
             "{}: parallel sweep diverged from serial — determinism bug",
             cell.name
         );
-        let speedup = serial_s / parallel_s.max(1e-12);
+        let speedup = (!single_core).then(|| serial_s / parallel_s.max(1e-12));
         rows.push(vec![
             cell.name.clone(),
             format!("{serial_s:.3}"),
             format!("{parallel_s:.3}"),
-            format!("{speedup:.2}x"),
+            speedup.map_or("n/a".to_string(), |s| format!("{s:.2}x")),
             "yes".to_string(),
         ]);
         benches.push(CellBench {
@@ -185,17 +198,22 @@ fn main() {
         )
     );
 
+    let note = single_core
+        .then(|| "single core: parallel-vs-serial speedup is not meaningful".to_string());
+    if let Some(n) = &note {
+        println!("note: {n}");
+    } else if parallel.threads() == 1 {
+        println!("note: single worker thread — speedup is expected to be ~1.0x");
+    }
     let bench = SweepBench {
         mode: if quick { "quick" } else { "full" }.to_string(),
         threads: parallel.threads(),
         cores,
         repeat,
+        note,
         cells: benches,
     };
     let json = serde_json::to_string_pretty(&bench).expect("serialize bench");
     std::fs::write(&out, format!("{json}\n")).expect("write bench output");
     println!("wrote {out}");
-    if parallel.threads() == 1 {
-        println!("note: single worker thread — speedup is expected to be ~1.0x");
-    }
 }

@@ -45,6 +45,15 @@ impl WorkQueue {
         self.blocks.iter()
     }
 
+    /// The front contiguous run — the iterations the owner will execute
+    /// next, in order — without removing it. Because received work is
+    /// appended at the back (and merged only when contiguous with the
+    /// current back), this run can only grow at its end while the owner
+    /// executes from its start.
+    pub fn front_run(&self) -> Option<Range<u64>> {
+        self.blocks.iter().find(|r| !r.is_empty()).cloned()
+    }
+
     /// Append a block at the back (received work executes after local
     /// work). Empty ranges are ignored; a range contiguous with the current
     /// back is merged.
@@ -189,6 +198,20 @@ mod tests {
         assert_eq!(q.take_front(4), vec![0..4]);
         assert_eq!(q.take_front(4), vec![4..8]);
         assert_eq!(q.remaining(), 2);
+    }
+
+    #[test]
+    fn front_run_peeks_without_consuming() {
+        let mut q = WorkQueue::new();
+        assert_eq!(q.front_run(), None);
+        q.push_back(3..7);
+        q.push_back(20..25);
+        assert_eq!(q.front_run(), Some(3..7));
+        assert_eq!(q.remaining(), 9);
+        // Contiguous appends grow the front run at its end.
+        let mut c = WorkQueue::from_range(0..4);
+        c.push_back(4..6);
+        assert_eq!(c.front_run(), Some(0..6));
     }
 
     #[test]

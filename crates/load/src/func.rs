@@ -23,9 +23,31 @@ pub trait LoadFunction: Send + Sync {
     fn max_level(&self) -> u32;
 
     /// The persistence interval containing time `t` (seconds, `t >= 0`).
+    ///
+    /// Intervals are delimited by the *floating-point* boundary grid
+    /// `fl(m·t_l)`: interval `m` is `[fl(m·t_l), fl((m+1)·t_l))`. The naive
+    /// `⌊t/t_l⌋` can land one interval off when `t` sits exactly on a
+    /// boundary whose product rounded the other way (e.g. `t = fl(46·0.11)`
+    /// has `t/0.11 < 46`), which would make [`slowdown_at`] disagree with
+    /// the span geometry of [`next_change_after`] — and work/time
+    /// conversions that walk boundaries would stop being inverses of each
+    /// other. The quotient is therefore snapped to the boundary grid.
+    ///
+    /// [`slowdown_at`]: LoadFunction::slowdown_at
+    /// [`next_change_after`]: LoadFunction::next_change_after
     fn interval_of(&self, t: f64) -> u64 {
         debug_assert!(t >= 0.0 && t.is_finite());
-        (t / self.persistence()).floor() as u64
+        let tl = self.persistence();
+        let mut k = (t / tl).floor() as u64;
+        // The quotient is within an ulp of the true index, so each loop
+        // runs at most once or twice.
+        while (k + 1) as f64 * tl <= t {
+            k += 1;
+        }
+        while k > 0 && k as f64 * tl > t {
+            k -= 1;
+        }
+        k
     }
 
     /// Load level at time `t`.
@@ -41,10 +63,10 @@ pub trait LoadFunction: Send + Sync {
     /// Start time of the interval after the one containing `t` — the next
     /// instant the load level may change. Useful for event-driven stepping.
     ///
-    /// Guaranteed to return a value strictly greater than `t`: when `t`
-    /// sits exactly on an interval boundary whose quotient `t/t_l` rounded
-    /// down (e.g. `t = 2·0.3` with `t_l = 0.3`), the naive
-    /// `(interval+1)·t_l` would equal `t` and stall event-driven walkers.
+    /// Guaranteed to return a value strictly greater than `t`:
+    /// [`interval_of`](LoadFunction::interval_of) snaps to the boundary
+    /// grid, so `(interval+1)·t_l` always lies past `t`; the loop below is
+    /// a safety net for exotic overrides.
     fn next_change_after(&self, t: f64) -> f64 {
         let tl = self.persistence();
         let mut k = self.interval_of(t) + 1;
@@ -370,6 +392,25 @@ mod tests {
         assert_eq!(f.next_change_after(0.49), 0.5);
         assert_eq!(f.next_change_after(0.5), 1.0);
         assert_eq!(f.next_change_after(1.74), 2.0);
+    }
+
+    #[test]
+    fn interval_of_is_consistent_on_float_boundaries() {
+        // tl = 0.11 is not representable; fl(46·0.11)/0.11 floors to 45,
+        // so the naive quotient would charge the span starting at that
+        // boundary to the *previous* interval while next_change_after
+        // treats it as interval 46's start. interval_of must agree with
+        // the boundary grid.
+        let f = DiscreteRandomLoad::new(0, 5, 0.11);
+        for m in 1..2_000u64 {
+            let b = m as f64 * 0.11;
+            assert_eq!(f.interval_of(b), m, "boundary {m}");
+            let next = f.next_change_after(b);
+            assert_eq!(next, (m + 1) as f64 * 0.11, "next after boundary {m}");
+            // Every point of the span [b, next) maps to interval m.
+            let mid = b + (next - b) * 0.5;
+            assert_eq!(f.interval_of(mid), m, "mid-span {m}");
+        }
     }
 
     #[test]

@@ -28,7 +28,7 @@ pub mod effective;
 pub mod func;
 pub mod splitmix;
 
-pub use clock::WorkClock;
+pub use clock::{ClockCursor, WorkClock};
 pub use effective::{effective_load_exact, effective_load_paper, effective_speed};
 pub use func::{
     ConstantLoad, DiscreteRandomLoad, LoadFunction, LoadSpec, PhasedLoad, TraceLoad, ZeroLoad,

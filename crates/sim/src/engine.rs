@@ -1,8 +1,17 @@
 //! The discrete-event engine: paper protocol over simulated workstations.
 //!
-//! Each processor executes its work queue one iteration at a time (events
-//! at iteration boundaries — the generated code checks for interrupts once
-//! per outer iteration). The DLB protocol runs exactly as in Section 3:
+//! Each processor executes its work queue with events at iteration
+//! boundaries — the generated code checks for interrupts once per outer
+//! iteration. By default the engine runs in **batched event-horizon mode**
+//! ([`EngineMode::Batched`]): one `BlockDone` event covers a processor's
+//! whole contiguous run of queued iterations, with every per-iteration
+//! boundary time precomputed by replaying the exact per-iteration
+//! arithmetic (so times are bit-identical to stepping one event per
+//! iteration, which remains available as [`EngineMode::PerIter`] /
+//! `DLB_ENGINE_MODE=per-iter`). Interrupts, crashes and stalls that land
+//! mid-block preempt *lazily*: the engine settles the completed prefix at
+//! the stored boundary and reschedules the remainder. The DLB protocol
+//! runs exactly as in Section 3:
 //!
 //! * a processor that drains its queue *initiates* a synchronization for
 //!   its group: it interrupts the other active members and submits its own
@@ -32,8 +41,9 @@ use dlb_core::work::LoopWorkload;
 use dlb_core::workqueue::{ranges_len, WorkQueue};
 use dlb_core::{Distribution, DlbStats};
 use now_fault::{DetectionRecord, FailurePolicy, FaultPlan, FaultReport};
-use now_load::WorkClock;
+use now_load::{ClockCursor, WorkClock};
 use now_net::MediumSim;
+use std::cell::Cell;
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 use std::ops::Range;
@@ -68,11 +78,66 @@ enum Payload {
     },
 }
 
+/// How the engine steps compute work. See the module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineMode {
+    /// One `BlockDone` event per contiguous run of queued iterations;
+    /// boundary times precomputed, preemption settled lazily. The default.
+    Batched,
+    /// One `IterDone` event per iteration — the reference path the batched
+    /// mode is checked against byte-for-byte.
+    PerIter,
+}
+
+impl EngineMode {
+    /// `DLB_ENGINE_MODE=per-iter` selects the reference path; anything
+    /// else (including unset) selects batched execution.
+    fn from_env() -> Self {
+        match std::env::var("DLB_ENGINE_MODE") {
+            Ok(v) if v == "per-iter" => EngineMode::PerIter,
+            _ => EngineMode::Batched,
+        }
+    }
+}
+
+/// Counters the bench harness reads alongside the report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineCounters {
+    /// Total events pushed onto the heap over the run.
+    pub events: u64,
+}
+
+/// A scheduled contiguous run of iterations (batched mode only).
+#[derive(Debug)]
+struct BlockRun {
+    /// First iteration index of the run.
+    first: u64,
+    /// Iterations already settled: counters updated, queue popped.
+    done: u64,
+    /// `boundaries[i]` = finish time of iteration `first + i`, computed by
+    /// replaying the exact per-iteration chain (clock walk + stalls) at
+    /// schedule time, so any settle point is bit-identical to the
+    /// per-iteration engine's `IterDone` time.
+    boundaries: Vec<f64>,
+}
+
 #[derive(Debug)]
 enum EvKind {
     IterDone {
         proc: usize,
         iter: u64,
+    },
+    /// Batched mode: the whole scheduled run of `proc` completes. Stale
+    /// once the block epoch moves on (preemption, crash).
+    BlockDone {
+        proc: usize,
+        epoch: u64,
+    },
+    /// Batched mode: `proc` was interrupted mid-block; react at this — its
+    /// next — iteration boundary, like the per-iteration engine does.
+    SettleCheck {
+        proc: usize,
+        epoch: u64,
     },
     Deliver {
         to: usize,
@@ -208,6 +273,15 @@ struct GroupCtl {
     pending_initiators: BTreeSet<usize>,
 }
 
+/// One processor's cached load span: slowdown `slow` holds over wall
+/// times `[from, until)`.
+#[derive(Debug, Clone, Copy)]
+struct SlowSpan {
+    slow: f64,
+    from: f64,
+    until: f64,
+}
+
 /// The simulation engine. Construct with [`Engine::new`], run with
 /// [`Engine::run`].
 pub struct Engine<'w> {
@@ -225,9 +299,25 @@ pub struct Engine<'w> {
 
     // --- substrate ---
     clocks: Vec<WorkClock>,
+    /// Cached external-load span per processor for [`Engine::cpu_factor`]:
+    /// every message send queries both endpoints' slowdowns, and the level
+    /// is constant within a persistence span, so a re-query inside the
+    /// cached `[from, until)` window would return the same value (the
+    /// `ClockCursor` reuse argument). `Cell` because the cache is warmed
+    /// from `&self` query paths.
+    slow_spans: Vec<Cell<SlowSpan>>,
     medium: MediumSim,
     events: BinaryHeap<Reverse<Ev>>,
     seq: u64,
+
+    // --- execution mode ---
+    mode: EngineMode,
+    /// Batched mode: the scheduled run per processor (`None` while not
+    /// computing, and always `None` in per-iteration mode).
+    blocks: Vec<Option<BlockRun>>,
+    /// Bumped whenever a processor's block is invalidated; stamps
+    /// `BlockDone`/`SettleCheck` events so stale ones are dropped.
+    block_epoch: Vec<u64>,
 
     // --- per-processor state ---
     queues: Vec<WorkQueue>,
@@ -341,9 +431,21 @@ impl<'w> Engine<'w> {
             workload,
             cfg,
             clocks,
+            slow_spans: (0..p)
+                .map(|_| {
+                    Cell::new(SlowSpan {
+                        slow: 1.0,
+                        from: 0.0,
+                        until: f64::NEG_INFINITY,
+                    })
+                })
+                .collect(),
             medium,
             events: BinaryHeap::new(),
             seq: 0,
+            mode: EngineMode::from_env(),
+            blocks: (0..p).map(|_| None).collect(),
+            block_epoch: vec![0; p],
             queues,
             state: vec![ProcState::Computing; p],
             active: vec![true; p],
@@ -393,6 +495,14 @@ impl<'w> Engine<'w> {
         self
     }
 
+    /// Select the stepping mode explicitly, overriding the
+    /// `DLB_ENGINE_MODE` environment default. Both modes produce
+    /// byte-identical reports; per-iteration is the reference path.
+    pub fn with_mode(mut self, mode: EngineMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
     /// Enable ablation A1.3: additionally trigger a synchronization every
     /// `dt` seconds (a periodic-exchange scheme à la Dome/Siegell).
     ///
@@ -409,7 +519,13 @@ impl<'w> Engine<'w> {
     }
 
     /// Execute to completion and report.
-    pub fn run(mut self) -> RunReport {
+    pub fn run(self) -> RunReport {
+        self.run_counted().0
+    }
+
+    /// Execute to completion; also return engine counters (heap event
+    /// totals) for the bench harness.
+    pub fn run_counted(mut self) -> (RunReport, EngineCounters) {
         let p = self.cluster.processors();
         for proc in 0..p {
             if self.queues[proc].is_empty() {
@@ -417,14 +533,15 @@ impl<'w> Engine<'w> {
                 self.state[proc] = ProcState::Inactive;
                 self.active[proc] = false;
             } else {
-                self.schedule_next_iter(proc, 0.0);
+                self.schedule_compute(proc, 0.0);
             }
         }
         if let Some(dt) = self.periodic_interval {
             self.push_event(dt, EvKind::PeriodicTick);
         }
         if self.fault_active {
-            for c in self.plan.crashes.clone() {
+            for i in 0..self.plan.crashes.len() {
+                let c = self.plan.crashes[i];
                 self.push_event(c.at, EvKind::Crash { proc: c.proc });
             }
             if !self.plan.crashes.is_empty() {
@@ -435,6 +552,8 @@ impl<'w> Engine<'w> {
             let now = ev.time;
             match ev.kind {
                 EvKind::IterDone { proc, iter } => self.on_iter_done(proc, iter, now),
+                EvKind::BlockDone { proc, epoch } => self.on_block_done(proc, epoch, now),
+                EvKind::SettleCheck { proc, epoch } => self.on_settle_check(proc, epoch, now),
                 EvKind::Deliver { to, payload } => self.on_deliver(to, payload, now),
                 EvKind::CalcCentral { group } => self.on_calc_central(group, now),
                 EvKind::CalcLocal { group, proc } => self.on_calc_local(group, proc, now),
@@ -456,7 +575,7 @@ impl<'w> Engine<'w> {
             self.state
         );
         let total_time = self.finished_at.iter().copied().fold(0.0, f64::max);
-        RunReport {
+        let report = RunReport {
             strategy: self.cfg.as_ref().map(|c| c.strategy),
             total_time,
             stats: self.stats,
@@ -474,7 +593,8 @@ impl<'w> Engine<'w> {
             } else {
                 None
             },
-        }
+        };
+        (report, EngineCounters { events: self.seq })
     }
 
     // ------------------------------------------------------------------
@@ -496,7 +616,17 @@ impl<'w> Engine<'w> {
     /// it too — the paper's "context switching between the load balancer
     /// and the computation slave" (Section 6.2).
     fn cpu_factor(&self, node: usize, now: f64) -> f64 {
-        let ext = self.clocks[node].load().slowdown_at(now);
+        let mut span = self.slow_spans[node].get();
+        if !(now >= span.from && now < span.until) {
+            let load = self.clocks[node].load();
+            span = SlowSpan {
+                slow: load.slowdown_at(now),
+                from: now,
+                until: load.next_change_after(now),
+            };
+            self.slow_spans[node].set(span);
+        }
+        let ext = span.slow;
         let share = if self.state[node] == ProcState::Computing {
             2.0
         } else {
@@ -540,6 +670,15 @@ impl<'w> Engine<'w> {
         self.push_event(delivered, EvKind::Deliver { to, payload });
     }
 
+    /// Start `proc` computing at `now`: one event per iteration in
+    /// per-iteration mode, one event per contiguous run in batched mode.
+    fn schedule_compute(&mut self, proc: usize, now: f64) {
+        match self.mode {
+            EngineMode::PerIter => self.schedule_next_iter(proc, now),
+            EngineMode::Batched => self.schedule_block(proc, now),
+        }
+    }
+
     fn schedule_next_iter(&mut self, proc: usize, now: f64) {
         let iter = self.queues[proc]
             .pop_front_iter()
@@ -570,6 +709,186 @@ impl<'w> Engine<'w> {
             t += s.until - s.from.max(start);
         }
         t
+    }
+
+    // ------------------------------------------------------------------
+    // batched event-horizon execution
+
+    /// Schedule `proc`'s whole front run of queued iterations as one
+    /// `BlockDone` event. Boundary times replay the per-iteration chain —
+    /// `finish_time` from each iteration's start, then stall displacement —
+    /// through a [`ClockCursor`] that caches the current load span, so the
+    /// times are bit-identical to per-iteration stepping at a fraction of
+    /// the cost. The queue is *not* popped here; settling pops exactly the
+    /// completed prefix, so crashes and preemption see the same queue
+    /// contents the per-iteration engine would.
+    fn schedule_block(&mut self, proc: usize, now: f64) {
+        let run = self.queues[proc]
+            .front_run()
+            .expect("schedule_block requires a non-empty queue");
+        let mut boundaries = Vec::with_capacity((run.end - run.start) as usize);
+        let wl = self.workload;
+        // Uniform loops pay the virtual cost lookup once per block.
+        let uniform_cost = wl.is_uniform().then(|| wl.iter_cost(run.start));
+        let mut cursor = ClockCursor::new(&self.clocks[proc]);
+        match uniform_cost {
+            // Stall displacement breaks the pure chain, so the batch fast
+            // path only applies to fault-free uniform runs.
+            Some(cost) if !self.fault_active => {
+                cursor.finish_times_uniform(now, cost, run.end - run.start, &mut boundaries);
+            }
+            _ => {
+                let mut t = now;
+                for i in run.clone() {
+                    let cost = uniform_cost.unwrap_or_else(|| wl.iter_cost(i));
+                    let mut f = cursor.finish_time(t, cost);
+                    if self.fault_active {
+                        f = self.apply_stalls(proc, t, f);
+                    }
+                    boundaries.push(f);
+                    t = f;
+                }
+            }
+        }
+        let done_at = *boundaries.last().expect("front run is never empty");
+        self.state[proc] = ProcState::Computing;
+        self.blocks[proc] = Some(BlockRun {
+            first: run.start,
+            done: 0,
+            boundaries,
+        });
+        let epoch = self.block_epoch[proc];
+        self.push_event(done_at, EvKind::BlockDone { proc, epoch });
+    }
+
+    /// Settle the first `upto` iterations of `proc`'s block: accumulate
+    /// counters per iteration in the original order (so `work_done` sums
+    /// bit-identically to per-iteration stepping), pop the queue, and move
+    /// `finished_at` to the last settled boundary. Idempotent for already
+    /// settled prefixes.
+    fn settle_block_to(&mut self, proc: usize, upto: u64) {
+        let (first, done, finished) = {
+            let b = self.blocks[proc].as_ref().expect("settle without a block");
+            debug_assert!(upto as usize <= b.boundaries.len());
+            if upto <= b.done {
+                return;
+            }
+            (b.first, b.done, b.boundaries[upto as usize - 1])
+        };
+        let wl = self.workload;
+        if let Some(cost) = wl.is_uniform().then(|| wl.iter_cost(first)) {
+            for _ in done..upto {
+                self.work_done[proc] += cost;
+            }
+        } else {
+            for i in done..upto {
+                self.work_done[proc] += wl.iter_cost(first + i);
+            }
+        }
+        let k = upto - done;
+        self.window_iters[proc] += k;
+        self.iters_done[proc] += k;
+        let taken = self.queues[proc].take_front(k);
+        debug_assert_eq!(ranges_len(&taken), k, "queue must cover the settled prefix");
+        self.finished_at[proc] = finished;
+        self.blocks[proc]
+            .as_mut()
+            .expect("block checked above")
+            .done = upto;
+    }
+
+    /// Retire `proc`'s block and stamp any still-queued events for it
+    /// stale.
+    fn invalidate_block(&mut self, proc: usize) {
+        self.blocks[proc] = None;
+        self.block_epoch[proc] += 1;
+    }
+
+    /// Mark `proc` interrupted. The per-iteration engine reacts at the
+    /// next `IterDone`; in batched mode that boundary has no event, so
+    /// synthesize a `SettleCheck` at the first stored boundary past `now`
+    /// (if none remains, the pending `BlockDone` at `now` reacts itself).
+    fn flag_interrupt(&mut self, proc: usize, now: f64) {
+        if self.interrupted[proc] {
+            return;
+        }
+        self.interrupted[proc] = true;
+        if self.mode != EngineMode::Batched {
+            return;
+        }
+        if let Some(b) = self.blocks[proc].as_ref() {
+            let i = b.boundaries.partition_point(|&x| x <= now);
+            if i < b.boundaries.len() {
+                let at = b.boundaries[i];
+                let epoch = self.block_epoch[proc];
+                self.push_event(at, EvKind::SettleCheck { proc, epoch });
+            }
+        }
+    }
+
+    /// The whole block completed: settle everything, then run the same
+    /// boundary logic `on_iter_done` runs after a final iteration.
+    fn on_block_done(&mut self, proc: usize, epoch: u64, now: f64) {
+        if epoch != self.block_epoch[proc] || self.membership.is_dead(proc) {
+            return; // preempted or crashed since scheduling
+        }
+        let len = self.blocks[proc]
+            .as_ref()
+            .expect("live epoch implies a block")
+            .boundaries
+            .len() as u64;
+        self.settle_block_to(proc, len);
+        self.invalidate_block(proc);
+
+        if self.interrupted[proc] {
+            self.interrupted[proc] = false;
+            let g = self.proc_group[proc];
+            let in_episode = self.groups[g]
+                .episode
+                .as_ref()
+                .is_some_and(|e| !e.profiled.contains(&proc));
+            if in_episode {
+                self.send_profile(proc, now);
+                return;
+            }
+        }
+        if self.queues[proc].is_empty() {
+            self.on_out_of_work(proc, now);
+        } else {
+            self.schedule_compute(proc, now);
+        }
+    }
+
+    /// An interrupt landed mid-block: at this iteration boundary, settle
+    /// the completed prefix and react exactly as `on_iter_done` would —
+    /// profile if the episode still wants us, otherwise clear the stale
+    /// flag and let the block run on.
+    fn on_settle_check(&mut self, proc: usize, epoch: u64, now: f64) {
+        if epoch != self.block_epoch[proc]
+            || self.membership.is_dead(proc)
+            || !self.interrupted[proc]
+            || self.state[proc] != ProcState::Computing
+        {
+            return; // block replaced, flag already served, or episode gone
+        }
+        let upto = {
+            let b = self.blocks[proc]
+                .as_ref()
+                .expect("live epoch implies a block");
+            b.boundaries.partition_point(|&x| x <= now) as u64
+        };
+        self.settle_block_to(proc, upto);
+        self.interrupted[proc] = false;
+        let g = self.proc_group[proc];
+        let in_episode = self.groups[g]
+            .episode
+            .as_ref()
+            .is_some_and(|e| !e.profiled.contains(&proc));
+        if in_episode {
+            self.invalidate_block(proc);
+            self.send_profile(proc, now);
+        }
+        // Stale flag: keep computing — the BlockDone is still scheduled.
     }
 
     // ------------------------------------------------------------------
@@ -604,7 +923,7 @@ impl<'w> Engine<'w> {
         if self.queues[proc].is_empty() {
             self.on_out_of_work(proc, now);
         } else {
-            self.schedule_next_iter(proc, now);
+            self.schedule_compute(proc, now);
         }
     }
 
@@ -684,7 +1003,7 @@ impl<'w> Engine<'w> {
                 );
             }
             // The initiator itself reacts at its next iteration boundary.
-            self.interrupted[initiator] = true;
+            self.flag_interrupt(initiator, now);
         }
         if self.active.iter().filter(|&&a| a).count() >= 2 {
             let dt = self
@@ -939,13 +1258,25 @@ impl<'w> Engine<'w> {
         let Some(mine) = episode.local_profiles.get(&proc) else {
             return;
         };
-        let profiles: Vec<PerfProfile> = mine.values().copied().collect();
-        // Every member computes the same deterministic outcome in parallel.
-        let outcome = Arc::new(self.decide(&profiles));
-        self.record_decision(g, &outcome, now);
-        if let Some(episode) = self.groups[g].episode.as_mut() {
-            episode.outcome = Some(Arc::clone(&outcome));
-        }
+        // Every member computes the same deterministic outcome in parallel:
+        // `decide` is a pure function of the complete, proc-ordered profile
+        // set, which is identical across members. Model the cost on every
+        // member (the CalcLocal event) but run the arithmetic once.
+        let (profiles, cached) = match episode.outcome.as_ref() {
+            Some(out) => (Vec::new(), Some(Arc::clone(out))),
+            None => (mine.values().copied().collect::<Vec<_>>(), None),
+        };
+        let outcome = match cached {
+            Some(out) => out,
+            None => {
+                let outcome = Arc::new(self.decide(&profiles));
+                self.record_decision(g, &outcome, now);
+                if let Some(episode) = self.groups[g].episode.as_mut() {
+                    episode.outcome = Some(Arc::clone(&outcome));
+                }
+                outcome
+            }
+        };
         self.act_on_outcome(proc, g, &outcome, now);
     }
 
@@ -1014,7 +1345,7 @@ impl<'w> Engine<'w> {
             // computation (Section 5.2).
             self.deactivate(m, now);
         } else {
-            self.schedule_next_iter(m, now);
+            self.schedule_compute(m, now);
         }
     }
 
@@ -1055,6 +1386,29 @@ impl<'w> Engine<'w> {
         // completes; put it back so recovery can hand it to a survivor.
         if let Some(iter) = self.in_flight[proc].take() {
             self.queues[proc].push_back(iter..iter + 1);
+        }
+        if self.blocks[proc].is_some() {
+            // Batched mode: iterations whose boundary lies strictly before
+            // the crash completed (an exact tie dies with the crash, which
+            // drains first — its event predates the block's). Settle them,
+            // then move the in-flight iteration to the back of the queue,
+            // reproducing the per-iteration pop-then-push-back layout that
+            // death recovery confiscates.
+            let upto = {
+                let b = self.blocks[proc].as_ref().expect("checked above");
+                b.boundaries.partition_point(|&x| x < now) as u64
+            };
+            self.settle_block_to(proc, upto);
+            let in_flight = self.blocks[proc].as_ref().expect("checked above").first + upto;
+            let got = self.queues[proc]
+                .pop_front_iter()
+                .expect("an unfinished block implies queued work");
+            debug_assert_eq!(
+                got, in_flight,
+                "crash must preempt the next queued iteration"
+            );
+            self.queues[proc].push_back(got..got + 1);
+            self.invalidate_block(proc);
         }
         self.active[proc] = false;
         self.state[proc] = ProcState::Inactive;
@@ -1572,7 +1926,7 @@ impl<'w> Engine<'w> {
                     return;
                 }
                 match self.state[to] {
-                    ProcState::Computing => self.interrupted[to] = true,
+                    ProcState::Computing => self.flag_interrupt(to, now),
                     // Drained while the previous episode was closing and
                     // queued to initiate the next one — but a peer beat it
                     // to it: join the peer's episode instead.

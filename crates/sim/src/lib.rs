@@ -26,7 +26,7 @@ pub mod runner;
 pub mod taskqueue;
 
 pub use cluster::ClusterSpec;
-pub use engine::Engine;
+pub use engine::{Engine, EngineCounters, EngineMode};
 pub use report::{rank_strategies, ProcSummary, RunReport};
 pub use runner::{
     run_all_strategies, run_all_strategies_arc, run_dlb, run_dlb_arc, run_dlb_faulty,

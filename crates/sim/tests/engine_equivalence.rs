@@ -1,0 +1,139 @@
+//! Batched event-horizon execution vs per-iteration stepping: the two
+//! engine modes must produce **byte-identical** `RunReport`s — same
+//! serde bytes — for every run kind (noDLB + the four strategies) under
+//! every fault scenario, on a uniform (MXM) and a non-uniform folded
+//! (TRFD loop 2) workload. This is the equivalence matrix the batched
+//! engine's correctness rests on; CI runs it on every push.
+
+use dlb_apps::{MxmConfig, TrfdConfig};
+use dlb_core::strategy::{Strategy, StrategyConfig};
+use dlb_core::work::LoopWorkload;
+use now_fault::{FailurePolicy, FaultPlan, LossSpec, StallSpec};
+use now_sim::{ClusterSpec, Engine, EngineMode, RunReport};
+
+const P: usize = 4;
+const GROUP: usize = 2;
+
+fn report_bytes(
+    cluster: &ClusterSpec,
+    wl: &dyn LoopWorkload,
+    cfg: Option<StrategyConfig>,
+    plan: &FaultPlan,
+    mode: EngineMode,
+) -> String {
+    let mut engine = Engine::new(cluster.clone(), wl, cfg).with_mode(mode);
+    if !plan.is_empty() {
+        engine = engine.with_faults(plan.clone(), FailurePolicy::default());
+    }
+    serde_json::to_string(&engine.run()).expect("report serializes")
+}
+
+/// Build a cluster whose persistence gives the run many load-level
+/// changes (so blocks genuinely span boundaries), using a probe run to
+/// find the horizon.
+fn tuned_cluster(wl: &dyn LoopWorkload, seed: u64) -> (ClusterSpec, f64) {
+    let probe = ClusterSpec::paper_homogeneous(P, seed, 0.5);
+    let bytes = report_bytes(&probe, wl, None, &FaultPlan::none(), EngineMode::PerIter);
+    let horizon = serde_json::from_str::<RunReport>(&bytes)
+        .expect("report parses")
+        .total_time;
+    let cluster = ClusterSpec::paper_homogeneous(P, seed, horizon / 17.0);
+    let bytes = report_bytes(&cluster, wl, None, &FaultPlan::none(), EngineMode::PerIter);
+    let horizon = serde_json::from_str::<RunReport>(&bytes)
+        .expect("report parses")
+        .total_time;
+    (cluster, horizon)
+}
+
+fn assert_matrix(name: &str, wl: &dyn LoopWorkload, seed: u64) {
+    let (cluster, t) = tuned_cluster(wl, seed);
+    let plans: Vec<(&str, FaultPlan)> = vec![
+        ("no-faults", FaultPlan::none()),
+        ("crash-mid-block", FaultPlan::crash(P - 1, t * 0.31)),
+        (
+            "stall-across-boundary",
+            FaultPlan {
+                stalls: vec![StallSpec {
+                    proc: 0,
+                    from: t * 0.2,
+                    until: t * 0.45,
+                }],
+                ..FaultPlan::default()
+            },
+        ),
+        (
+            "message-loss",
+            FaultPlan {
+                loss: Some(LossSpec {
+                    prob: 0.2,
+                    seed: 11,
+                }),
+                ..FaultPlan::default()
+            },
+        ),
+    ];
+    let mut cfgs: Vec<(String, Option<StrategyConfig>)> = vec![("noDLB".into(), None)];
+    for s in Strategy::ALL {
+        cfgs.push((s.to_string(), Some(StrategyConfig::paper(s, GROUP))));
+    }
+    for (pname, plan) in &plans {
+        for (cname, cfg) in &cfgs {
+            let reference = report_bytes(&cluster, wl, *cfg, plan, EngineMode::PerIter);
+            let batched = report_bytes(&cluster, wl, *cfg, plan, EngineMode::Batched);
+            assert_eq!(
+                reference, batched,
+                "{name} / {cname} / {pname}: batched engine diverged from per-iteration reference"
+            );
+        }
+    }
+}
+
+#[test]
+fn mxm_uniform_equivalence_matrix() {
+    let wl = MxmConfig::new(100, 400, 400).workload();
+    assert_matrix("MXM 100x400x400", &wl, 0x1996_0802);
+}
+
+#[test]
+fn trfd_folded_equivalence_matrix() {
+    let wl = TrfdConfig::new(10).loop2_workload();
+    assert_matrix("TRFD n=10 L2", &wl, 0x0802_1996);
+}
+
+#[test]
+fn periodic_sync_equivalence() {
+    // Ablation A1.3 flags the initiator mid-block on every tick — the
+    // other flag_interrupt call site.
+    let wl = MxmConfig::new(100, 400, 400).workload();
+    let (cluster, t) = tuned_cluster(&wl, 0xA13);
+    let cfg = StrategyConfig::paper(Strategy::Gddlb, GROUP);
+    let run = |mode: EngineMode| {
+        let report = Engine::new(cluster.clone(), &wl, Some(cfg))
+            .with_mode(mode)
+            .with_periodic_sync(t * 0.13)
+            .run();
+        serde_json::to_string(&report).expect("report serializes")
+    };
+    assert_eq!(
+        run(EngineMode::PerIter),
+        run(EngineMode::Batched),
+        "periodic-sync run diverged between modes"
+    );
+}
+
+#[test]
+fn env_override_selects_reference_path() {
+    // `DLB_ENGINE_MODE=per-iter` must force the reference engine without
+    // touching call sites; `with_mode` is the programmatic override the
+    // bench harness uses. (The env var itself is process-global, so this
+    // test exercises the explicit override only.)
+    let wl = MxmConfig::new(50, 400, 400).workload();
+    let cluster = ClusterSpec::paper_homogeneous(P, 7, 0.25);
+    let a = Engine::new(cluster.clone(), &wl, None)
+        .with_mode(EngineMode::PerIter)
+        .run();
+    let b = Engine::new(cluster, &wl, None)
+        .with_mode(EngineMode::Batched)
+        .run();
+    assert_eq!(a, b);
+}
