@@ -1,5 +1,6 @@
-//! Engine self-benchmark: batched event-horizon execution vs the
-//! per-iteration reference, on the paper's heaviest MXM cell.
+//! Engine self-benchmark: per-iteration reference vs batched
+//! event-horizon execution vs episode fast-forward, on the paper's
+//! heaviest MXM cell.
 //!
 //! Usage:
 //!
@@ -8,22 +9,37 @@
 //! ```
 //!
 //! For noDLB plus each of the four strategies, the run is executed in
-//! both engine modes `R` times; the table reports the **median**
-//! wall-clock per mode, the heap-event totals, and asserts that the two
-//! modes' `RunReport`s serialize to exactly the same bytes (the batched
-//! engine's correctness contract — CI fails if it trips). `--quick`
+//! all three engine modes `R` times; the table reports the **median**
+//! wall-clock per mode, the heap-event totals broken down by kind
+//! (compute vs. protocol vs. heartbeat), the episode fast-forward
+//! commit/fallback counts, and asserts that all three modes'
+//! `RunReport`s serialize to exactly the same bytes (the optimized
+//! engines' correctness contract — CI fails if it trips). `--quick`
 //! scales the cell down for CI smoke; the default is the full Fig. 6
 //! cell (MXM R=3200, P=16). Results land in `BENCH_engine.json`
-//! (override with `--out`).
+//! (override with `--out`); each invocation appends its cell aggregate
+//! to the file's `trajectory` array so successive optimization passes
+//! accumulate a history.
 
 use dlb_apps::MxmConfig;
 use dlb_bench::{format_table, paper_group_size, persistence_for, Align, LOAD_SEED};
 use dlb_core::strategy::{Strategy, StrategyConfig};
 use dlb_core::work::LoopWorkload;
 use now_sim::{ClusterSpec, Engine, EngineCounters, EngineMode, RunReport};
-use serde::Serialize;
+use serde::{Serialize, Value};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Pre-built JSON value carried through a derived `Serialize` struct
+/// (the vendored serde's `Value` has no own `Serialize` impl).
+#[derive(Debug, Clone)]
+struct Raw(Value);
+
+impl Serialize for Raw {
+    fn to_value(&self) -> Value {
+        self.0.clone()
+    }
+}
 
 #[derive(Debug, Serialize)]
 struct RunBench {
@@ -32,15 +48,41 @@ struct RunBench {
     per_iter_s: f64,
     /// Median wall-clock of the batched engine, seconds.
     batched_s: f64,
+    /// Median wall-clock of the episode fast-forward engine, seconds.
+    episode_s: f64,
     /// per_iter_s / batched_s.
-    speedup: f64,
+    speedup_batched: f64,
+    /// per_iter_s / episode_s.
+    speedup_episode: f64,
     /// Heap events pushed over the run, per mode.
     events_per_iter: u64,
     events_batched: u64,
-    /// events_per_iter / events_batched.
+    events_episode: u64,
+    /// events_per_iter / events_episode.
     event_reduction: f64,
-    /// The two modes' reports serialize to exactly the same bytes.
+    /// Episode-mode event breakdown by kind.
+    episode_compute_events: u64,
+    episode_protocol_events: u64,
+    episode_heartbeat_events: u64,
+    /// Sync episodes fast-forwarded analytically vs. replayed
+    /// per-message (fallback).
+    episodes_fast_forwarded: u64,
+    episodes_fallback: u64,
+    /// All three modes' reports serialize to exactly the same bytes.
     identical: bool,
+}
+
+/// One cell aggregate, kept across invocations in the `trajectory`
+/// array so successive optimization passes can be compared.
+#[derive(Debug, Serialize)]
+struct TrajectoryPoint {
+    mode: String,
+    total_per_iter_s: f64,
+    total_batched_s: f64,
+    total_episode_s: f64,
+    wall_speedup_batched: f64,
+    wall_speedup_episode: f64,
+    total_event_reduction: f64,
 }
 
 #[derive(Debug, Serialize)]
@@ -53,10 +95,16 @@ struct EngineBench {
     /// Cell aggregates: summed medians and summed event counts.
     total_per_iter_s: f64,
     total_batched_s: f64,
-    wall_speedup: f64,
+    total_episode_s: f64,
+    wall_speedup_batched: f64,
+    wall_speedup_episode: f64,
     total_events_per_iter: u64,
     total_events_batched: u64,
+    total_events_episode: u64,
     total_event_reduction: f64,
+    /// Cell aggregates of previous invocations (oldest first), with
+    /// this invocation's appended last.
+    trajectory: Vec<Raw>,
 }
 
 /// Median of an odd-length sample (the default repeat counts are odd);
@@ -84,6 +132,24 @@ fn timed_runs(
     }
     let (report, counters) = last.expect("repeat >= 1");
     (median(&mut samples), report, counters)
+}
+
+/// Salvage the `trajectory` array from a previous `BENCH_engine.json`,
+/// tolerating any older schema (missing file, missing field, wrong
+/// shape all yield an empty history).
+fn load_trajectory(path: &str) -> Vec<Raw> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let Ok(value) = serde_json::parse_value_complete(&text) else {
+        return Vec::new();
+    };
+    value
+        .as_map()
+        .and_then(|m| serde::value::get_field(m, "trajectory"))
+        .and_then(Value::as_seq)
+        .map(|points| points.iter().cloned().map(Raw).collect())
+        .unwrap_or_default()
 }
 
 fn main() {
@@ -125,11 +191,11 @@ fn main() {
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
 
     println!(
-        "engine_bench — per-iteration vs batched on MXM {} P={p}, {repeat} rep(s){}",
+        "engine_bench — per-iteration vs batched vs episode on MXM {} P={p}, {repeat} rep(s){}",
         cfg.label(),
         if quick { " [quick]" } else { "" }
     );
-    println!("(median wall-clock per mode; reports byte-compared)\n");
+    println!("(median wall-clock per mode; reports byte-compared across all three)\n");
 
     let mut kinds: Vec<(String, Option<StrategyConfig>)> = vec![("noDLB".into(), None)];
     for s in Strategy::ALL {
@@ -143,33 +209,61 @@ fn main() {
             timed_runs(&cluster, &wl, *scfg, EngineMode::PerIter, repeat);
         let (batched_s, bat_report, bat_counters) =
             timed_runs(&cluster, &wl, *scfg, EngineMode::Batched, repeat);
+        let (episode_s, epi_report, epi_counters) =
+            timed_runs(&cluster, &wl, *scfg, EngineMode::Episode, repeat);
         let ref_bytes = serde_json::to_string(&ref_report).expect("serialize");
         let bat_bytes = serde_json::to_string(&bat_report).expect("serialize");
-        let identical = ref_bytes == bat_bytes;
+        let epi_bytes = serde_json::to_string(&epi_report).expect("serialize");
+        let identical = ref_bytes == bat_bytes && ref_bytes == epi_bytes;
         assert!(
-            identical,
+            ref_bytes == bat_bytes,
             "{name}: batched report diverged from the per-iteration reference"
         );
-        let speedup = per_iter_s / batched_s.max(1e-12);
-        let event_reduction = ref_counters.events as f64 / bat_counters.events.max(1) as f64;
+        assert!(
+            ref_bytes == epi_bytes,
+            "{name}: episode report diverged from the per-iteration reference"
+        );
+        let speedup_batched = per_iter_s / batched_s.max(1e-12);
+        let speedup_episode = per_iter_s / episode_s.max(1e-12);
+        let event_reduction = ref_counters.events as f64 / epi_counters.events.max(1) as f64;
         rows.push(vec![
             name.clone(),
             format!("{per_iter_s:.4}"),
             format!("{batched_s:.4}"),
-            format!("{speedup:.1}x"),
+            format!("{episode_s:.4}"),
+            format!("{speedup_batched:.1}x"),
+            format!("{speedup_episode:.1}x"),
             format!("{}", ref_counters.events),
-            format!("{}", bat_counters.events),
-            format!("{event_reduction:.1}x"),
+            format!(
+                "{}={}c+{}p+{}h",
+                epi_counters.events,
+                epi_counters.compute_events,
+                epi_counters.protocol_events,
+                epi_counters.heartbeat_events
+            ),
+            format!(
+                "{}/{}",
+                epi_counters.episodes_fast_forwarded,
+                epi_counters.episodes_fast_forwarded + epi_counters.episodes_fallback
+            ),
             "yes".to_string(),
         ]);
         runs.push(RunBench {
             name: name.clone(),
             per_iter_s,
             batched_s,
-            speedup,
+            episode_s,
+            speedup_batched,
+            speedup_episode,
             events_per_iter: ref_counters.events,
             events_batched: bat_counters.events,
+            events_episode: epi_counters.events,
             event_reduction,
+            episode_compute_events: epi_counters.compute_events,
+            episode_protocol_events: epi_counters.protocol_events,
+            episode_heartbeat_events: epi_counters.heartbeat_events,
+            episodes_fast_forwarded: epi_counters.episodes_fast_forwarded,
+            episodes_fallback: epi_counters.episodes_fallback,
             identical,
         });
     }
@@ -181,14 +275,18 @@ fn main() {
                 "run",
                 "per-iter [s]",
                 "batched [s]",
-                "speedup",
+                "episode [s]",
+                "spd bat",
+                "spd epi",
                 "ev ref",
-                "ev batched",
-                "ev redux",
+                "ev epi (c/p/h)",
+                "ff/eps",
                 "identical",
             ],
             &[
                 Align::Left,
+                Align::Right,
+                Align::Right,
                 Align::Right,
                 Align::Right,
                 Align::Right,
@@ -203,8 +301,25 @@ fn main() {
 
     let total_per_iter_s: f64 = runs.iter().map(|r| r.per_iter_s).sum();
     let total_batched_s: f64 = runs.iter().map(|r| r.batched_s).sum();
+    let total_episode_s: f64 = runs.iter().map(|r| r.episode_s).sum();
     let total_events_per_iter: u64 = runs.iter().map(|r| r.events_per_iter).sum();
     let total_events_batched: u64 = runs.iter().map(|r| r.events_batched).sum();
+    let total_events_episode: u64 = runs.iter().map(|r| r.events_episode).sum();
+    let wall_speedup_batched = total_per_iter_s / total_batched_s.max(1e-12);
+    let wall_speedup_episode = total_per_iter_s / total_episode_s.max(1e-12);
+    let total_event_reduction = total_events_per_iter as f64 / total_events_episode.max(1) as f64;
+
+    let mut trajectory = load_trajectory(&out);
+    trajectory.push(Raw(serde_json::to_value(&TrajectoryPoint {
+        mode: if quick { "quick" } else { "full" }.to_string(),
+        total_per_iter_s,
+        total_batched_s,
+        total_episode_s,
+        wall_speedup_batched,
+        wall_speedup_episode,
+        total_event_reduction,
+    })));
+
     let bench = EngineBench {
         mode: if quick { "quick" } else { "full" }.to_string(),
         cores,
@@ -212,14 +327,18 @@ fn main() {
         runs,
         total_per_iter_s,
         total_batched_s,
-        wall_speedup: total_per_iter_s / total_batched_s.max(1e-12),
+        total_episode_s,
+        wall_speedup_batched,
+        wall_speedup_episode,
         total_events_per_iter,
         total_events_batched,
-        total_event_reduction: total_events_per_iter as f64 / total_events_batched.max(1) as f64,
+        total_events_episode,
+        total_event_reduction,
+        trajectory,
     };
     println!(
-        "cell aggregate: wall {:.1}x, events {:.1}x",
-        bench.wall_speedup, bench.total_event_reduction
+        "cell aggregate: wall {:.1}x batched, {:.1}x episode, events {:.1}x",
+        bench.wall_speedup_batched, bench.wall_speedup_episode, bench.total_event_reduction
     );
     let json = serde_json::to_string_pretty(&bench).expect("serialize bench");
     std::fs::write(&out, format!("{json}\n")).expect("write bench output");

@@ -45,13 +45,112 @@ impl Default for EndpointFactors {
     }
 }
 
+/// The FCFS queueing state of a medium: when each sender CPU, the shared
+/// wire, and each receiver CPU next come free.
+///
+/// This is the *entire* mutable state of the arbiter, and
+/// [`ContentionState::schedule`] is the single implementation of the
+/// contention-update arithmetic. Both the event-loop path
+/// ([`MediumSim::send_with_factors`]) and the speculative episode replay
+/// ([`EpisodeSchedule::send`]) call the same function on a value of this
+/// type, so a replayed message schedule cannot drift from what the event
+/// loop would have computed — same float ops, same order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContentionState {
+    bus_free_at: f64,
+    send_port_free: Vec<f64>,
+    recv_port_free: Vec<f64>,
+}
+
+impl ContentionState {
+    /// All ports and the wire free at time 0.
+    pub fn new(nodes: usize) -> Self {
+        assert!(nodes > 0, "a network needs at least one node");
+        Self {
+            bus_free_at: 0.0,
+            send_port_free: vec![0.0; nodes],
+            recv_port_free: vec![0.0; nodes],
+        }
+    }
+
+    /// Number of nodes this state arbitrates.
+    pub fn nodes(&self) -> usize {
+        self.send_port_free.len()
+    }
+
+    /// All ports and the wire free immediately.
+    pub fn reset(&mut self) {
+        self.bus_free_at = 0.0;
+        self.send_port_free.fill(0.0);
+        self.recv_port_free.fill(0.0);
+    }
+
+    /// Copy `src` into `self`, reusing the existing allocations (the
+    /// episode fast-forward path re-snapshots once per episode).
+    pub fn copy_from(&mut self, src: &ContentionState) {
+        self.bus_free_at = src.bus_free_at;
+        self.send_port_free.clone_from(&src.send_port_free);
+        self.recv_port_free.clone_from(&src.recv_port_free);
+    }
+
+    /// The shared scheduling core: account one message of `bytes` bytes
+    /// from `from` to `to`, requested at `now`, endpoint CPU costs scaled
+    /// by `factors`. Self-sends are local and deliver immediately.
+    ///
+    /// Calls must be made in non-decreasing `now` order for exact FCFS
+    /// semantics.
+    ///
+    /// # Panics
+    /// Panics if a node index is out of range or a factor is below 1.
+    pub fn schedule(
+        &mut self,
+        params: &NetworkParams,
+        from: usize,
+        to: usize,
+        bytes: usize,
+        now: f64,
+        factors: EndpointFactors,
+    ) -> Transmission {
+        assert!(
+            from < self.nodes() && to < self.nodes(),
+            "node index out of range"
+        );
+        assert!(
+            factors.send >= 1.0 && factors.recv >= 1.0,
+            "endpoint factors must be >= 1 (1 = unloaded)"
+        );
+        if from == to {
+            return Transmission {
+                start: now,
+                delivered: now,
+            };
+        }
+        // Sender CPU.
+        let start = now.max(self.send_port_free[from]);
+        let sent = start + params.send_overhead * factors.send;
+        self.send_port_free[from] = sent;
+        // Wire.
+        let frame = params.frame_time(bytes);
+        let arrival = match params.medium {
+            MediumKind::SharedBus => {
+                let bus_start = sent.max(self.bus_free_at);
+                self.bus_free_at = bus_start + frame;
+                bus_start + frame
+            }
+            MediumKind::Switched => sent + frame,
+        };
+        // Receiver CPU.
+        let delivered = arrival.max(self.recv_port_free[to]) + params.recv_overhead * factors.recv;
+        self.recv_port_free[to] = delivered;
+        Transmission { start, delivered }
+    }
+}
+
 /// Stateful FCFS medium arbiter for `n` nodes.
 #[derive(Debug, Clone)]
 pub struct MediumSim {
     params: NetworkParams,
-    bus_free_at: f64,
-    send_port_free: Vec<f64>,
-    recv_port_free: Vec<f64>,
+    state: ContentionState,
 }
 
 impl MediumSim {
@@ -60,24 +159,26 @@ impl MediumSim {
     /// # Panics
     /// Panics if `nodes == 0` or the parameters are invalid.
     pub fn new(params: NetworkParams, nodes: usize) -> Self {
-        assert!(nodes > 0, "a network needs at least one node");
         params.validate();
         Self {
             params,
-            bus_free_at: 0.0,
-            send_port_free: vec![0.0; nodes],
-            recv_port_free: vec![0.0; nodes],
+            state: ContentionState::new(nodes),
         }
     }
 
     /// Number of nodes on this medium.
     pub fn nodes(&self) -> usize {
-        self.send_port_free.len()
+        self.state.nodes()
     }
 
     /// The configured parameters.
     pub fn params(&self) -> &NetworkParams {
         &self.params
+    }
+
+    /// The current queueing state (for snapshots).
+    pub fn state(&self) -> &ContentionState {
+        &self.state
     }
 
     /// Schedule a message with unloaded endpoints.
@@ -102,47 +203,86 @@ impl MediumSim {
         now: f64,
         factors: EndpointFactors,
     ) -> Transmission {
-        assert!(
-            from < self.nodes() && to < self.nodes(),
-            "node index out of range"
-        );
-        assert!(
-            factors.send >= 1.0 && factors.recv >= 1.0,
-            "endpoint factors must be >= 1 (1 = unloaded)"
-        );
-        if from == to {
-            return Transmission {
-                start: now,
-                delivered: now,
-            };
-        }
-        // Sender CPU.
-        let start = now.max(self.send_port_free[from]);
-        let sent = start + self.params.send_overhead * factors.send;
-        self.send_port_free[from] = sent;
-        // Wire.
-        let frame = self.params.frame_time(bytes);
-        let arrival = match self.params.medium {
-            MediumKind::SharedBus => {
-                let bus_start = sent.max(self.bus_free_at);
-                self.bus_free_at = bus_start + frame;
-                bus_start + frame
-            }
-            MediumKind::Switched => sent + frame,
-        };
-        // Receiver CPU.
-        let delivered =
-            arrival.max(self.recv_port_free[to]) + self.params.recv_overhead * factors.recv;
-        self.recv_port_free[to] = delivered;
-        Transmission { start, delivered }
+        self.state
+            .schedule(&self.params, from, to, bytes, now, factors)
     }
 
     /// Forget all queueing state (ports and bus free immediately). Used
     /// between independent pattern measurements.
     pub fn reset(&mut self) {
-        self.bus_free_at = 0.0;
-        self.send_port_free.fill(0.0);
-        self.recv_port_free.fill(0.0);
+        self.state.reset();
+    }
+}
+
+/// Speculative replay of one synchronization episode's message schedule.
+///
+/// The episode fast-forward path of the simulator computes a whole
+/// episode's per-message arrival times *before* deciding whether the
+/// episode may be fast-forwarded at all. This type supports that
+/// two-phase shape: [`EpisodeSchedule::restart_from`] snapshots a
+/// [`MediumSim`]'s contention state (reusing this schedule's buffers),
+/// [`EpisodeSchedule::send`] replays messages through the **same**
+/// [`ContentionState::schedule`] core the event loop uses, and
+/// [`EpisodeSchedule::commit_to`] adopts the advanced state back into the
+/// medium — or the schedule is simply dropped/reused, leaving the medium
+/// untouched (the fallback path then re-issues the messages through the
+/// event loop).
+#[derive(Debug, Clone)]
+pub struct EpisodeSchedule {
+    params: NetworkParams,
+    state: ContentionState,
+    messages: u64,
+}
+
+impl EpisodeSchedule {
+    /// A schedule with pre-sized buffers for `nodes` endpoints, not yet
+    /// anchored to any medium ([`EpisodeSchedule::restart_from`] anchors
+    /// it).
+    pub fn new(params: NetworkParams, nodes: usize) -> Self {
+        params.validate();
+        Self {
+            params,
+            state: ContentionState::new(nodes),
+            messages: 0,
+        }
+    }
+
+    /// Re-anchor to `medium`'s current queueing state, discarding any
+    /// previous replay. Allocation-free once the buffers exist.
+    pub fn restart_from(&mut self, medium: &MediumSim) {
+        self.params = medium.params;
+        self.state.copy_from(&medium.state);
+        self.messages = 0;
+    }
+
+    /// Replay one message: identical arithmetic, identical state update
+    /// as [`MediumSim::send_with_factors`], applied to the snapshot.
+    ///
+    /// # Panics
+    /// Panics if a node index is out of range or a factor is below 1.
+    pub fn send(
+        &mut self,
+        from: usize,
+        to: usize,
+        bytes: usize,
+        now: f64,
+        factors: EndpointFactors,
+    ) -> Transmission {
+        self.messages += 1;
+        self.state
+            .schedule(&self.params, from, to, bytes, now, factors)
+    }
+
+    /// Messages replayed since the last [`EpisodeSchedule::restart_from`].
+    pub fn messages(&self) -> u64 {
+        self.messages
+    }
+
+    /// Adopt the replayed contention state into `medium`: afterwards the
+    /// medium is in exactly the state it would hold had the event loop
+    /// issued every replayed message itself.
+    pub fn commit_to(&self, medium: &mut MediumSim) {
+        medium.state.copy_from(&self.state);
     }
 }
 
@@ -289,5 +429,78 @@ mod tests {
                 recv: 1.0,
             },
         );
+    }
+
+    /// A deterministic pseudo-random message trace (no external RNG).
+    fn trace(n: usize, len: usize) -> Vec<(usize, usize, usize, f64, EndpointFactors)> {
+        let mut x = 0x2545_f491_4f6c_dd1d_u64;
+        let mut now = 0.0;
+        (0..len)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                let from = (x % n as u64) as usize;
+                let to = ((x >> 8) % n as u64) as usize;
+                let bytes = ((x >> 16) % 4096) as usize;
+                now += ((x >> 32) % 1000) as f64 * 1e-6;
+                let f = EndpointFactors {
+                    send: 1.0 + ((x >> 42) % 3) as f64,
+                    recv: 1.0 + ((x >> 44) % 3) as f64,
+                };
+                (from, to, bytes, now, f)
+            })
+            .collect()
+    }
+
+    /// The episode replay must produce bit-identical transmissions and
+    /// leave the medium (after commit) in a bit-identical state to the
+    /// event-loop path, on both medium kinds.
+    #[test]
+    fn episode_schedule_replay_cannot_drift() {
+        for mk in [bus(5), switched(5)] {
+            let mut live = mk.clone();
+            let mut ff_base = mk.clone();
+            let msgs = trace(5, 200);
+            // Warm both media with a shared prefix so the snapshot is
+            // taken mid-stream, not at the zero state.
+            for &(f, t, b, now, fac) in &msgs[..50] {
+                let a = live.send_with_factors(f, t, b, now, fac);
+                let b2 = ff_base.send_with_factors(f, t, b, now, fac);
+                assert_eq!(a, b2);
+            }
+            let mut ep = EpisodeSchedule::new(*ff_base.params(), ff_base.nodes());
+            ep.restart_from(&ff_base);
+            for &(f, t, b, now, fac) in &msgs[50..] {
+                let a = live.send_with_factors(f, t, b, now, fac);
+                let r = ep.send(f, t, b, now, fac);
+                assert_eq!(a.start.to_bits(), r.start.to_bits());
+                assert_eq!(a.delivered.to_bits(), r.delivered.to_bits());
+            }
+            assert_eq!(ep.messages(), (msgs.len() - 50) as u64);
+            ep.commit_to(&mut ff_base);
+            assert_eq!(live.state(), ff_base.state());
+        }
+    }
+
+    /// Dropping a schedule (fallback path) leaves the medium untouched,
+    /// and the same schedule value can be re-anchored and reused.
+    #[test]
+    fn episode_schedule_abort_leaves_medium_untouched() {
+        let mut m = bus(3);
+        m.send(0, 1, 500, 0.0);
+        let before = m.state().clone();
+        let mut ep = EpisodeSchedule::new(*m.params(), m.nodes());
+        ep.restart_from(&m);
+        ep.send(1, 2, 800, 1.0, EndpointFactors::default());
+        ep.send(2, 0, 800, 2.0, EndpointFactors::default());
+        // No commit: the medium must be unchanged.
+        assert_eq!(*m.state(), before);
+        // Reuse after abort: counters and state re-anchor cleanly.
+        ep.restart_from(&m);
+        assert_eq!(ep.messages(), 0);
+        let live = m.send(1, 2, 64, 3.0);
+        let rep = ep.send(1, 2, 64, 3.0, EndpointFactors::default());
+        assert_eq!(live, rep);
     }
 }

@@ -49,6 +49,8 @@ use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 use std::ops::Range;
 use std::sync::Arc;
 
+mod ff;
+
 /// Per-iteration work message header bytes (range descriptors etc.).
 const WORK_HEADER_BYTES: usize = 16;
 /// Interrupt message payload bytes.
@@ -87,24 +89,47 @@ pub enum EngineMode {
     /// One `IterDone` event per iteration — the reference path the batched
     /// mode is checked against byte-for-byte.
     PerIter,
+    /// Batched compute **plus** episode fast-forward: a sync episode whose
+    /// window contains no fault, no foreign event, and no work arrival is
+    /// replayed analytically — every message through the exact
+    /// [`now_net::EpisodeSchedule`] arithmetic, in event order — and
+    /// settled in one step, emitting a single `EpisodeDone` event instead
+    /// of O(P)..O(P²) per-message events. Anything interfering aborts the
+    /// replay and that one episode falls back to the per-message path, so
+    /// reports stay byte-identical to [`EngineMode::Batched`]. Heartbeat
+    /// sweeps are coalesced to detection boundaries (see `ff.rs`).
+    Episode,
 }
 
 impl EngineMode {
-    /// `DLB_ENGINE_MODE=per-iter` selects the reference path; anything
-    /// else (including unset) selects batched execution.
+    /// `DLB_ENGINE_MODE=per-iter` selects the reference path,
+    /// `DLB_ENGINE_MODE=episode` the fast-forward engine; anything else
+    /// (including unset) selects batched execution.
     fn from_env() -> Self {
         match std::env::var("DLB_ENGINE_MODE") {
             Ok(v) if v == "per-iter" => EngineMode::PerIter,
+            Ok(v) if v == "episode" => EngineMode::Episode,
             _ => EngineMode::Batched,
         }
     }
 }
 
 /// Counters the bench harness reads alongside the report.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EngineCounters {
     /// Total events pushed onto the heap over the run.
     pub events: u64,
+    /// Compute stepping events (`IterDone`/`BlockDone`/`SettleCheck`).
+    pub compute_events: u64,
+    /// Heartbeat liveness sweeps.
+    pub heartbeat_events: u64,
+    /// Everything else: protocol messages, balancer calculations,
+    /// watchdogs, crashes, periodic ticks, episode markers.
+    pub protocol_events: u64,
+    /// Sync episodes settled by the fast-forward path (Episode mode).
+    pub episodes_fast_forwarded: u64,
+    /// Fast-forward attempts that aborted back to per-message replay.
+    pub episodes_fallback: u64,
 }
 
 /// A scheduled contiguous run of iterations (batched mode only).
@@ -119,6 +144,10 @@ struct BlockRun {
     /// schedule time, so any settle point is bit-identical to the
     /// per-iteration engine's `IterDone` time.
     boundaries: Vec<f64>,
+    /// Heap sequence number of the pending `BlockDone` for this run — the
+    /// episode fast-forward seeds its replay with the real event's
+    /// ordering key so exact-time ties resolve as the event loop would.
+    seq: u64,
 }
 
 #[derive(Debug)]
@@ -164,6 +193,14 @@ enum EvKind {
     Watchdog {
         group: usize,
         id: u64,
+    },
+    /// Episode mode: marker popped at a fast-forwarded episode's close.
+    /// Deliberately a no-op — the episode's effects were committed when it
+    /// was pushed — but it keeps the settled window visible on the heap
+    /// (one event per episode instead of O(P²)).
+    EpisodeDone {
+        #[allow(dead_code)]
+        group: usize,
     },
 }
 
@@ -309,6 +346,7 @@ pub struct Engine<'w> {
     medium: MediumSim,
     events: BinaryHeap<Reverse<Ev>>,
     seq: u64,
+    counters: EngineCounters,
 
     // --- execution mode ---
     mode: EngineMode,
@@ -318,6 +356,20 @@ pub struct Engine<'w> {
     /// Bumped whenever a processor's block is invalidated; stamps
     /// `BlockDone`/`SettleCheck` events so stale ones are dropped.
     block_epoch: Vec<u64>,
+    /// Recycled boundary vectors: a retired block's buffer is reused by
+    /// the next `schedule_block` instead of reallocated (episodes retire
+    /// and reschedule every participant's block).
+    boundary_pool: Vec<Vec<f64>>,
+    /// Pooled scratch state for the episode fast-forward (Episode mode).
+    ff: ff::FfScratch,
+
+    // --- coalesced heartbeats (Episode mode) ---
+    /// Liveness ticks fired so far (`faults.heartbeat_sweeps` mirror).
+    hb_ticks_counted: u64,
+    /// Index (1-based) and time of the scheduled coalesced tick. Tick
+    /// times accumulate by iterated addition exactly like the per-tick
+    /// chain, so a coalesced tick lands on the bit-identical instant.
+    hb_target: Option<(u64, f64)>,
 
     // --- per-processor state ---
     queues: Vec<WorkQueue>,
@@ -443,9 +495,14 @@ impl<'w> Engine<'w> {
             medium,
             events: BinaryHeap::new(),
             seq: 0,
+            counters: EngineCounters::default(),
             mode: EngineMode::from_env(),
             blocks: (0..p).map(|_| None).collect(),
             block_epoch: vec![0; p],
+            boundary_pool: Vec::new(),
+            ff: ff::FfScratch::default(),
+            hb_ticks_counted: 0,
+            hb_target: None,
             queues,
             state: vec![ProcState::Computing; p],
             active: vec![true; p],
@@ -545,7 +602,11 @@ impl<'w> Engine<'w> {
                 self.push_event(c.at, EvKind::Crash { proc: c.proc });
             }
             if !self.plan.crashes.is_empty() {
-                self.push_event(self.policy.heartbeat_interval, EvKind::Heartbeat);
+                if self.mode == EngineMode::Episode {
+                    self.aim_heartbeat();
+                } else {
+                    self.push_event(self.policy.heartbeat_interval, EvKind::Heartbeat);
+                }
             }
         }
         while let Some(Reverse(ev)) = self.events.pop() {
@@ -559,8 +620,15 @@ impl<'w> Engine<'w> {
                 EvKind::CalcLocal { group, proc } => self.on_calc_local(group, proc, now),
                 EvKind::PeriodicTick => self.on_periodic_tick(now),
                 EvKind::Crash { proc } => self.on_crash(proc, now),
-                EvKind::Heartbeat => self.on_heartbeat(now),
+                EvKind::Heartbeat => {
+                    if self.mode == EngineMode::Episode {
+                        self.on_heartbeat_coalesced(now);
+                    } else {
+                        self.on_heartbeat(now);
+                    }
+                }
                 EvKind::Watchdog { group, id } => self.on_watchdog(group, id, now),
+                EvKind::EpisodeDone { .. } => {}
             }
         }
         // Hard invariant: the event queue drained, so every processor must
@@ -594,13 +662,22 @@ impl<'w> Engine<'w> {
                 None
             },
         };
-        (report, EngineCounters { events: self.seq })
+        let mut counters = self.counters;
+        counters.events = self.seq;
+        (report, counters)
     }
 
     // ------------------------------------------------------------------
     // event scheduling helpers
 
     fn push_event(&mut self, time: f64, kind: EvKind) {
+        match kind {
+            EvKind::IterDone { .. } | EvKind::BlockDone { .. } | EvKind::SettleCheck { .. } => {
+                self.counters.compute_events += 1;
+            }
+            EvKind::Heartbeat => self.counters.heartbeat_events += 1,
+            _ => self.counters.protocol_events += 1,
+        }
         self.seq += 1;
         self.events.push(Reverse(Ev {
             time,
@@ -616,6 +693,19 @@ impl<'w> Engine<'w> {
     /// it too — the paper's "context switching between the load balancer
     /// and the computation slave" (Section 6.2).
     fn cpu_factor(&self, node: usize, now: f64) -> f64 {
+        let ext = self.ext_slowdown(node, now);
+        let share = if self.state[node] == ProcState::Computing {
+            2.0
+        } else {
+            1.0
+        };
+        (ext * share).max(1.0)
+    }
+
+    /// The external-load component of [`Engine::cpu_factor`], span-cached.
+    /// Split out so the episode fast-forward can combine it with its
+    /// *shadow* processor states instead of `self.state`.
+    fn ext_slowdown(&self, node: usize, now: f64) -> f64 {
         let mut span = self.slow_spans[node].get();
         if !(now >= span.from && now < span.until) {
             let load = self.clocks[node].load();
@@ -626,13 +716,7 @@ impl<'w> Engine<'w> {
             };
             self.slow_spans[node].set(span);
         }
-        let ext = span.slow;
-        let share = if self.state[node] == ProcState::Computing {
-            2.0
-        } else {
-            1.0
-        };
-        (ext * share).max(1.0)
+        span.slow
     }
 
     fn send(&mut self, from: usize, to: usize, bytes: usize, payload: Payload, now: f64) {
@@ -675,7 +759,7 @@ impl<'w> Engine<'w> {
     fn schedule_compute(&mut self, proc: usize, now: f64) {
         match self.mode {
             EngineMode::PerIter => self.schedule_next_iter(proc, now),
-            EngineMode::Batched => self.schedule_block(proc, now),
+            EngineMode::Batched | EngineMode::Episode => self.schedule_block(proc, now),
         }
     }
 
@@ -722,11 +806,14 @@ impl<'w> Engine<'w> {
     /// the cost. The queue is *not* popped here; settling pops exactly the
     /// completed prefix, so crashes and preemption see the same queue
     /// contents the per-iteration engine would.
-    fn schedule_block(&mut self, proc: usize, now: f64) {
-        let run = self.queues[proc]
-            .front_run()
-            .expect("schedule_block requires a non-empty queue");
-        let mut boundaries = Vec::with_capacity((run.end - run.start) as usize);
+    /// Compute the boundary chain for `proc` executing `run` from `now`
+    /// into `boundaries` (cleared first). This is the single
+    /// implementation of the per-iteration replay — `schedule_block` and
+    /// the episode fast-forward both call it, so a fast-forwarded block
+    /// cannot drift from the event-loop path.
+    fn block_boundaries(&self, proc: usize, now: f64, run: &Range<u64>, boundaries: &mut Vec<f64>) {
+        boundaries.clear();
+        boundaries.reserve((run.end - run.start) as usize);
         let wl = self.workload;
         // Uniform loops pay the virtual cost lookup once per block.
         let uniform_cost = wl.is_uniform().then(|| wl.iter_cost(run.start));
@@ -735,7 +822,7 @@ impl<'w> Engine<'w> {
             // Stall displacement breaks the pure chain, so the batch fast
             // path only applies to fault-free uniform runs.
             Some(cost) if !self.fault_active => {
-                cursor.finish_times_uniform(now, cost, run.end - run.start, &mut boundaries);
+                cursor.finish_times_uniform(now, cost, run.end - run.start, boundaries);
             }
             _ => {
                 let mut t = now;
@@ -750,15 +837,29 @@ impl<'w> Engine<'w> {
                 }
             }
         }
+    }
+
+    /// A recycled boundary buffer, or a fresh one.
+    fn take_boundary_buf(&mut self) -> Vec<f64> {
+        self.boundary_pool.pop().unwrap_or_default()
+    }
+
+    fn schedule_block(&mut self, proc: usize, now: f64) {
+        let run = self.queues[proc]
+            .front_run()
+            .expect("schedule_block requires a non-empty queue");
+        let mut boundaries = self.take_boundary_buf();
+        self.block_boundaries(proc, now, &run, &mut boundaries);
         let done_at = *boundaries.last().expect("front run is never empty");
         self.state[proc] = ProcState::Computing;
+        let epoch = self.block_epoch[proc];
+        self.push_event(done_at, EvKind::BlockDone { proc, epoch });
         self.blocks[proc] = Some(BlockRun {
             first: run.start,
             done: 0,
             boundaries,
+            seq: self.seq,
         });
-        let epoch = self.block_epoch[proc];
-        self.push_event(done_at, EvKind::BlockDone { proc, epoch });
     }
 
     /// Settle the first `upto` iterations of `proc`'s block: accumulate
@@ -797,10 +898,12 @@ impl<'w> Engine<'w> {
             .done = upto;
     }
 
-    /// Retire `proc`'s block and stamp any still-queued events for it
-    /// stale.
+    /// Retire `proc`'s block (recycling its boundary buffer) and stamp
+    /// any still-queued events for it stale.
     fn invalidate_block(&mut self, proc: usize) {
-        self.blocks[proc] = None;
+        if let Some(b) = self.blocks[proc].take() {
+            self.boundary_pool.push(b.boundaries);
+        }
         self.block_epoch[proc] += 1;
     }
 
@@ -813,7 +916,7 @@ impl<'w> Engine<'w> {
             return;
         }
         self.interrupted[proc] = true;
-        if self.mode != EngineMode::Batched {
+        if self.mode == EngineMode::PerIter {
             return;
         }
         if let Some(b) = self.blocks[proc].as_ref() {
@@ -1014,6 +1117,9 @@ impl<'w> Engine<'w> {
     }
 
     fn start_episode(&mut self, g: usize, initiator: usize, peers: Vec<usize>, now: f64) {
+        if self.mode == EngineMode::Episode && self.try_fast_forward(g, initiator, &peers, now) {
+            return;
+        }
         let mut participants = peers.clone();
         participants.push(initiator);
         participants.sort_unstable();
@@ -1431,6 +1537,61 @@ impl<'w> Engine<'w> {
         if self.plan.crashes.iter().any(|c| !self.detected[c.proc]) {
             self.push_event(now + self.policy.heartbeat_interval, EvKind::Heartbeat);
         }
+    }
+
+    /// Coalesced heartbeats (Episode mode): schedule only the next
+    /// liveness tick that can *matter* — the first tick at or after the
+    /// earliest still-undetected planned crash — starting the search at
+    /// candidate tick `idx` with instant `t`. Tick instants accumulate by
+    /// iterated addition exactly like the per-tick chain (`t += dt` from
+    /// `t₁ = dt`), so a coalesced tick fires at the bit-identical float
+    /// instant its per-tick twin would. With nothing left to detect the
+    /// chain stops, exactly where the per-tick chain stops re-pushing.
+    fn aim_heartbeat_from(&mut self, mut idx: u64, mut t: f64) {
+        let mut c_min = f64::INFINITY;
+        for c in &self.plan.crashes {
+            if !self.detected[c.proc] {
+                c_min = c_min.min(c.at);
+            }
+        }
+        if c_min.is_infinite() {
+            self.hb_target = None;
+            return;
+        }
+        let dt = self.policy.heartbeat_interval;
+        while t < c_min {
+            idx += 1;
+            t += dt;
+        }
+        self.hb_target = Some((idx, t));
+        self.push_event(t, EvKind::Heartbeat);
+    }
+
+    /// First coalesced tick of a run.
+    fn aim_heartbeat(&mut self) {
+        self.aim_heartbeat_from(1, self.policy.heartbeat_interval);
+    }
+
+    /// One coalesced liveness tick. Skipped idle sweeps are accounted
+    /// here in one step — an idle per-tick sweep only increments the
+    /// sweep counter and re-pushes itself, so folding the skipped ticks
+    /// into this firing is observationally identical. The detection pass
+    /// runs at the exact tick instant; detection latency is therefore
+    /// bit-identical to per-tick sweeping. A tick scheduled before an
+    /// interleaving watchdog detection still fires and simply re-aims —
+    /// its sweep accounting matches the tick at which the per-tick chain
+    /// would have observed "all detected" and stopped.
+    fn on_heartbeat_coalesced(&mut self, now: f64) {
+        let (idx, t) = self.hb_target.expect("coalesced tick without a target");
+        debug_assert_eq!(t.to_bits(), now.to_bits(), "coalesced tick drifted");
+        self.faults.heartbeat_sweeps += idx - self.hb_ticks_counted;
+        self.hb_ticks_counted = idx;
+        for proc in 0..self.cluster.processors() {
+            if self.membership.is_dead(proc) && !self.detected[proc] {
+                self.handle_death(proc, now);
+            }
+        }
+        self.aim_heartbeat_from(idx + 1, t + self.policy.heartbeat_interval);
     }
 
     /// Episode watchdog: if episode `id` of group `g` is still open, some

@@ -1,9 +1,10 @@
-//! Batched event-horizon execution vs per-iteration stepping: the two
-//! engine modes must produce **byte-identical** `RunReport`s — same
-//! serde bytes — for every run kind (noDLB + the four strategies) under
-//! every fault scenario, on a uniform (MXM) and a non-uniform folded
-//! (TRFD loop 2) workload. This is the equivalence matrix the batched
-//! engine's correctness rests on; CI runs it on every push.
+//! Engine-mode equivalence matrix: per-iteration stepping (reference),
+//! batched event-horizon execution, and episode fast-forward must all
+//! produce **byte-identical** `RunReport`s — same serde bytes — for
+//! every run kind (noDLB + the four strategies) under every fault
+//! scenario, on a uniform (MXM) and a non-uniform folded (TRFD loop 2)
+//! workload. This is the matrix the optimized engines' correctness
+//! rests on; CI runs it on every push.
 
 use dlb_apps::{MxmConfig, TrfdConfig};
 use dlb_core::strategy::{Strategy, StrategyConfig};
@@ -84,6 +85,11 @@ fn assert_matrix(name: &str, wl: &dyn LoopWorkload, seed: u64) {
                 reference, batched,
                 "{name} / {cname} / {pname}: batched engine diverged from per-iteration reference"
             );
+            let episode = report_bytes(&cluster, wl, *cfg, plan, EngineMode::Episode);
+            assert_eq!(
+                reference, episode,
+                "{name} / {cname} / {pname}: episode fast-forward diverged from reference"
+            );
         }
     }
 }
@@ -114,10 +120,16 @@ fn periodic_sync_equivalence() {
             .run();
         serde_json::to_string(&report).expect("report serializes")
     };
+    let reference = run(EngineMode::PerIter);
     assert_eq!(
-        run(EngineMode::PerIter),
+        reference,
         run(EngineMode::Batched),
         "periodic-sync run diverged between modes"
+    );
+    assert_eq!(
+        reference,
+        run(EngineMode::Episode),
+        "periodic-sync run diverged in episode mode"
     );
 }
 
@@ -132,8 +144,12 @@ fn env_override_selects_reference_path() {
     let a = Engine::new(cluster.clone(), &wl, None)
         .with_mode(EngineMode::PerIter)
         .run();
-    let b = Engine::new(cluster, &wl, None)
+    let b = Engine::new(cluster.clone(), &wl, None)
         .with_mode(EngineMode::Batched)
         .run();
     assert_eq!(a, b);
+    let c = Engine::new(cluster, &wl, None)
+        .with_mode(EngineMode::Episode)
+        .run();
+    assert_eq!(a, c);
 }
