@@ -1,0 +1,502 @@
+//! Seeded chaos campaign: randomized fault plans, machine-checked
+//! invariants (EXPERIMENTS.md §FT2).
+//!
+//! Usage:
+//!
+//! ```text
+//! chaos_campaign [--quick] [--plans N] [--seed S] [--out PATH]
+//! ```
+//!
+//! Generates `N` seeded random [`FaultPlan`]s — crash+recover, stall,
+//! partition+heal, message loss, delay inflation, crash-only, and a
+//! composition of several — and runs each under noDLB plus all four
+//! strategies in all three engine modes. Every run is checked against
+//! the fault-tolerance invariants:
+//!
+//! 1. **Conservation** — every iteration executes exactly once
+//!    (`total_iters` matches the workload, and the per-processor counts
+//!    sum to it; the engine's internal assert additionally rules out
+//!    duplicate execution).
+//! 2. **Bounded detection** — every recorded death detection has
+//!    latency at most the heartbeat interval.
+//! 3. **No spurious deaths** — detections only name processors the
+//!    plan actually crashed; partition-only plans produce none at all.
+//! 4. **Termination** — a liveness watchdog kills the campaign if any
+//!    single run wedges instead of finishing.
+//! 5. **Mode equivalence** — the three engine modes' `RunReport`s
+//!    serialize to byte-identical JSON.
+//! 6. **Rejoin liveness** — across the campaign, at least one recovered
+//!    processor is admitted and executes work after rejoining
+//!    (plan 0 is a deterministic early-crash/early-recover scenario
+//!    that guarantees the opportunity).
+//!
+//! Any violation is reported and the process exits nonzero. Results
+//! land in `BENCH_fault.json`; each invocation appends a point to the
+//! file's `trajectory` array so robustness coverage accumulates a
+//! cross-PR history like the engine bench does.
+
+use dlb_apps::MxmConfig;
+use dlb_core::strategy::{Strategy, StrategyConfig};
+use dlb_core::work::LoopWorkload;
+use now_fault::{
+    rng, CrashSpec, DelaySpec, FailurePolicy, FaultPlan, LossSpec, PartitionSpec, RecoverSpec,
+    StallSpec,
+};
+use now_sim::{ClusterSpec, Engine, EngineMode, RunReport};
+use serde::{Serialize, Value};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+const P: usize = 4;
+const GROUP: usize = 2;
+/// Wall-clock ceiling for one (plan, strategy) cell — three engine
+/// runs on a small workload finish in milliseconds; a cell that takes
+/// this long has wedged.
+const CELL_TIMEOUT: Duration = Duration::from_secs(120);
+
+/// Pre-built JSON value carried through a derived `Serialize` struct
+/// (the vendored serde's `Value` has no own `Serialize` impl).
+#[derive(Debug, Clone)]
+struct Raw(Value);
+
+impl Serialize for Raw {
+    fn to_value(&self) -> Value {
+        self.0.clone()
+    }
+}
+
+#[derive(Debug, Serialize)]
+struct TrajectoryPoint {
+    mode: String,
+    plans: usize,
+    runs: usize,
+    violations: usize,
+    detections: u64,
+    rejoins_with_work: u64,
+    wall_s: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct CampaignReport {
+    mode: String,
+    seed: u64,
+    plans: usize,
+    /// (plan, strategy) cells executed; each cell runs all three modes.
+    runs: usize,
+    scenario_counts: Vec<String>,
+    violations: Vec<String>,
+    detections: u64,
+    recoveries: u64,
+    rejoins: u64,
+    /// Rejoin records whose processor executed work after admission.
+    rejoins_with_work: u64,
+    stale_instructions: u64,
+    messages_cut: u64,
+    wall_s: f64,
+    /// Campaign aggregates of previous invocations (oldest first), with
+    /// this invocation's appended last.
+    trajectory: Vec<Raw>,
+}
+
+/// Salvage the `trajectory` array from a previous output file,
+/// tolerating any older schema.
+fn load_trajectory(path: &str) -> Vec<Raw> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let Ok(value) = serde_json::parse_value_complete(&text) else {
+        return Vec::new();
+    };
+    value
+        .as_map()
+        .and_then(|m| serde::value::get_field(m, "trajectory"))
+        .and_then(Value::as_seq)
+        .map(|points| points.iter().cloned().map(Raw).collect())
+        .unwrap_or_default()
+}
+
+const KINDS: [&str; 7] = [
+    "crash+recover",
+    "stall",
+    "partition+heal",
+    "loss",
+    "delay",
+    "crash",
+    "composition",
+];
+
+/// Deterministic plan generator: scenario kinds cycle so every kind is
+/// covered, parameters come from the splitmix64 stream.
+fn make_plan(seed: u64, i: usize, t: f64) -> (usize, FaultPlan) {
+    let u = |k: u64| rng::unit(seed, (i as u64) << 8 | k);
+    let victim = |k: u64| (u(k) * P as f64) as usize % P;
+    if i == 0 {
+        // The deterministic rejoin-liveness anchor: crash early, recover
+        // early, leave most of the run for the rejoined processor.
+        let plan = FaultPlan {
+            crashes: vec![CrashSpec {
+                proc: P - 1,
+                at: t * 0.15,
+            }],
+            recoveries: vec![RecoverSpec {
+                proc: P - 1,
+                at: t * 0.3,
+            }],
+            ..FaultPlan::default()
+        };
+        return (0, plan);
+    }
+    let kind = i % KINDS.len();
+    let plan = match kind {
+        0 => {
+            let at = t * (0.05 + u(0) * 0.4);
+            FaultPlan {
+                crashes: vec![CrashSpec {
+                    proc: victim(1),
+                    at,
+                }],
+                recoveries: vec![RecoverSpec {
+                    proc: victim(1),
+                    at: at + t * (0.05 + u(2) * 0.35),
+                }],
+                ..FaultPlan::default()
+            }
+        }
+        1 => {
+            let from = t * (0.05 + u(0) * 0.4);
+            FaultPlan {
+                stalls: vec![StallSpec {
+                    proc: victim(1),
+                    from,
+                    until: from + t * (0.05 + u(2) * 0.4),
+                }],
+                ..FaultPlan::default()
+            }
+        }
+        2 => {
+            let a = victim(0);
+            let b = (a + 1 + (u(1) * (P - 1) as f64) as usize % (P - 1)) % P;
+            let start = t * (0.05 + u(2) * 0.4);
+            let heal = start + t * (0.05 + u(3) * 0.45);
+            FaultPlan {
+                partitions: vec![
+                    PartitionSpec {
+                        from: a,
+                        to: b,
+                        start,
+                        heal,
+                    },
+                    PartitionSpec {
+                        from: b,
+                        to: a,
+                        start,
+                        heal,
+                    },
+                ],
+                ..FaultPlan::default()
+            }
+        }
+        3 => FaultPlan {
+            loss: Some(LossSpec {
+                prob: 0.05 + u(0) * 0.2,
+                seed: rng::mix(seed ^ i as u64),
+            }),
+            ..FaultPlan::default()
+        },
+        4 => {
+            let from = t * (0.05 + u(0) * 0.3);
+            FaultPlan {
+                delay: Some(DelaySpec {
+                    factor: 1.5 + u(1) * 3.0,
+                    from,
+                    until: from + t * (0.1 + u(2) * 0.4),
+                }),
+                ..FaultPlan::default()
+            }
+        }
+        5 => FaultPlan {
+            crashes: vec![CrashSpec {
+                proc: victim(0),
+                at: t * (0.05 + u(1) * 0.6),
+            }],
+            ..FaultPlan::default()
+        },
+        _ => {
+            // Composition: crash+recover under loss and delay.
+            let at = t * (0.05 + u(0) * 0.3);
+            let from = t * (0.05 + u(4) * 0.3);
+            FaultPlan {
+                crashes: vec![CrashSpec {
+                    proc: victim(1),
+                    at,
+                }],
+                recoveries: vec![RecoverSpec {
+                    proc: victim(1),
+                    at: at + t * (0.05 + u(2) * 0.3),
+                }],
+                loss: Some(LossSpec {
+                    prob: 0.03 + u(3) * 0.12,
+                    seed: rng::mix(seed ^ (i as u64) << 1),
+                }),
+                delay: Some(DelaySpec {
+                    factor: 1.5 + u(5) * 2.0,
+                    from,
+                    until: from + t * (0.1 + u(6) * 0.3),
+                }),
+                ..FaultPlan::default()
+            }
+        }
+    };
+    (kind, plan)
+}
+
+fn report_for(
+    cluster: &ClusterSpec,
+    wl: &dyn LoopWorkload,
+    cfg: Option<StrategyConfig>,
+    plan: &FaultPlan,
+    policy: FailurePolicy,
+    mode: EngineMode,
+) -> RunReport {
+    let mut engine = Engine::new(cluster.clone(), wl, cfg).with_mode(mode);
+    if !plan.is_empty() {
+        engine = engine.with_faults(plan.clone(), policy);
+    }
+    engine.run()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let mut out = "BENCH_fault.json".to_string();
+    let mut plans: usize = if quick { 24 } else { 210 };
+    let mut start: usize = 0;
+    let mut seed: u64 = 0xC4A0_5CA1;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => out = it.next().expect("--out needs a path").clone(),
+            "--start" => {
+                start = it
+                    .next()
+                    .expect("--start needs an index")
+                    .parse()
+                    .expect("--start needs a number");
+            }
+            "--plans" => {
+                plans = it
+                    .next()
+                    .expect("--plans needs a count")
+                    .parse()
+                    .expect("--plans needs a number");
+                assert!(plans > 0, "--plans must be at least 1");
+            }
+            "--seed" => {
+                seed = it
+                    .next()
+                    .expect("--seed needs a value")
+                    .parse()
+                    .expect("--seed needs a number");
+            }
+            "--quick" => {}
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+
+    let wl = MxmConfig::new(100, 400, 400).workload();
+    let expected = wl.iterations();
+    let cluster = ClusterSpec::paper_homogeneous(P, 0x0DB1_0ADE, 0.5);
+    let policy = FailurePolicy::default();
+    // Probe run for the fault-free horizon; fault times scale off it.
+    let t = Engine::new(cluster.clone(), &wl, None).run().total_time;
+
+    let mut cfgs: Vec<(String, Option<StrategyConfig>)> = vec![("noDLB".into(), None)];
+    for s in Strategy::ALL {
+        cfgs.push((s.to_string(), Some(StrategyConfig::paper(s, GROUP))));
+    }
+
+    println!(
+        "chaos_campaign — {plans} seeded plans x {} run kinds x 3 engine modes (seed {seed:#x}{})",
+        cfgs.len(),
+        if quick { ", quick" } else { "" }
+    );
+
+    let t0 = Instant::now();
+    let mut violations: Vec<String> = Vec::new();
+    let mut kind_counts = [0usize; KINDS.len()];
+    let mut runs = 0usize;
+    let mut detections = 0u64;
+    let mut recoveries = 0u64;
+    let mut rejoins = 0u64;
+    let mut rejoins_with_work = 0u64;
+    let mut stale_instructions = 0u64;
+    let mut messages_cut = 0u64;
+
+    for i in start..plans {
+        let (kind, plan) = make_plan(seed, i, t);
+        plan.validate(P).expect("generated plan must be valid");
+        if start > 0 {
+            println!(
+                "plan {i}: {}",
+                serde_json::to_string(&plan).expect("serialize plan")
+            );
+        }
+        kind_counts[kind] += 1;
+        let crashed: Vec<usize> = plan.crashes.iter().map(|c| c.proc).collect();
+        let partition_only = !plan.partitions.is_empty() && crashed.is_empty();
+        for (cname, cfg) in &cfgs {
+            runs += 1;
+            let tag = format!("plan {i} ({}) / {cname}", KINDS[kind]);
+            // Liveness watchdog: a wedged protocol must fail the
+            // campaign, not hang it.
+            let (tx, rx) = mpsc::channel();
+            let reports = std::thread::scope(|scope| {
+                scope.spawn(|| {
+                    let r: Vec<(EngineMode, RunReport)> = [
+                        EngineMode::PerIter,
+                        EngineMode::Batched,
+                        EngineMode::Episode,
+                    ]
+                    .into_iter()
+                    .map(|m| (m, report_for(&cluster, &wl, *cfg, &plan, policy, m)))
+                    .collect();
+                    let _ = tx.send(r);
+                });
+                match rx.recv_timeout(CELL_TIMEOUT) {
+                    Ok(r) => r,
+                    Err(_) => {
+                        eprintln!(
+                            "VIOLATION: {tag}: run did not terminate within {CELL_TIMEOUT:?}"
+                        );
+                        std::process::exit(1);
+                    }
+                }
+            });
+
+            let reference = serde_json::to_string(&reports[0].1).expect("serialize");
+            for (m, rep) in &reports[1..] {
+                let bytes = serde_json::to_string(rep).expect("serialize");
+                if bytes != reference {
+                    violations.push(format!("{tag}: {m:?} report diverged from PerIter"));
+                }
+            }
+
+            let rep = &reports[0].1;
+            if rep.total_iters != expected {
+                violations.push(format!(
+                    "{tag}: conservation broken: {} of {expected} iterations",
+                    rep.total_iters
+                ));
+            }
+            let per_proc: u64 = rep.per_proc.iter().map(|p| p.iters_done).sum();
+            if per_proc != rep.total_iters {
+                violations.push(format!(
+                    "{tag}: per-proc counts sum to {per_proc}, total says {}",
+                    rep.total_iters
+                ));
+            }
+            if !rep.total_time.is_finite() {
+                violations.push(format!("{tag}: non-finite finish time"));
+            }
+            let Some(f) = rep.faults.as_ref() else {
+                continue;
+            };
+            for d in &f.detections {
+                if !crashed.contains(&d.proc) {
+                    violations.push(format!("{tag}: spurious death of processor {}", d.proc));
+                }
+                if d.latency() > policy.heartbeat_interval + 1e-9 {
+                    violations.push(format!(
+                        "{tag}: detection latency {} exceeds heartbeat interval {}",
+                        d.latency(),
+                        policy.heartbeat_interval
+                    ));
+                }
+            }
+            if partition_only && !f.detections.is_empty() {
+                violations.push(format!(
+                    "{tag}: partition-only plan declared {} death(s)",
+                    f.detections.len()
+                ));
+            }
+            if partition_only && !f.rejoins.is_empty() {
+                violations.push(format!("{tag}: partition-only plan recorded a rejoin"));
+            }
+            detections += f.detections.len() as u64;
+            recoveries += f.recoveries;
+            rejoins += f.rejoins.len() as u64;
+            rejoins_with_work += f
+                .rejoins
+                .iter()
+                .filter(|r| r.iters_after_rejoin > 0)
+                .count() as u64;
+            stale_instructions += f.stale_instructions;
+            messages_cut += f.messages_cut;
+        }
+        if (i + 1) % 25 == 0 || i + 1 == plans {
+            println!(
+                "  {}/{plans} plans, {runs} cells, {} violation(s)",
+                i + 1,
+                violations.len()
+            );
+        }
+    }
+
+    if rejoins_with_work == 0 {
+        violations
+            .push("campaign: no rejoined processor ever executed work after admission".to_string());
+    }
+
+    let wall_s = t0.elapsed().as_secs_f64();
+    let scenario_counts: Vec<String> = KINDS
+        .iter()
+        .zip(kind_counts)
+        .map(|(k, n)| format!("{k}: {n}"))
+        .collect();
+
+    let mut trajectory = load_trajectory(&out);
+    trajectory.push(Raw(serde_json::to_value(&TrajectoryPoint {
+        mode: if quick { "quick" } else { "full" }.to_string(),
+        plans,
+        runs,
+        violations: violations.len(),
+        detections,
+        rejoins_with_work,
+        wall_s,
+    })));
+
+    let report = CampaignReport {
+        mode: if quick { "quick" } else { "full" }.to_string(),
+        seed,
+        plans,
+        runs,
+        scenario_counts,
+        violations: violations.clone(),
+        detections,
+        recoveries,
+        rejoins,
+        rejoins_with_work,
+        stale_instructions,
+        messages_cut,
+        wall_s,
+        trajectory,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serialize campaign");
+    std::fs::write(&out, format!("{json}\n")).expect("write campaign output");
+
+    println!(
+        "campaign: {runs} cells, {detections} detections, {recoveries} recoveries, \
+         {rejoins} rejoins ({rejoins_with_work} with post-admission work), \
+         {stale_instructions} stale instructions, {messages_cut} cut messages, {wall_s:.1}s"
+    );
+    println!("wrote {out}");
+    if violations.is_empty() {
+        println!("all invariants held");
+    } else {
+        eprintln!("{} INVARIANT VIOLATION(S):", violations.len());
+        for v in &violations {
+            eprintln!("  {v}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -83,6 +83,9 @@ struct TrajectoryPoint {
     wall_speedup_batched: f64,
     wall_speedup_episode: f64,
     total_event_reduction: f64,
+    /// Raw episode-mode event count — the deterministic half of the
+    /// regression gate (wall-clock is noisy; this is not).
+    total_events_episode: u64,
 }
 
 #[derive(Debug, Serialize)]
@@ -150,6 +153,68 @@ fn load_trajectory(path: &str) -> Vec<Raw> {
         .and_then(Value::as_seq)
         .map(|points| points.iter().cloned().map(Raw).collect())
         .unwrap_or_default()
+}
+
+/// Trajectory regression gate (satellite of the rejoin PR): compare this
+/// invocation's cell aggregate against the most recent *prior* trajectory
+/// point recorded in the same mode (quick vs full — their scales differ).
+/// A >10% growth in the deterministic episode-mode event count, or in
+/// episode wall-clock above a 50 ms noise floor, fails the run so an
+/// engine perf regression cannot land silently. Setting
+/// `DLB_BENCH_ALLOW_REGRESSION=1` downgrades the failure to a warning
+/// (for deliberate trade-offs). Points written by older schemas (no
+/// event-count field) are skipped.
+fn regression_gate(trajectory: &[Raw], mode: &str, wall_s: f64, events: u64) {
+    let prior = trajectory
+        .iter()
+        .rev()
+        .skip(1) // the point this invocation just appended
+        .filter_map(|p| p.0.as_map())
+        .find(|m| {
+            matches!(
+                serde::value::get_field(m, "mode"),
+                Some(Value::Str(s)) if s == mode
+            )
+        });
+    let Some(prior) = prior else {
+        println!("regression gate: no prior {mode} trajectory point, nothing to compare");
+        return;
+    };
+    let mut regressions = Vec::new();
+    match serde::value::get_field(prior, "total_events_episode") {
+        Some(&Value::U64(prev)) if prev > 0 => {
+            if events as f64 > prev as f64 * 1.10 {
+                regressions.push(format!(
+                    "episode event count regressed: {events} vs {prev} (+{:.1}%)",
+                    (events as f64 / prev as f64 - 1.0) * 100.0
+                ));
+            }
+        }
+        _ => println!("regression gate: prior point predates event-count tracking, skipped"),
+    }
+    if let Some(&Value::F64(prev)) = serde::value::get_field(prior, "total_episode_s") {
+        // Wall-clock is noisy: require the floor on both the baseline
+        // and the absolute delta before calling it a regression.
+        if prev >= 0.05 && wall_s > prev * 1.10 && wall_s - prev > 0.05 {
+            regressions.push(format!(
+                "episode wall-clock regressed: {wall_s:.3}s vs {prev:.3}s (+{:.1}%)",
+                (wall_s / prev - 1.0) * 100.0
+            ));
+        }
+    }
+    if regressions.is_empty() {
+        println!("regression gate: within 10% of the prior {mode} point");
+        return;
+    }
+    for r in &regressions {
+        eprintln!("REGRESSION: {r}");
+    }
+    if std::env::var("DLB_BENCH_ALLOW_REGRESSION").as_deref() == Ok("1") {
+        eprintln!("DLB_BENCH_ALLOW_REGRESSION=1 set — recording the point and continuing");
+    } else {
+        eprintln!("set DLB_BENCH_ALLOW_REGRESSION=1 to accept a deliberate trade-off");
+        std::process::exit(1);
+    }
 }
 
 fn main() {
@@ -318,6 +383,7 @@ fn main() {
         wall_speedup_batched,
         wall_speedup_episode,
         total_event_reduction,
+        total_events_episode,
     })));
 
     let bench = EngineBench {
@@ -343,4 +409,10 @@ fn main() {
     let json = serde_json::to_string_pretty(&bench).expect("serialize bench");
     std::fs::write(&out, format!("{json}\n")).expect("write bench output");
     println!("wrote {out}");
+    regression_gate(
+        &bench.trajectory,
+        &bench.mode,
+        total_episode_s,
+        total_events_episode,
+    );
 }

@@ -42,6 +42,15 @@ impl Membership {
         !std::mem::replace(&mut self.dead[proc], true)
     }
 
+    /// Bring a dead processor back to life. Returns `true` if this is
+    /// news (it was dead), `false` if it was already alive — callers use
+    /// this to make recovery idempotent, mirroring [`declare_dead`].
+    ///
+    /// [`declare_dead`]: Membership::declare_dead
+    pub fn revive(&mut self, proc: usize) -> bool {
+        std::mem::replace(&mut self.dead[proc], false)
+    }
+
     /// Number of live processors.
     pub fn alive_count(&self) -> usize {
         self.dead.iter().filter(|&&d| !d).count()
@@ -75,6 +84,17 @@ mod tests {
         assert!(!m.declare_dead(2), "second declaration is not news");
         assert!(m.is_dead(2));
         assert_eq!(m.alive_count(), 3);
+    }
+
+    #[test]
+    fn revive_round_trips_death() {
+        let mut m = Membership::new(4);
+        assert!(!m.revive(3), "reviving a live proc is not news");
+        m.declare_dead(3);
+        assert!(m.revive(3));
+        assert!(m.is_alive(3));
+        assert_eq!(m.alive_count(), 4);
+        assert!(m.declare_dead(3), "death after revival is news again");
     }
 
     #[test]

@@ -13,6 +13,10 @@
 //!   a seeded probability ([`LossSpec`]).
 //! * **Message delay** — delivery latency is inflated over an interval
 //!   ([`DelaySpec`]).
+//! * **Recoveries** — a crashed processor comes back at a given time
+//!   and rejoins via the §S14 handshake ([`RecoverSpec`]).
+//! * **Partitions** — directed link cuts over an interval, surfacing as
+//!   targeted message loss until they heal ([`PartitionSpec`]).
 //!
 //! All randomness is derived from the spec's own seed via splitmix64,
 //! so a given [`FaultPlan`] replays identically: same plan + same
@@ -25,6 +29,8 @@ pub mod policy;
 pub mod report;
 pub mod rng;
 
-pub use plan::{CrashSpec, DelaySpec, FaultError, FaultPlan, LossSpec, StallSpec};
+pub use plan::{
+    CrashSpec, DelaySpec, FaultError, FaultPlan, LossSpec, PartitionSpec, RecoverSpec, StallSpec,
+};
 pub use policy::FailurePolicy;
-pub use report::{DetectionRecord, FaultReport};
+pub use report::{DetectionRecord, FaultReport, RejoinRecord};

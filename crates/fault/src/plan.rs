@@ -40,6 +40,32 @@ pub struct DelaySpec {
     pub until: f64,
 }
 
+/// Recovery: a processor that crashed earlier comes back at time `at`
+/// with its network endpoint live and an empty work queue; the rejoin
+/// handshake (DESIGN.md §S14) decides when it receives work again.
+/// Each recovery must follow a crash of the same processor, and
+/// crash/recover times per processor must strictly interleave.
+/// (Stalls need no recovery spec — a stall already carries its own end
+/// time and never changes membership.)
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RecoverSpec {
+    pub proc: usize,
+    pub at: f64,
+}
+
+/// Directed link cut: every message sent from `from` to `to` during
+/// `[start, heal)` is silently lost in the medium. Both endpoints stay
+/// alive and keep computing; the cut surfaces as targeted loss, so the
+/// existing watchdog/retransmission machinery drives per-link recovery.
+/// Cut a pair of links (a→b and b→a) to model a symmetric partition.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PartitionSpec {
+    pub from: usize,
+    pub to: usize,
+    pub start: f64,
+    pub heal: f64,
+}
+
 /// A complete, validated-on-use fault scenario for one simulation run.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct FaultPlan {
@@ -47,6 +73,8 @@ pub struct FaultPlan {
     pub stalls: Vec<StallSpec>,
     pub loss: Option<LossSpec>,
     pub delay: Option<DelaySpec>,
+    pub recoveries: Vec<RecoverSpec>,
+    pub partitions: Vec<PartitionSpec>,
 }
 
 /// Why a [`FaultPlan`] was rejected.
@@ -64,10 +92,19 @@ pub enum FaultError {
     BadLossProb { prob: f64 },
     /// Delay factor below 1 (delays inflate latency, never shrink it).
     BadDelayFactor { factor: f64 },
-    /// Two crashes name the same processor.
+    /// Two crashes name the same processor with no recovery between
+    /// them.
     DuplicateCrash { proc: usize },
-    /// Crashing every processor leaves no survivor to finish the work.
+    /// Every processor ends the plan dead (a crash with no later
+    /// recovery), so no survivor can finish the work. A plan where all
+    /// processors crash but at least one recovers is valid.
     AllProcsCrash { procs: usize },
+    /// A recovery that does not strictly follow a crash of the same
+    /// processor (no preceding crash, two recoveries in a row, or a
+    /// recovery at the very instant of a crash).
+    RecoverWithoutCrash { proc: usize },
+    /// A partition cuts the link from a processor to itself.
+    SelfPartition { proc: usize },
 }
 
 impl std::fmt::Display for FaultError {
@@ -90,10 +127,16 @@ impl std::fmt::Display for FaultError {
                 write!(f, "delay factor {factor} must be >= 1")
             }
             FaultError::DuplicateCrash { proc } => {
-                write!(f, "processor {proc} crashes more than once")
+                write!(f, "processor {proc} crashes again without recovering")
             }
             FaultError::AllProcsCrash { procs } => {
                 write!(f, "all {procs} processors crash; no survivor can finish")
+            }
+            FaultError::RecoverWithoutCrash { proc } => {
+                write!(f, "processor {proc} recovery does not follow a crash")
+            }
+            FaultError::SelfPartition { proc } => {
+                write!(f, "partition cuts the link from processor {proc} to itself")
             }
         }
     }
@@ -122,11 +165,15 @@ impl FaultPlan {
             && self.stalls.is_empty()
             && self.loss.is_none()
             && self.delay.is_none()
+            && self.recoveries.is_empty()
+            && self.partitions.is_empty()
     }
 
     /// Check the plan against a cluster of `procs` processors.
     pub fn validate(&self, procs: usize) -> Result<(), FaultError> {
-        let mut crashed = vec![false; procs];
+        // Per processor, crash and recover times must strictly
+        // interleave starting with a crash: crash < recover < crash …
+        let mut timeline: Vec<Vec<(f64, bool)>> = vec![Vec::new(); procs];
         for c in &self.crashes {
             if c.proc >= procs {
                 return Err(FaultError::ProcOutOfRange {
@@ -137,12 +184,62 @@ impl FaultPlan {
             if !c.at.is_finite() || c.at < 0.0 {
                 return Err(FaultError::BadTime { what: "crash" });
             }
-            if std::mem::replace(&mut crashed[c.proc], true) {
-                return Err(FaultError::DuplicateCrash { proc: c.proc });
+            timeline[c.proc].push((c.at, true));
+        }
+        for r in &self.recoveries {
+            if r.proc >= procs {
+                return Err(FaultError::ProcOutOfRange {
+                    proc: r.proc,
+                    procs,
+                });
+            }
+            if !r.at.is_finite() || r.at < 0.0 {
+                return Err(FaultError::BadTime { what: "recover" });
+            }
+            timeline[r.proc].push((r.at, false));
+        }
+        let mut all_end_dead = procs > 0 && !self.crashes.is_empty();
+        for (p, events) in timeline.iter_mut().enumerate() {
+            events.sort_by(|a, b| a.0.total_cmp(&b.0));
+            let mut dead = false;
+            for (i, &(t, is_crash)) in events.iter().enumerate() {
+                if i > 0 && events[i - 1].0 == t {
+                    return Err(FaultError::RecoverWithoutCrash { proc: p });
+                }
+                if is_crash {
+                    if dead {
+                        return Err(FaultError::DuplicateCrash { proc: p });
+                    }
+                    dead = true;
+                } else {
+                    if !dead {
+                        return Err(FaultError::RecoverWithoutCrash { proc: p });
+                    }
+                    dead = false;
+                }
+            }
+            if !dead {
+                all_end_dead = false;
             }
         }
-        if procs > 0 && self.crashes.len() >= procs {
+        if all_end_dead {
             return Err(FaultError::AllProcsCrash { procs });
+        }
+        for cut in &self.partitions {
+            for node in [cut.from, cut.to] {
+                if node >= procs {
+                    return Err(FaultError::ProcOutOfRange { proc: node, procs });
+                }
+            }
+            if cut.from == cut.to {
+                return Err(FaultError::SelfPartition { proc: cut.from });
+            }
+            if !cut.start.is_finite() || cut.start < 0.0 || !cut.heal.is_finite() {
+                return Err(FaultError::BadTime { what: "partition" });
+            }
+            if cut.start >= cut.heal {
+                return Err(FaultError::EmptyInterval { what: "partition" });
+            }
         }
         for s in &self.stalls {
             if s.proc >= procs {
@@ -177,9 +274,44 @@ impl FaultPlan {
         Ok(())
     }
 
-    /// Crash time for `proc`, if the plan crashes it.
+    /// Crash time for `proc`, if the plan crashes it (the first crash
+    /// when a recovery sequence crashes it more than once).
     pub fn crash_time(&self, proc: usize) -> Option<f64> {
-        self.crashes.iter().find(|c| c.proc == proc).map(|c| c.at)
+        self.crashes
+            .iter()
+            .filter(|c| c.proc == proc)
+            .map(|c| c.at)
+            .min_by(f64::total_cmp)
+    }
+
+    /// Recovery times for `proc`, sorted ascending.
+    pub fn recoveries_for(&self, proc: usize) -> Vec<f64> {
+        let mut out: Vec<f64> = self
+            .recoveries
+            .iter()
+            .filter(|r| r.proc == proc)
+            .map(|r| r.at)
+            .collect();
+        out.sort_by(f64::total_cmp);
+        out
+    }
+
+    /// Is the directed link `from → to` cut at `time`? Self-sends are
+    /// never cut (a partition separates machines, not a machine from
+    /// itself).
+    pub fn link_cut(&self, from: usize, to: usize, time: f64) -> bool {
+        from != to
+            && self
+                .partitions
+                .iter()
+                .any(|c| c.from == from && c.to == to && time >= c.start && time < c.heal)
+    }
+
+    /// Are any link cuts active anywhere at `time`?
+    pub fn any_link_cut_at(&self, time: f64) -> bool {
+        self.partitions
+            .iter()
+            .any(|c| time >= c.start && time < c.heal)
     }
 
     /// Stall intervals for `proc`, sorted by start time.
@@ -292,6 +424,121 @@ mod tests {
         assert!(matches!(
             stall.validate(4),
             Err(FaultError::EmptyInterval { .. })
+        ));
+    }
+
+    #[test]
+    fn recoveries_relax_duplicate_and_all_crash_rules() {
+        // crash → recover → crash on one proc is legal.
+        let mut seq = FaultPlan::crash(1, 1.0);
+        seq.recoveries.push(RecoverSpec { proc: 1, at: 2.0 });
+        seq.crashes.push(CrashSpec { proc: 1, at: 3.0 });
+        assert!(seq.validate(4).is_ok());
+        // …but a second crash while still dead is not.
+        seq.crashes.push(CrashSpec { proc: 1, at: 3.5 });
+        assert!(matches!(
+            seq.validate(4),
+            Err(FaultError::DuplicateCrash { proc: 1 })
+        ));
+        // All procs crash but one recovers: valid.
+        let mut all = FaultPlan {
+            crashes: (0..2).map(|p| CrashSpec { proc: p, at: 1.0 }).collect(),
+            ..FaultPlan::default()
+        };
+        all.recoveries.push(RecoverSpec { proc: 0, at: 2.0 });
+        assert!(all.validate(2).is_ok());
+        // All procs crash and every recovery is followed by another
+        // crash: everyone ends dead, rejected.
+        all.crashes.push(CrashSpec { proc: 0, at: 5.0 });
+        assert!(matches!(
+            all.validate(2),
+            Err(FaultError::AllProcsCrash { procs: 2 })
+        ));
+    }
+
+    #[test]
+    fn recover_must_follow_a_crash() {
+        let mut orphan = FaultPlan::none();
+        orphan.recoveries.push(RecoverSpec { proc: 0, at: 1.0 });
+        assert!(matches!(
+            orphan.validate(4),
+            Err(FaultError::RecoverWithoutCrash { proc: 0 })
+        ));
+        // Recovery before the crash.
+        let mut early = FaultPlan::crash(2, 5.0);
+        early.recoveries.push(RecoverSpec { proc: 2, at: 1.0 });
+        assert!(matches!(
+            early.validate(4),
+            Err(FaultError::RecoverWithoutCrash { proc: 2 })
+        ));
+        // Recovery at the exact crash instant.
+        let mut tied = FaultPlan::crash(2, 5.0);
+        tied.recoveries.push(RecoverSpec { proc: 2, at: 5.0 });
+        assert!(matches!(
+            tied.validate(4),
+            Err(FaultError::RecoverWithoutCrash { proc: 2 })
+        ));
+        // Out-of-range / bad-time recoveries.
+        let mut far = FaultPlan::crash(1, 1.0);
+        far.recoveries.push(RecoverSpec { proc: 9, at: 2.0 });
+        assert!(matches!(
+            far.validate(4),
+            Err(FaultError::ProcOutOfRange { proc: 9, procs: 4 })
+        ));
+        let mut neg = FaultPlan::crash(1, 1.0);
+        neg.recoveries.push(RecoverSpec { proc: 1, at: -2.0 });
+        assert!(matches!(
+            neg.validate(4),
+            Err(FaultError::BadTime { what: "recover" })
+        ));
+    }
+
+    #[test]
+    fn partition_validation_and_link_cut_window() {
+        let plan = FaultPlan {
+            partitions: vec![PartitionSpec {
+                from: 0,
+                to: 2,
+                start: 1.0,
+                heal: 3.0,
+            }],
+            ..FaultPlan::default()
+        };
+        assert!(!plan.is_empty());
+        assert!(plan.validate(4).is_ok());
+        assert!(!plan.link_cut(0, 2, 0.5));
+        assert!(plan.link_cut(0, 2, 1.0));
+        assert!(plan.link_cut(0, 2, 2.9));
+        assert!(!plan.link_cut(0, 2, 3.0), "cut heals at `heal`");
+        assert!(!plan.link_cut(2, 0, 2.0), "cuts are directed");
+        assert!(plan.any_link_cut_at(2.0));
+        assert!(!plan.any_link_cut_at(3.0));
+
+        let selfcut = FaultPlan {
+            partitions: vec![PartitionSpec {
+                from: 1,
+                to: 1,
+                start: 0.0,
+                heal: 1.0,
+            }],
+            ..FaultPlan::default()
+        };
+        assert!(matches!(
+            selfcut.validate(4),
+            Err(FaultError::SelfPartition { proc: 1 })
+        ));
+        let inverted = FaultPlan {
+            partitions: vec![PartitionSpec {
+                from: 0,
+                to: 1,
+                start: 2.0,
+                heal: 2.0,
+            }],
+            ..FaultPlan::default()
+        };
+        assert!(matches!(
+            inverted.validate(4),
+            Err(FaultError::EmptyInterval { what: "partition" })
         ));
     }
 

@@ -22,6 +22,20 @@ impl DetectionRecord {
     }
 }
 
+/// One processor readmitted to the cluster after a recovery (DESIGN.md
+/// §S14). `iters_after_rejoin` is finalized when the run ends, from the
+/// processor's iteration counter at admission.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RejoinRecord {
+    pub proc: usize,
+    /// When the processor came back up.
+    pub recovered_at: f64,
+    /// When the balancer admitted it to the membership view.
+    pub admitted_at: f64,
+    /// Iterations the processor executed after being admitted.
+    pub iters_after_rejoin: u64,
+}
+
 /// Summary of fault activity during one run. Attached to the run report
 /// only when a non-empty plan was supplied, so fault-free runs stay
 /// byte-identical to the pre-fault subsystem.
@@ -41,8 +55,17 @@ pub struct FaultReport {
     pub heartbeat_sweeps: u64,
     /// Total unexecuted iterations recovered from dead processors.
     pub iters_recovered: u64,
+    /// Processor recoveries injected (scheduled and reached).
+    pub recoveries: u64,
+    /// Messages lost to active partition link cuts.
+    pub messages_cut: u64,
+    /// Instructions discarded because they carried a stale membership
+    /// epoch (split-brain guard, DESIGN.md §S14).
+    pub stale_instructions: u64,
     /// Per-death detection records, in detection order.
     pub detections: Vec<DetectionRecord>,
+    /// Per-recovery rejoin records, in admission order.
+    pub rejoins: Vec<RejoinRecord>,
 }
 
 impl FaultReport {

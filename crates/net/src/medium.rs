@@ -27,6 +27,20 @@ pub struct Transmission {
     pub delivered: f64,
 }
 
+/// Stretch a delivery time away from its send instant by `factor`
+/// (≥ 1): the in-flight span `delivered - now` is multiplied, the send
+/// instant is unchanged.
+///
+/// This is the **single** delay-inflation arithmetic shared by the
+/// event-loop send path and the episode fast-forward replay
+/// (`ff_send_msg`), mirroring how [`ContentionState::schedule`] is the
+/// single contention core — both paths apply the exact same float ops
+/// in the same order, so a replayed delayed message cannot drift from
+/// the event loop's delivery time.
+pub fn stretch_delivery(now: f64, delivered: f64, factor: f64) -> f64 {
+    now + (delivered - now) * factor
+}
+
 /// Endpoint CPU-cost multipliers for one message (1.0 = unloaded CPU).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EndpointFactors {
@@ -305,6 +319,19 @@ mod tests {
         let t = m.send(0, 1, 1000, 0.0);
         assert_eq!(t.start, 0.0);
         assert!((t.delivered - p.wire_time(1000)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stretch_delivery_anchors_at_send_instant() {
+        assert_eq!(stretch_delivery(2.0, 5.0, 1.0), 5.0);
+        assert_eq!(stretch_delivery(2.0, 5.0, 3.0), 11.0);
+        // The exact expression matters (shared by two call sites): it is
+        // now + (delivered - now) * factor, not delivered * factor.
+        let (now, delivered, f) = (0.1, 0.30000000000000004, 2.5);
+        assert_eq!(
+            stretch_delivery(now, delivered, f).to_bits(),
+            (now + (delivered - now) * f).to_bits()
+        );
     }
 
     #[test]

@@ -40,7 +40,7 @@ use dlb_core::strategy::{Control, StrategyConfig};
 use dlb_core::work::LoopWorkload;
 use dlb_core::workqueue::{ranges_len, WorkQueue};
 use dlb_core::{Distribution, DlbStats};
-use now_fault::{DetectionRecord, FailurePolicy, FaultPlan, FaultReport};
+use now_fault::{DetectionRecord, FailurePolicy, FaultPlan, FaultReport, RejoinRecord};
 use now_load::{ClockCursor, WorkClock};
 use now_net::MediumSim;
 use std::cell::Cell;
@@ -57,6 +57,8 @@ const WORK_HEADER_BYTES: usize = 16;
 const INTERRUPT_BYTES: usize = 8;
 /// Instruction (outcome broadcast) payload bytes.
 const INSTRUCTION_BYTES: usize = 24;
+/// Rejoin handshake (§S14 request/grant) payload bytes.
+const JOIN_BYTES: usize = 16;
 
 #[derive(Debug, Clone)]
 enum Payload {
@@ -73,10 +75,29 @@ enum Payload {
         /// every participant, so the payload carries a cheap `Arc` handle
         /// instead of a deep copy of the transfer plan.
         outcome: Arc<BalanceOutcome>,
+        /// Membership epoch at send time. A receiver discards any
+        /// instruction stamped with an older epoch than its own view —
+        /// the split-brain guard of DESIGN.md §S14: after a membership
+        /// change (death or rejoin) every in-flight instruction from the
+        /// stale view is dead on arrival, and the watchdog re-sends from
+        /// the current view.
+        epoch: u64,
     },
     Work {
         group: usize,
         ranges: Vec<Range<u64>>,
+    },
+    /// §S14 rejoin handshake: a recovered processor announces itself to
+    /// the current master. Control-plane: exempt from loss and link
+    /// cuts (like the heartbeat oracle), but still costed and contended
+    /// on the medium.
+    JoinRequest {
+        proc: usize,
+    },
+    /// §S14 rejoin handshake: the master's admission, carrying the
+    /// epoch-stamped membership view the newcomer joins under.
+    JoinGrant {
+        epoch: u64,
     },
 }
 
@@ -148,6 +169,9 @@ struct BlockRun {
     /// episode fast-forward seeds its replay with the real event's
     /// ordering key so exact-time ties resolve as the event loop would.
     seq: u64,
+    /// When the block was scheduled — the tie anchor for its first
+    /// iteration's boundary (see [`block_done_tie`]).
+    started: f64,
 }
 
 #[derive(Debug)]
@@ -182,8 +206,19 @@ enum EvKind {
     /// Ablation A1.3: a periodic synchronization tick (Dome/Siegell-style
     /// periodic exchanges instead of receiver-initiated interrupts).
     PeriodicTick,
-    /// Fault injection: processor `proc` dies permanently.
+    /// Fault injection: processor `proc` dies (until a planned recovery,
+    /// if any).
     Crash {
+        proc: usize,
+    },
+    /// Fault injection: processor `proc` comes back up and starts the
+    /// §S14 rejoin handshake.
+    Recover {
+        proc: usize,
+    },
+    /// §S14: a rejoining processor re-announces itself — its previous
+    /// `JoinRequest` may have landed on a master that was already dead.
+    JoinRetry {
         proc: usize,
     },
     /// Failure handling: liveness sweep over all groups.
@@ -207,13 +242,27 @@ enum EvKind {
 #[derive(Debug)]
 struct Ev {
     time: f64,
+    /// Same-time tie-break: the simulation moment the event was (or, for
+    /// batched compute events, *would have been*) pushed. Within one
+    /// engine mode `(time, tie, seq)` orders exactly like `(time, seq)`
+    /// — `seq` grows monotonically with the push moment — but across
+    /// modes it is what keeps coincident events aligned: the batched
+    /// engine pushes a block's completion at schedule time and a settle
+    /// check at interrupt-arrival time, while the per-iteration engine
+    /// pushes the corresponding `IterDone` when that iteration *starts*
+    /// (its previous boundary). Batched compute events therefore carry an
+    /// explicit tie equal to that previous boundary, so two processors
+    /// hitting profile boundaries at the same instant fire in the same
+    /// order in every mode (the network medium is FCFS, so a swapped
+    /// same-instant send order would diverge the whole run).
+    tie: f64,
     seq: u64,
     kind: EvKind,
 }
 
 impl PartialEq for Ev {
     fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+        self.time == other.time && self.tie == other.tie && self.seq == other.seq
     }
 }
 impl Eq for Ev {}
@@ -226,7 +275,19 @@ impl Ord for Ev {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         self.time
             .total_cmp(&other.time)
+            .then(self.tie.total_cmp(&other.tie))
             .then(self.seq.cmp(&other.seq))
+    }
+}
+
+/// The tie key of a block's pending `BlockDone` (see [`Ev::tie`]): the
+/// per-iteration engine pushes the final iteration's completion at that
+/// iteration's start — the penultimate boundary, or the moment the block
+/// was scheduled when it holds a single iteration.
+fn block_done_tie(boundaries: &[f64], started: f64) -> f64 {
+    match boundaries.len() {
+        0 | 1 => started,
+        n => boundaries[n - 2],
     }
 }
 
@@ -243,6 +304,10 @@ enum ProcState {
     IdlePending,
     /// Left the computation (`dlb.more_work = false`).
     Inactive,
+    /// Recovered from a detected death; announced itself and awaits the
+    /// master's `JoinGrant`. Excluded from episode participant selection
+    /// (`active` stays false) until admitted at an episode boundary.
+    Rejoining,
 }
 
 #[derive(Debug)]
@@ -308,6 +373,10 @@ struct GroupCtl {
     members: Vec<usize>,
     episode: Option<Episode>,
     pending_initiators: BTreeSet<usize>,
+    /// Recovered members whose `JoinRequest` arrived while an episode
+    /// was open; admitted when it closes ("the next episode boundary",
+    /// §S14).
+    pending_joins: BTreeSet<usize>,
 }
 
 /// One processor's cached load span: slowdown `slow` holds over wall
@@ -346,6 +415,9 @@ pub struct Engine<'w> {
     medium: MediumSim,
     events: BinaryHeap<Reverse<Ev>>,
     seq: u64,
+    /// Time of the event currently being processed — the default `tie`
+    /// stamp for every push (see [`Ev::tie`]). `0.0` before the loop runs.
+    ev_now: f64,
     counters: EngineCounters,
 
     // --- execution mode ---
@@ -411,6 +483,28 @@ pub struct Engine<'w> {
     membership: Membership,
     /// Dead processors whose death the protocol has already handled.
     detected: Vec<bool>,
+    /// Membership view version: bumped on every death handling and every
+    /// rejoin admission. Instructions are stamped with it at send time;
+    /// receivers discard older-epoch instructions (§S14 split-brain
+    /// guard). Fault-free runs never bump it, so the guard never bites.
+    membership_epoch: u64,
+    /// Per crash instance in `plan.crashes`: has the protocol finished
+    /// with it (death detected, or recovery made detection moot)? The
+    /// heartbeat chain keeps running while any instance is unhandled —
+    /// the recovery-aware generalization of "any crash undetected".
+    crash_handled: Vec<bool>,
+    /// The crash instance (index into `plan.crashes`) a currently-dead
+    /// processor is down with. Validated interleaving makes it unique.
+    cur_crash: Vec<Option<usize>>,
+    /// When each processor last recovered (for the rejoin record).
+    recovered_at: Vec<f64>,
+    /// Confiscated work with no live heir at all (every processor dead,
+    /// which validation guarantees is transient): parked here instead of
+    /// panicking, drained into the first processor that recovers.
+    limbo: Vec<Range<u64>>,
+    /// Baselines for `faults.rejoins`: `(record index, iters_done at
+    /// admission)`; finalized into `iters_after_rejoin` at run end.
+    rejoin_baselines: Vec<(usize, u64)>,
     /// Iteration currently executing on each processor, so a crash can
     /// return it to the queue instead of losing it.
     in_flight: Vec<Option<u64>>,
@@ -472,6 +566,7 @@ impl<'w> Engine<'w> {
                 members,
                 episode: None,
                 pending_initiators: BTreeSet::new(),
+                pending_joins: BTreeSet::new(),
             })
             .collect();
         let medium = MediumSim::new(cluster.net, p);
@@ -495,6 +590,7 @@ impl<'w> Engine<'w> {
             medium,
             events: BinaryHeap::new(),
             seq: 0,
+            ev_now: 0.0,
             counters: EngineCounters::default(),
             mode: EngineMode::from_env(),
             blocks: (0..p).map(|_| None).collect(),
@@ -525,6 +621,12 @@ impl<'w> Engine<'w> {
             faults: FaultReport::default(),
             membership: Membership::new(p),
             detected: vec![false; p],
+            membership_epoch: 0,
+            crash_handled: Vec::new(),
+            cur_crash: vec![None; p],
+            recovered_at: vec![0.0; p],
+            limbo: Vec::new(),
+            rejoin_baselines: Vec::new(),
             in_flight: vec![None; p],
             lost_work: Vec::new(),
             msg_seq: 0,
@@ -547,6 +649,7 @@ impl<'w> Engine<'w> {
             panic!("invalid failure policy: {e}");
         }
         self.fault_active = !plan.is_empty();
+        self.crash_handled = vec![false; plan.crashes.len()];
         self.plan = plan;
         self.policy = policy;
         self
@@ -601,6 +704,10 @@ impl<'w> Engine<'w> {
                 let c = self.plan.crashes[i];
                 self.push_event(c.at, EvKind::Crash { proc: c.proc });
             }
+            for i in 0..self.plan.recoveries.len() {
+                let r = self.plan.recoveries[i];
+                self.push_event(r.at, EvKind::Recover { proc: r.proc });
+            }
             if !self.plan.crashes.is_empty() {
                 if self.mode == EngineMode::Episode {
                     self.aim_heartbeat();
@@ -611,6 +718,7 @@ impl<'w> Engine<'w> {
         }
         while let Some(Reverse(ev)) = self.events.pop() {
             let now = ev.time;
+            self.ev_now = now;
             match ev.kind {
                 EvKind::IterDone { proc, iter } => self.on_iter_done(proc, iter, now),
                 EvKind::BlockDone { proc, epoch } => self.on_block_done(proc, epoch, now),
@@ -620,6 +728,8 @@ impl<'w> Engine<'w> {
                 EvKind::CalcLocal { group, proc } => self.on_calc_local(group, proc, now),
                 EvKind::PeriodicTick => self.on_periodic_tick(now),
                 EvKind::Crash { proc } => self.on_crash(proc, now),
+                EvKind::Recover { proc } => self.on_recover(proc, now),
+                EvKind::JoinRetry { proc } => self.on_join_retry(proc, now),
                 EvKind::Heartbeat => {
                     if self.mode == EngineMode::Episode {
                         self.on_heartbeat_coalesced(now);
@@ -642,6 +752,12 @@ impl<'w> Engine<'w> {
             self.workload.iterations(),
             self.state
         );
+        // Finalize rejoin records: post-admission iteration counts are
+        // only known once the run ends.
+        for &(idx, base) in &self.rejoin_baselines {
+            let rec = &mut self.faults.rejoins[idx];
+            rec.iters_after_rejoin = self.iters_done[rec.proc] - base;
+        }
         let total_time = self.finished_at.iter().copied().fold(0.0, f64::max);
         let report = RunReport {
             strategy: self.cfg.as_ref().map(|c| c.strategy),
@@ -671,6 +787,14 @@ impl<'w> Engine<'w> {
     // event scheduling helpers
 
     fn push_event(&mut self, time: f64, kind: EvKind) {
+        let tie = self.ev_now;
+        self.push_event_tied(time, tie, kind);
+    }
+
+    /// Push with an explicit tie stamp (see [`Ev::tie`]) — used by the
+    /// batched engine's compute events, whose per-iteration twins would
+    /// have been pushed at a different (earlier or later) moment.
+    fn push_event_tied(&mut self, time: f64, tie: f64, kind: EvKind) {
         match kind {
             EvKind::IterDone { .. } | EvKind::BlockDone { .. } | EvKind::SettleCheck { .. } => {
                 self.counters.compute_events += 1;
@@ -681,6 +805,7 @@ impl<'w> Engine<'w> {
         self.seq += 1;
         self.events.push(Reverse(Ev {
             time,
+            tie,
             seq: self.seq,
             kind,
         }));
@@ -720,6 +845,22 @@ impl<'w> Engine<'w> {
     }
 
     fn send(&mut self, from: usize, to: usize, bytes: usize, payload: Payload, now: f64) {
+        self.send_opts(from, to, bytes, payload, now, false);
+    }
+
+    /// `exempt` marks the message as control-plane regardless of its
+    /// payload kind: the rejoin re-expansion ships work outside any
+    /// episode, so no watchdog covers it — it rides the reliable
+    /// handshake channel instead (still costed, contended, delayable).
+    fn send_opts(
+        &mut self,
+        from: usize,
+        to: usize,
+        bytes: usize,
+        payload: Payload,
+        now: f64,
+        exempt: bool,
+    ) {
         let factors = now_net::medium::EndpointFactors {
             send: self.cpu_factor(from, now),
             recv: self.cpu_factor(to, now),
@@ -734,20 +875,42 @@ impl<'w> Engine<'w> {
         }
         self.finished_at[from] = self.finished_at[from].max(now);
         self.msg_seq += 1;
-        if self.fault_active && self.plan.drops_message(self.msg_seq) {
-            self.faults.messages_dropped += 1;
-            if let Payload::Work { group, ranges } = payload {
-                // The donor keeps its transfer log until the episode
-                // closes; the watchdog retransmits from this copy.
-                self.lost_work.push((to, group, ranges));
+        // Rejoin handshake messages are control-plane: exempt from loss
+        // and link cuts (like the heartbeat liveness oracle) so a
+        // recovering processor cannot be wedged out forever, but still
+        // costed, contended and delayable like any other message.
+        let control_plane = exempt
+            || matches!(
+                payload,
+                Payload::JoinRequest { .. } | Payload::JoinGrant { .. }
+            );
+        if self.fault_active && !control_plane {
+            if self.plan.link_cut(from, to, now) {
+                // Partitioned link: targeted loss. The sender's copy of
+                // any work survives in the lost-work log, so the
+                // watchdog/abort machinery recovers per-link exactly as
+                // it does for probabilistic loss.
+                self.faults.messages_cut += 1;
+                if let Payload::Work { group, ranges } = payload {
+                    self.lost_work.push((to, group, ranges));
+                }
+                return;
             }
-            return;
+            if self.plan.drops_message(self.msg_seq) {
+                self.faults.messages_dropped += 1;
+                if let Payload::Work { group, ranges } = payload {
+                    // The donor keeps its transfer log until the episode
+                    // closes; the watchdog retransmits from this copy.
+                    self.lost_work.push((to, group, ranges));
+                }
+                return;
+            }
         }
         let mut delivered = tx.delivered;
         if self.fault_active {
             let f = self.plan.delay_factor_at(now);
             if f > 1.0 {
-                delivered = now + (tx.delivered - now) * f;
+                delivered = now_net::stretch_delivery(now, tx.delivered, f);
                 self.faults.messages_delayed += 1;
             }
         }
@@ -853,12 +1016,14 @@ impl<'w> Engine<'w> {
         let done_at = *boundaries.last().expect("front run is never empty");
         self.state[proc] = ProcState::Computing;
         let epoch = self.block_epoch[proc];
-        self.push_event(done_at, EvKind::BlockDone { proc, epoch });
+        let tie = block_done_tie(&boundaries, now);
+        self.push_event_tied(done_at, tie, EvKind::BlockDone { proc, epoch });
         self.blocks[proc] = Some(BlockRun {
             first: run.start,
             done: 0,
             boundaries,
             seq: self.seq,
+            started: now,
         });
     }
 
@@ -923,8 +1088,15 @@ impl<'w> Engine<'w> {
             let i = b.boundaries.partition_point(|&x| x <= now);
             if i < b.boundaries.len() {
                 let at = b.boundaries[i];
+                // The per-iteration twin of this settle point was pushed
+                // when the iteration ending at `at` started.
+                let tie = if i == 0 {
+                    b.started
+                } else {
+                    b.boundaries[i - 1]
+                };
                 let epoch = self.block_epoch[proc];
-                self.push_event(at, EvKind::SettleCheck { proc, epoch });
+                self.push_event_tied(at, tie, EvKind::SettleCheck { proc, epoch });
             }
         }
     }
@@ -998,10 +1170,13 @@ impl<'w> Engine<'w> {
     // compute events
 
     fn on_iter_done(&mut self, proc: usize, iter: u64, now: f64) {
-        if self.membership.is_dead(proc) {
-            // The completion was scheduled before the crash; it never
+        if self.membership.is_dead(proc) || self.in_flight[proc] != Some(iter) {
+            // The completion was scheduled before a crash; it never
             // happens. The iteration itself was returned to the queue at
-            // crash time and will be recovered.
+            // crash time and will be recovered. The in-flight check also
+            // voids events that outlive a crash→recover cycle: the proc
+            // is alive again, but this completion belongs to work that
+            // was confiscated and redistributed.
             return;
         }
         self.in_flight[proc] = None;
@@ -1037,14 +1212,17 @@ impl<'w> Engine<'w> {
         }
         let g = self.proc_group[proc];
         if let Some(episode) = self.groups[g].episode.as_ref() {
-            let profiled = episode.profiled.contains(&proc);
-            if !profiled {
+            let participant = episode.participants.contains(&proc);
+            if participant && !episode.profiled.contains(&proc) {
                 // Ran dry before the interrupt arrived: profile proactively.
                 self.send_profile(proc, now);
             } else {
                 // Already served by this episode (resumed, then drained
-                // while the episode is still closing): queue up to start
-                // the next one.
+                // while the episode is still closing), or never part of it
+                // (woken mid-episode by reassigned or rejoin work — a
+                // profile from a non-participant would corrupt the
+                // episode's completion accounting): queue up to start the
+                // next one.
                 self.state[proc] = ProcState::IdlePending;
                 self.groups[g].pending_initiators.insert(proc);
             }
@@ -1343,6 +1521,7 @@ impl<'w> Engine<'w> {
                 Payload::Instruction {
                     group: g,
                     outcome: Arc::clone(&outcome),
+                    epoch: self.membership_epoch,
                 },
                 now,
             );
@@ -1466,6 +1645,22 @@ impl<'w> Engine<'w> {
             return;
         }
         self.groups[g].episode = None;
+        // The episode boundary: admit rejoiners that knocked while it was
+        // open (§S14). An admission may itself open the next episode, in
+        // which case the rest keep waiting for *its* boundary.
+        loop {
+            if self.groups[g].episode.is_some() {
+                break;
+            }
+            let Some(&q) = self.groups[g].pending_joins.iter().next() else {
+                break;
+            };
+            self.groups[g].pending_joins.remove(&q);
+            self.admit_rejoin(q, now);
+        }
+        if self.groups[g].episode.is_some() {
+            return;
+        }
         // A member that drained during the close gets to start the next
         // episode immediately.
         while let Some(&p) = self.groups[g].pending_initiators.iter().next() {
@@ -1488,6 +1683,14 @@ impl<'w> Engine<'w> {
             return;
         }
         self.faults.crashes_injected += 1;
+        // Which planned instance fired? Per-processor crash times are
+        // distinct (validated interleaving), so the exact event time
+        // resolves it.
+        self.cur_crash[proc] = self
+            .plan
+            .crashes
+            .iter()
+            .position(|c| c.proc == proc && c.at == now);
         // The iteration executing at the instant of death never
         // completes; put it back so recovery can hand it to a survivor.
         if let Some(iter) = self.in_flight[proc].take() {
@@ -1533,8 +1736,9 @@ impl<'w> Engine<'w> {
                 self.handle_death(proc, now);
             }
         }
-        // Keep sweeping while a planned crash is still unhandled.
-        if self.plan.crashes.iter().any(|c| !self.detected[c.proc]) {
+        // Keep sweeping while a planned crash instance is still
+        // unhandled (neither detected nor voided by a recovery).
+        if self.crash_handled.iter().any(|&h| !h) {
             self.push_event(now + self.policy.heartbeat_interval, EvKind::Heartbeat);
         }
     }
@@ -1549,8 +1753,8 @@ impl<'w> Engine<'w> {
     /// chain stops, exactly where the per-tick chain stops re-pushing.
     fn aim_heartbeat_from(&mut self, mut idx: u64, mut t: f64) {
         let mut c_min = f64::INFINITY;
-        for c in &self.plan.crashes {
-            if !self.detected[c.proc] {
+        for (i, c) in self.plan.crashes.iter().enumerate() {
+            if !self.crash_handled[i] {
                 c_min = c_min.min(c.at);
             }
         }
@@ -1644,7 +1848,16 @@ impl<'w> Engine<'w> {
             return;
         }
         self.detected[d] = true;
-        let crashed_at = self.plan.crash_time(d).unwrap_or(now);
+        // The membership view changes: in-flight instructions from the
+        // old view are now stale (§S14).
+        self.membership_epoch += 1;
+        let crashed_at = match self.cur_crash[d] {
+            Some(i) => {
+                self.crash_handled[i] = true;
+                self.plan.crashes[i].at
+            }
+            None => now,
+        };
 
         // Confiscate unexecuted work. The loop's input data is replicated
         // at startup (arrays ship only on *re*-distribution), so any
@@ -1676,6 +1889,7 @@ impl<'w> Engine<'w> {
         let g = self.proc_group[d];
         self.groups[g].members.retain(|&m| m != d);
         self.groups[g].pending_initiators.remove(&d);
+        self.groups[g].pending_joins.remove(&d);
 
         // Central balancer promotion. Profiles parked in the dead
         // master's memory are gone; live senders retransmit to the
@@ -1716,6 +1930,12 @@ impl<'w> Engine<'w> {
                 .filter(|&m| self.membership.is_alive(m))
                 .collect();
         }
+        if heirs.is_empty() {
+            // Everyone is dead. Validation guarantees a recovery is
+            // planned; park the work until someone comes back.
+            self.limbo.extend(ranges);
+            return;
+        }
         let parts = split_ranges(&ranges, heirs.len());
         for (&m, part) in heirs.iter().zip(parts) {
             if part.is_empty() {
@@ -1749,6 +1969,324 @@ impl<'w> Engine<'w> {
             // Computing continues; WaitOutcome/WaitWork pick the new
             // work up when their episode resolves.
             _ => {}
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // rejoin & partition tolerance (§S14)
+
+    /// Iterations `m` has not finished executing at `now`, independent of
+    /// engine mode: per-iteration stepping pops the in-flight iteration
+    /// from the queue, batched execution leaves completed-but-unsettled
+    /// iterations *in* it — this reconciles both to the same count, so a
+    /// rejoin admission computes the identical redistribution in every
+    /// mode.
+    fn logical_remaining(&self, m: usize, now: f64) -> u64 {
+        let q = self.queues[m].remaining();
+        if let Some(b) = self.blocks[m].as_ref() {
+            let settled_pending = b.boundaries.partition_point(|&x| x <= now) as u64 - b.done;
+            q - settled_pending
+        } else if self.in_flight[m].is_some() {
+            q + 1
+        } else {
+            q
+        }
+    }
+
+    /// Take up to `want` iterations off the back of `m`'s queue for a
+    /// rejoining member, preserving cross-mode equivalence: settle the
+    /// completed prefix of any running block first (so the queue holds
+    /// exactly what the per-iteration engine's would), never touch the
+    /// iteration currently executing, and truncate the scheduled block if
+    /// the steal ate into its tail.
+    fn steal_back(&mut self, m: usize, want: u64, now: f64) -> Vec<Range<u64>> {
+        if self.blocks[m].is_some() {
+            let upto = {
+                let b = self.blocks[m].as_ref().expect("checked above");
+                b.boundaries.partition_point(|&x| x <= now) as u64
+            };
+            self.settle_block_to(m, upto);
+        }
+        let executing = self.blocks[m]
+            .as_ref()
+            .is_some_and(|b| (b.done as usize) < b.boundaries.len());
+        let avail = self.queues[m].remaining().saturating_sub(executing as u64);
+        let k = want.min(avail);
+        if k == 0 {
+            return Vec::new();
+        }
+        let ranges = self.queues[m].take_back(k);
+        let rem = self.queues[m].remaining();
+        let mut retime = None;
+        if let Some(b) = self.blocks[m].as_mut() {
+            let l = b.boundaries.len() as u64;
+            if b.done + rem < l {
+                b.boundaries.truncate((b.done + rem) as usize);
+                retime = Some(
+                    *b.boundaries
+                        .last()
+                        .expect("the executing iteration is never stolen"),
+                );
+            }
+        }
+        if let Some(at) = retime {
+            self.block_epoch[m] += 1;
+            let epoch = self.block_epoch[m];
+            let tie = {
+                let b = self.blocks[m].as_ref().expect("block checked above");
+                block_done_tie(&b.boundaries, b.started)
+            };
+            self.push_event_tied(at, tie, EvKind::BlockDone { proc: m, epoch });
+            // Keep the stored ordering key current: the fast-forward
+            // seeds its replay from it.
+            self.blocks[m].as_mut().expect("block checked above").seq = self.seq;
+            if self.interrupted[m] {
+                // The settle point the pending interrupt was waiting on
+                // went stale with the old epoch; re-aim it.
+                let b = self.blocks[m].as_ref().expect("block checked above");
+                let i = b.boundaries.partition_point(|&x| x <= now);
+                if i < b.boundaries.len() {
+                    let at2 = b.boundaries[i];
+                    let tie2 = if i == 0 {
+                        b.started
+                    } else {
+                        b.boundaries[i - 1]
+                    };
+                    self.push_event_tied(at2, tie2, EvKind::SettleCheck { proc: m, epoch });
+                }
+            }
+        }
+        ranges
+    }
+
+    /// A planned recovery fires: the processor comes back up. If its
+    /// crash was never noticed, the comeback announcement reveals it —
+    /// run the normal death handling first (confiscation, shrink,
+    /// promotion) so there is exactly one rejoin path. Then re-enter via
+    /// the §S14 handshake: announce to the coordinator, wait for a grant.
+    fn on_recover(&mut self, proc: usize, now: f64) {
+        if self.membership.is_alive(proc) {
+            return; // plan validation forbids this; stay safe anyway
+        }
+        if !self.detected[proc] {
+            self.handle_death(proc, now);
+        }
+        self.membership.revive(proc);
+        self.faults.recoveries += 1;
+        self.detected[proc] = false;
+        self.cur_crash[proc] = None;
+        self.recovered_at[proc] = now;
+        // Work parked while every processor was down drains to the first
+        // one back.
+        for r in std::mem::take(&mut self.limbo) {
+            self.queues[proc].push_back(r);
+        }
+        let g = self.proc_group[proc];
+        if self.cfg.is_none() {
+            // No balancer to ask: rejoin the (static) membership directly
+            // and run whatever landed in the queue meanwhile.
+            let members = &mut self.groups[g].members;
+            if !members.contains(&proc) {
+                let pos = members.partition_point(|&m| m < proc);
+                members.insert(pos, proc);
+            }
+            let idx = self.faults.rejoins.len();
+            self.faults.rejoins.push(RejoinRecord {
+                proc,
+                recovered_at: now,
+                admitted_at: now,
+                iters_after_rejoin: 0,
+            });
+            self.rejoin_baselines.push((idx, self.iters_done[proc]));
+            if self.queues[proc].is_empty() {
+                self.deactivate(proc, now);
+            } else {
+                self.active[proc] = true;
+                self.window_start[proc] = now;
+                self.window_iters[proc] = 0;
+                self.schedule_compute(proc, now);
+            }
+            return;
+        }
+        self.state[proc] = ProcState::Rejoining;
+        if self.master == proc {
+            // Sole survivor scenarios: the comeback *is* the coordinator.
+            self.request_admission(proc, now);
+        } else {
+            self.send(
+                proc,
+                self.master,
+                JOIN_BYTES,
+                Payload::JoinRequest { proc },
+                now,
+            );
+            self.push_event(
+                now + self.policy.heartbeat_interval,
+                EvKind::JoinRetry { proc },
+            );
+        }
+    }
+
+    /// Re-announce a still-unadmitted rejoiner to the (possibly since
+    /// promoted) coordinator, at the heartbeat cadence. The chain dies
+    /// with the `Rejoining` state or with the workload.
+    fn on_join_retry(&mut self, proc: usize, now: f64) {
+        if self.state[proc] != ProcState::Rejoining {
+            return;
+        }
+        if self.master == proc {
+            self.request_admission(proc, now);
+            return;
+        }
+        self.send(
+            proc,
+            self.master,
+            JOIN_BYTES,
+            Payload::JoinRequest { proc },
+            now,
+        );
+        let total_done: u64 = self.iters_done.iter().sum();
+        if total_done < self.workload.iterations() {
+            self.push_event(
+                now + self.policy.heartbeat_interval,
+                EvKind::JoinRetry { proc },
+            );
+        }
+    }
+
+    /// Route an admission request: grant immediately when the group is
+    /// between episodes, otherwise park it for the episode boundary
+    /// (§S14 — stealing from a profiled participant mid-episode would
+    /// break its planned transfers).
+    fn request_admission(&mut self, q: usize, now: f64) {
+        let g = self.proc_group[q];
+        if self.groups[g].episode.is_some() {
+            self.groups[g].pending_joins.insert(q);
+        } else {
+            self.admit_rejoin(q, now);
+        }
+    }
+
+    /// Admit a recovered processor back into its group: bump the
+    /// membership epoch (stale in-flight instructions die, §S14), re-grow
+    /// the member list, and re-expand the distribution through the same
+    /// profitability gate the balancer applies — nominal processor speeds
+    /// stand in for measured rates, since the newcomer has no current
+    /// window. Only transfers *toward* the newcomer ship here; anything
+    /// else is the next episode's business. Callers guarantee no episode
+    /// is open in the group (stealing from a profiled participant would
+    /// break its planned transfers).
+    fn admit_rejoin(&mut self, q: usize, now: f64) {
+        if self.state[q] != ProcState::Rejoining || self.membership.is_dead(q) {
+            return;
+        }
+        debug_assert!(
+            self.groups[self.proc_group[q]].episode.is_none(),
+            "admission only happens at episode boundaries"
+        );
+        self.membership_epoch += 1;
+        let g = self.proc_group[q];
+        let members = &mut self.groups[g].members;
+        if !members.contains(&q) {
+            let pos = members.partition_point(|&m| m < q);
+            members.insert(pos, q);
+        }
+        for r in std::mem::take(&mut self.limbo) {
+            self.queues[q].push_back(r);
+        }
+        let mems: Vec<usize> = self.groups[g]
+            .members
+            .iter()
+            .copied()
+            .filter(|&m| self.membership.is_alive(m))
+            .collect();
+        // Nominal-speed profiles at a fixed 1-second window; scaled so
+        // integer iteration counts keep the speed ratios. Movement cost
+        // is the wire's to model (the Work shipment is costed and
+        // contended like any other), so the gate uses the paper's
+        // default of excluding it.
+        let profiles: Vec<PerfProfile> = mems
+            .iter()
+            .map(|&m| PerfProfile {
+                proc: m,
+                iters_done: (self.cluster.speeds[m] * 1e6).round() as u64,
+                elapsed: 1.0,
+                remaining: self.logical_remaining(m, now),
+            })
+            .collect();
+        let cfg = self.cfg.as_ref().expect("rejoin admission requires DLB");
+        let outcome = balance_group(&profiles, cfg, |_| 0.0);
+        let idx = self.faults.rejoins.len();
+        self.faults.rejoins.push(RejoinRecord {
+            proc: q,
+            recovered_at: self.recovered_at[q],
+            admitted_at: now,
+            iters_after_rejoin: 0,
+        });
+        self.rejoin_baselines.push((idx, self.iters_done[q]));
+        let inbound: Vec<(usize, u64)> = outcome
+            .transfers
+            .iter()
+            .filter(|t| t.to == q && t.from != q)
+            .map(|t| (t.from, t.iters))
+            .collect();
+        for (from, iters) in inbound {
+            let ranges = self.steal_back(from, iters, now);
+            if ranges.is_empty() {
+                continue;
+            }
+            let bytes = WORK_HEADER_BYTES + (ranges_len(&ranges) * self.bytes_per_iter) as usize;
+            // Exempt from loss/cuts: this shipment happens between
+            // episodes, where no watchdog would ever retransmit it.
+            self.send_opts(
+                from,
+                q,
+                bytes,
+                Payload::Work { group: g, ranges },
+                now,
+                true,
+            );
+        }
+        if q == self.master {
+            self.apply_join_grant(q, now);
+        } else {
+            self.send(
+                self.master,
+                q,
+                JOIN_BYTES,
+                Payload::JoinGrant {
+                    epoch: self.membership_epoch,
+                },
+                now,
+            );
+        }
+    }
+
+    /// The grant lands (or the coordinator grants itself): the rejoiner
+    /// becomes a full member again and starts a fresh measurement window.
+    /// An empty queue takes the paper's receiver-initiated path — ask the
+    /// group for work, let the profitability gate decide.
+    fn apply_join_grant(&mut self, q: usize, now: f64) {
+        if self.state[q] != ProcState::Rejoining {
+            return; // duplicate grant (retry raced the original)
+        }
+        self.active[q] = true;
+        self.window_start[q] = now;
+        self.window_iters[q] = 0;
+        if self.queues[q].is_empty() {
+            let g = self.proc_group[q];
+            if self.groups[g].episode.is_some() {
+                // An episode opened while the grant was in flight: queue
+                // up to initiate at its boundary rather than injecting a
+                // non-participant profile into it.
+                self.state[q] = ProcState::IdlePending;
+                self.groups[g].pending_initiators.insert(q);
+            } else {
+                self.state[q] = ProcState::Inactive;
+                self.on_out_of_work(q, now);
+            }
+        } else {
+            self.schedule_compute(q, now);
         }
     }
 
@@ -1990,6 +2528,9 @@ impl<'w> Engine<'w> {
                     if m == master {
                         self.act_on_outcome(m, g, &out, now);
                     } else {
+                        // Stamped with the *current* epoch: retransmission
+                        // is exactly how a view change supersedes stale
+                        // in-flight instructions (§S14).
                         self.send(
                             master,
                             m,
@@ -1997,6 +2538,7 @@ impl<'w> Engine<'w> {
                             Payload::Instruction {
                                 group: g,
                                 outcome: Arc::clone(&out),
+                                epoch: self.membership_epoch,
                             },
                             now,
                         );
@@ -2050,6 +2592,20 @@ impl<'w> Engine<'w> {
             } else {
                 self.reassign_orphan_ranges(to, ranges, now);
             }
+        }
+        // The aborted episode's boundary admits rejoiners too (§S14).
+        loop {
+            if self.groups[g].episode.is_some() {
+                break;
+            }
+            let Some(&q) = self.groups[g].pending_joins.iter().next() else {
+                break;
+            };
+            self.groups[g].pending_joins.remove(&q);
+            self.admit_rejoin(q, now);
+        }
+        if self.groups[g].episode.is_some() {
+            return;
         }
         // A member that drained during the episode gets to restart.
         while let Some(&p) = self.groups[g].pending_initiators.iter().next() {
@@ -2121,17 +2677,56 @@ impl<'w> Engine<'w> {
                     Control::Distributed => self.record_local_profile(to, group, profile, now),
                 }
             }
-            Payload::Instruction { group, outcome } => {
+            Payload::Instruction {
+                group,
+                outcome,
+                epoch,
+            } => {
+                if self.fault_active && epoch < self.membership_epoch {
+                    // §S14 split-brain guard: the sender's membership
+                    // view is stale (a death or rejoin intervened while
+                    // this was in flight). The current view's balancer
+                    // re-sends on the next watchdog round.
+                    self.faults.stale_instructions += 1;
+                    return;
+                }
                 if self.groups[group].episode.is_some() {
                     self.act_on_outcome(to, group, &outcome, now);
                 }
             }
+            Payload::JoinRequest { proc } => {
+                // Admission is a membership decision, taken by the
+                // coordinator regardless of the balancing control mode. A
+                // request addressed to a since-replaced coordinator is
+                // covered by the sender's retry chain.
+                if to != self.master
+                    || self.membership.is_dead(proc)
+                    || self.state[proc] != ProcState::Rejoining
+                {
+                    return;
+                }
+                self.request_admission(proc, now);
+            }
+            Payload::JoinGrant { epoch } => {
+                // Unlike instructions, a grant is honored even if the view
+                // moved on — the admission already re-grew the membership
+                // and shipped work toward this receiver; refusing it would
+                // strand both (the epoch only ever lags, never leads).
+                debug_assert!(epoch <= self.membership_epoch, "grant from the future");
+                self.apply_join_grant(to, now);
+            }
             Payload::Work { group, ranges } => {
                 let ProcState::WaitWork { expect } = self.state[to] else {
-                    if self.groups[group].episode.is_none() {
-                        // No episode to credit it against (it was aborted
-                        // while this shipment was in flight): keep the
-                        // work directly. Only reachable under faults.
+                    if self.groups[group].episode.is_none()
+                        || self.state[to] == ProcState::Rejoining
+                    {
+                        // No episode to credit it against (aborted while
+                        // the shipment was in flight), or the receiver is
+                        // mid-rejoin and thus no participant: keep the
+                        // work directly — a rejoiner parking it in
+                        // `early_work` would leak it (nothing drains a
+                        // non-participant's stash). Only reachable under
+                        // faults.
                         for r in ranges {
                             self.queues[to].push_back(r);
                         }
@@ -2536,5 +3131,188 @@ mod tests {
         plan.crashes.push(now_fault::CrashSpec { proc: 1, at: 0.1 });
         let _ = Engine::new(ClusterSpec::dedicated(2), &wl, None)
             .with_faults(plan, FailurePolicy::default());
+    }
+
+    // ------------------------------------------------------------------
+    // §S14 rejoin & partition tolerance
+
+    use now_fault::{PartitionSpec, RecoverSpec};
+
+    #[test]
+    fn rejoined_processor_receives_work() {
+        // A long run with a mid-run crash and a recovery well before the
+        // end: the rejoin handshake must admit the processor and the
+        // re-expansion must ship it work it then executes.
+        let wl = uniform(4000, 0.01);
+        let plan = FaultPlan {
+            crashes: vec![now_fault::CrashSpec { proc: 3, at: 0.5 }],
+            recoveries: vec![RecoverSpec { proc: 3, at: 1.0 }],
+            ..FaultPlan::default()
+        };
+        for s in Strategy::ALL {
+            let cfg = StrategyConfig::paper(s, 2);
+            let report = Engine::new(ClusterSpec::dedicated(4), &wl, Some(cfg))
+                .with_faults(plan.clone(), FailurePolicy::default())
+                .run();
+            assert_eq!(report.total_iters, 4000, "{s} lost iterations");
+            let f = report.faults.expect("fault plan was active");
+            assert_eq!(f.recoveries, 1, "{s}");
+            assert_eq!(f.rejoins.len(), 1, "{s}: one rejoin record expected");
+            let r = &f.rejoins[0];
+            assert_eq!(r.proc, 3, "{s}");
+            assert!(r.recovered_at >= 1.0, "{s}");
+            assert!(
+                r.admitted_at >= r.recovered_at,
+                "{s}: admission precedes recovery"
+            );
+            assert!(
+                r.iters_after_rejoin > 0,
+                "{s}: rejoined processor never got work ({r:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn all_procs_crash_but_one_recovers_conserves() {
+        // Every processor crashes, but one comes back: the plan is valid
+        // (the AllProcsCrash check accounts for recoveries) and the
+        // orphaned work parks in limbo until the survivor drains it.
+        let wl = uniform(50, 0.01);
+        let plan = FaultPlan {
+            crashes: vec![
+                now_fault::CrashSpec { proc: 0, at: 0.08 },
+                now_fault::CrashSpec { proc: 1, at: 0.11 },
+            ],
+            recoveries: vec![RecoverSpec { proc: 1, at: 0.4 }],
+            ..FaultPlan::default()
+        };
+        let report = Engine::new(ClusterSpec::dedicated(2), &wl, None)
+            .with_faults(plan.clone(), FailurePolicy::default())
+            .run();
+        assert_eq!(report.total_iters, 50, "noDLB limbo drain lost work");
+
+        let cfg = StrategyConfig::paper(Strategy::Gcdlb, 2);
+        let report = Engine::new(ClusterSpec::dedicated(2), &wl, Some(cfg))
+            .with_faults(plan, FailurePolicy::default())
+            .run();
+        assert_eq!(report.total_iters, 50, "DLB limbo drain lost work");
+        let f = report.faults.expect("fault plan was active");
+        assert_eq!(f.recoveries, 1);
+    }
+
+    #[test]
+    fn partition_heals_without_death_declarations() {
+        // A bidirectional link cut between 0 and 1: messages on the cut
+        // links are lost (driving the watchdog/abort machinery), but a
+        // partition is not a crash — no detection may fire, no rejoin is
+        // recorded, and the membership at the end is the full cluster.
+        let wl = uniform(800, 0.01);
+        let plan = FaultPlan {
+            partitions: vec![
+                PartitionSpec {
+                    from: 0,
+                    to: 1,
+                    start: 0.2,
+                    heal: 1.2,
+                },
+                PartitionSpec {
+                    from: 1,
+                    to: 0,
+                    start: 0.2,
+                    heal: 1.2,
+                },
+            ],
+            ..FaultPlan::default()
+        };
+        for s in Strategy::ALL {
+            let mut cluster = ClusterSpec::dedicated(4);
+            cluster.loads[1] = LoadSpec::Constant { level: 4 };
+            let cfg = StrategyConfig::paper(s, 2);
+            let report = Engine::new(cluster, &wl, Some(cfg))
+                .with_faults(plan.clone(), FailurePolicy::default())
+                .run();
+            assert_eq!(report.total_iters, 800, "{s} lost iterations");
+            let f = report.faults.expect("fault plan was active");
+            assert!(
+                f.detections.is_empty(),
+                "{s}: partition must not declare deaths: {:?}",
+                f.detections
+            );
+            assert!(f.rejoins.is_empty(), "{s}: nobody crashed");
+            // Every processor survived to the end and did work.
+            for p in &report.per_proc {
+                assert!(p.iters_done > 0, "{s}: processor starved: {p:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn stale_epoch_instruction_is_discarded() {
+        // Direct check of the split-brain guard: an instruction stamped
+        // with an older membership epoch is dead on arrival.
+        let wl = uniform(40, 0.01);
+        let cfg = StrategyConfig::paper(Strategy::Gddlb, 2);
+        let mut engine = Engine::new(ClusterSpec::dedicated(4), &wl, Some(cfg))
+            .with_faults(FaultPlan::crash(3, 50.0), FailurePolicy::default());
+        engine.membership_epoch = 2;
+        let outcome = Arc::new(BalanceOutcome {
+            verdict: BalanceVerdict::BelowThreshold,
+            new_counts: vec![],
+            transfers: vec![],
+            moved: 0,
+            predicted_old: 0.0,
+            predicted_new: 0.0,
+        });
+        engine.on_deliver(
+            1,
+            Payload::Instruction {
+                group: 0,
+                outcome: Arc::clone(&outcome),
+                epoch: 1,
+            },
+            0.1,
+        );
+        assert_eq!(
+            engine.faults.stale_instructions, 1,
+            "stale-epoch instruction must be counted and dropped"
+        );
+        // A current-epoch instruction passes the guard (and is then a
+        // no-op only because no episode is open).
+        engine.on_deliver(
+            1,
+            Payload::Instruction {
+                group: 0,
+                outcome,
+                epoch: 2,
+            },
+            0.2,
+        );
+        assert_eq!(engine.faults.stale_instructions, 1);
+    }
+
+    #[test]
+    fn crash_recover_crash_conserves() {
+        // The same processor crashes, rejoins, and crashes again: both
+        // confiscations must conserve, and the final membership excludes
+        // it.
+        let wl = uniform(4000, 0.01);
+        let plan = FaultPlan {
+            crashes: vec![
+                now_fault::CrashSpec { proc: 2, at: 0.4 },
+                now_fault::CrashSpec { proc: 2, at: 2.0 },
+            ],
+            recoveries: vec![RecoverSpec { proc: 2, at: 1.0 }],
+            ..FaultPlan::default()
+        };
+        for s in Strategy::ALL {
+            let cfg = StrategyConfig::paper(s, 2);
+            let report = Engine::new(ClusterSpec::dedicated(4), &wl, Some(cfg))
+                .with_faults(plan.clone(), FailurePolicy::default())
+                .run();
+            assert_eq!(report.total_iters, 4000, "{s} lost iterations");
+            let f = report.faults.expect("fault plan was active");
+            assert_eq!(f.crashes_injected, 2, "{s}");
+            assert_eq!(f.recoveries, 1, "{s}");
+        }
     }
 }

@@ -46,7 +46,10 @@
 //!   participant without a scheduled block (stale protocol state);
 //! * a dead-but-undetected processor anywhere (its `handle_death` may
 //!   mutate participant queues at this very instant);
-//! * a replayed message that the fault plan drops or delays;
+//! * a replayed message that the fault plan drops or that crosses a cut
+//!   (partitioned) link — inflated *delay* is fine: the replay stretches
+//!   the delivery time through the same [`now_net::stretch_delivery`]
+//!   arithmetic the event loop uses;
 //! * a fault-mode episode whose watchdog would fire inside the window
 //!   (`t₀ + sync_timeout ≤ T`);
 //! * any non-benign heap event at or before the episode's close `T`:
@@ -93,13 +96,17 @@ enum FfKind {
 #[derive(Debug)]
 struct FfEv {
     time: f64,
+    /// Same-time tie stamp, mirroring [`Ev::tie`] — the replay must
+    /// order coincident events exactly as the real loop would, and
+    /// leftover events re-pushed at commit must carry their real key.
+    tie: f64,
     seq: u64,
     kind: FfKind,
 }
 
 impl PartialEq for FfEv {
     fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+        self.time == other.time && self.tie == other.tie && self.seq == other.seq
     }
 }
 impl Eq for FfEv {}
@@ -112,6 +119,7 @@ impl Ord for FfEv {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         self.time
             .total_cmp(&other.time)
+            .then(self.tie.total_cmp(&other.tie))
             .then(self.seq.cmp(&other.seq))
     }
 }
@@ -127,6 +135,9 @@ struct FfBlock {
     done: u64,
     bounds: Vec<f64>,
     end: f64,
+    /// Schedule moment — the tie anchor for the first boundary
+    /// (mirrors [`BlockRun::started`]).
+    started: f64,
 }
 
 /// Pooled scratch for the fast-forward: every buffer survives across
@@ -185,6 +196,7 @@ pub(super) struct FfScratch {
     ctrl_msgs: u64,
     xfer_msgs: u64,
     bytes_moved: u64,
+    delayed_msgs: u64,
 
     // --- replay control ---
     aborted: bool,
@@ -215,10 +227,24 @@ impl<'w> Engine<'w> {
             let t_close = s.closed.expect("committed episode must have closed");
             self.ff_commit(&mut s, g, t_close);
             self.ff = s;
-            // Mirror `maybe_close_episode`'s tail: one drained member may
-            // start the next episode right at the close (possibly
-            // fast-forwarded again, recursively).
+            // Mirror `maybe_close_episode`'s tail: the close is an episode
+            // boundary, so first admit any parked rejoiners (§S14), then
+            // one drained member may start the next episode right at the
+            // close (possibly fast-forwarded again, recursively).
+            loop {
+                if self.groups[g].episode.is_some() {
+                    break;
+                }
+                let Some(&q) = self.groups[g].pending_joins.iter().next() else {
+                    break;
+                };
+                self.groups[g].pending_joins.remove(&q);
+                self.admit_rejoin(q, t_close);
+            }
             while let Some(&p) = self.groups[g].pending_initiators.iter().next() {
+                if self.groups[g].episode.is_some() {
+                    break;
+                }
                 self.groups[g].pending_initiators.remove(&p);
                 if !self.active[p] || self.state[p] != ProcState::IdlePending {
                     continue;
@@ -318,6 +344,7 @@ impl<'w> Engine<'w> {
         s.ctrl_msgs = 0;
         s.xfer_msgs = 0;
         s.bytes_moved = 0;
+        s.delayed_msgs = 0;
         s.aborted = false;
         s.closed = None;
 
@@ -361,9 +388,11 @@ impl<'w> Engine<'w> {
                     done: b.done,
                     bounds: std::mem::take(&mut s.blocks[i].bounds),
                     end,
+                    started: b.started,
                 };
                 s.heap.push(Reverse(FfEv {
                     time: end,
+                    tie: block_done_tie(&b.boundaries, b.started),
                     seq: b.seq,
                     kind: FfKind::BlockDone { p: m, epoch: 0 },
                 }));
@@ -480,10 +509,11 @@ impl<'w> Engine<'w> {
 
     /// Mirror of [`Engine::send`]'s bookkeeping against the episode
     /// schedule: contention arithmetic, stats, and message sequencing,
-    /// WITHOUT scheduling a delivery event. Returns the delivery time,
-    /// or `None` after setting the abort flag if the fault plan would
-    /// drop or delay the message. `transfer_iters` is `Some(n)` for a
-    /// work shipment of `n` iterations, `None` for control traffic.
+    /// WITHOUT scheduling a delivery event. Returns the delivery time
+    /// (delay-stretched if the plan inflates it), or `None` after setting
+    /// the abort flag if the fault plan would drop the message or cut the
+    /// link. `transfer_iters` is `Some(n)` for a work shipment of `n`
+    /// iterations, `None` for control traffic.
     fn ff_send_msg(
         &mut self,
         s: &mut FfScratch,
@@ -511,11 +541,21 @@ impl<'w> Engine<'w> {
         }
         s.finished_at[from] = s.finished_at[from].max(now);
         s.msg_seq += 1;
-        if self.fault_active
-            && (self.plan.drops_message(s.msg_seq) || self.plan.delay_factor_at(now) > 1.0)
-        {
-            s.aborted = true;
-            return None;
+        if self.fault_active {
+            // Cuts and drops change the protocol flow (watchdog rounds,
+            // lost-work recovery): fall back to the per-message path.
+            // Delay does not — it is pure delivery-time arithmetic, so the
+            // replay carries it through the shared `stretch_delivery`
+            // (identical float ops to `Engine::send`) instead of aborting.
+            if self.plan.link_cut(from, to, now) || self.plan.drops_message(s.msg_seq) {
+                s.aborted = true;
+                return None;
+            }
+            let f = self.plan.delay_factor_at(now);
+            if f > 1.0 {
+                s.delayed_msgs += 1;
+                return Some(now_net::stretch_delivery(now, tx.delivered, f));
+            }
         }
         Some(tx.delivered)
     }
@@ -535,14 +575,17 @@ impl<'w> Engine<'w> {
             _ => None,
         };
         if let Some(delivered) = self.ff_send_msg(s, from, to, bytes, iters, now) {
-            self.ff_push(s, delivered, kind);
+            self.ff_push(s, delivered, now, kind);
         }
     }
 
-    fn ff_push(&self, s: &mut FfScratch, time: f64, kind: FfKind) {
+    /// `tie` is the shadow clock at the push — the moment the real loop
+    /// would have pushed this event (see [`FfEv::tie`]).
+    fn ff_push(&self, s: &mut FfScratch, time: f64, tie: f64, kind: FfKind) {
         s.seq += 1;
         s.heap.push(Reverse(FfEv {
             time,
+            tie,
             seq: s.seq,
             kind,
         }));
@@ -617,7 +660,7 @@ impl<'w> Engine<'w> {
         let start = now.max(s.mbu);
         let done = start + cfg.calc_cost * self.ff_cpu_factor(s, self.master, now);
         s.mbu = done;
-        self.ff_push(s, done, FfKind::CalcCentral);
+        self.ff_push(s, done, now, FfKind::CalcCentral);
     }
 
     /// Mirror of `record_local_profile` + `try_calc_local`, without
@@ -638,7 +681,7 @@ impl<'w> Engine<'w> {
         let now = s.prof_latest[at];
         let cfg = *self.cfg.as_ref().expect("distributed profile under DLB");
         let done = now + cfg.calc_cost * self.ff_cpu_factor(s, s.parts[at], now);
-        self.ff_push(s, done, FfKind::CalcLocal { p: at });
+        self.ff_push(s, done, now, FfKind::CalcLocal { p: at });
     }
 
     /// Mirror of `record_decision` (stat deltas applied at commit).
@@ -780,6 +823,7 @@ impl<'w> Engine<'w> {
         self.ff_push(
             s,
             end,
+            block_done_tie(&bounds, now),
             FfKind::BlockDone {
                 p: m,
                 epoch: s.epoch[i],
@@ -792,6 +836,7 @@ impl<'w> Engine<'w> {
             done: 0,
             bounds,
             end,
+            started: now,
         };
     }
 
@@ -922,23 +967,32 @@ impl<'w> Engine<'w> {
                 }
                 s.interrupted[i] = true;
                 if s.blocks[i].live {
-                    let (at, hit) = if s.blocks[i].owned {
-                        let b = &s.blocks[i].bounds;
+                    let settle = {
+                        let b = if s.blocks[i].owned {
+                            &s.blocks[i].bounds
+                        } else {
+                            &self.blocks[to]
+                                .as_ref()
+                                .expect("seeded block vanished")
+                                .boundaries
+                        };
                         let j = b.partition_point(|&x| x <= now);
-                        (b.get(j).copied(), j < b.len())
-                    } else {
-                        let b = &self.blocks[to]
-                            .as_ref()
-                            .expect("seeded block vanished")
-                            .boundaries;
-                        let j = b.partition_point(|&x| x <= now);
-                        (b.get(j).copied(), j < b.len())
+                        b.get(j).copied().map(|at| {
+                            // Per-iteration twin pushed at the iteration's
+                            // start (see `flag_interrupt`).
+                            let tie = if j == 0 {
+                                s.blocks[i].started
+                            } else {
+                                b[j - 1]
+                            };
+                            (at, tie)
+                        })
                     };
-                    if hit {
-                        let at = at.expect("index checked");
+                    if let Some((at, tie)) = settle {
                         self.ff_push(
                             s,
                             at,
+                            tie,
                             FfKind::Settle {
                                 p: to,
                                 epoch: s.epoch[i],
@@ -1008,6 +1062,7 @@ impl<'w> Engine<'w> {
         self.stats.control_messages += s.ctrl_msgs;
         self.stats.transfer_messages += s.xfer_msgs;
         self.stats.bytes_moved += s.bytes_moved;
+        self.faults.messages_delayed += s.delayed_msgs;
         let outcome = s.outcome.take().expect("closed episode has an outcome");
         debug_assert!(s.recorded);
         self.stats.record_verdict(outcome.verdict);
@@ -1062,9 +1117,10 @@ impl<'w> Engine<'w> {
                     debug_assert!(b.owned, "every seeded block dies during the episode");
                     b.live = false;
                     let bounds = std::mem::take(&mut b.bounds);
-                    let (first, done, end) = (b.first, b.done, b.end);
-                    self.push_event(
+                    let (first, done, end, started) = (b.first, b.done, b.end, b.started);
+                    self.push_event_tied(
                         end,
+                        block_done_tie(&bounds, started),
                         EvKind::BlockDone {
                             proc: m,
                             epoch: self.block_epoch[m],
@@ -1075,6 +1131,7 @@ impl<'w> Engine<'w> {
                         done,
                         boundaries: bounds,
                         seq: self.seq,
+                        started,
                     });
                 }
                 FfKind::Settle { p: m, epoch } => {
@@ -1085,8 +1142,9 @@ impl<'w> Engine<'w> {
                     {
                         continue;
                     }
-                    self.push_event(
+                    self.push_event_tied(
                         ev.time,
+                        ev.tie,
                         EvKind::SettleCheck {
                             proc: m,
                             epoch: self.block_epoch[m],
@@ -1098,8 +1156,9 @@ impl<'w> Engine<'w> {
                     // (its target profiled proactively): deliver it for
                     // real; the engine's stale-interrupt handling takes
                     // over from there.
-                    self.push_event(
+                    self.push_event_tied(
                         ev.time,
+                        ev.tie,
                         EvKind::Deliver {
                             to,
                             payload: Payload::Interrupt { group: g },

@@ -9,7 +9,9 @@
 use dlb_apps::{MxmConfig, TrfdConfig};
 use dlb_core::strategy::{Strategy, StrategyConfig};
 use dlb_core::work::LoopWorkload;
-use now_fault::{FailurePolicy, FaultPlan, LossSpec, StallSpec};
+use now_fault::{
+    CrashSpec, DelaySpec, FailurePolicy, FaultPlan, LossSpec, PartitionSpec, RecoverSpec, StallSpec,
+};
 use now_sim::{ClusterSpec, Engine, EngineMode, RunReport};
 
 const P: usize = 4;
@@ -68,6 +70,74 @@ fn assert_matrix(name: &str, wl: &dyn LoopWorkload, seed: u64) {
                 loss: Some(LossSpec {
                     prob: 0.2,
                     seed: 11,
+                }),
+                ..FaultPlan::default()
+            },
+        ),
+        (
+            "crash-then-rejoin",
+            FaultPlan {
+                crashes: vec![CrashSpec {
+                    proc: P - 1,
+                    at: t * 0.2,
+                }],
+                recoveries: vec![RecoverSpec {
+                    proc: P - 1,
+                    at: t * 0.45,
+                }],
+                ..FaultPlan::default()
+            },
+        ),
+        (
+            "partition-then-heal",
+            FaultPlan {
+                partitions: vec![
+                    PartitionSpec {
+                        from: 0,
+                        to: 1,
+                        start: t * 0.15,
+                        heal: t * 0.5,
+                    },
+                    PartitionSpec {
+                        from: 1,
+                        to: 0,
+                        start: t * 0.15,
+                        heal: t * 0.5,
+                    },
+                ],
+                ..FaultPlan::default()
+            },
+        ),
+        (
+            "delayed-messages",
+            FaultPlan {
+                delay: Some(DelaySpec {
+                    factor: 3.0,
+                    from: t * 0.1,
+                    until: t * 0.6,
+                }),
+                ..FaultPlan::default()
+            },
+        ),
+        (
+            "rejoin-under-loss-and-delay",
+            FaultPlan {
+                crashes: vec![CrashSpec {
+                    proc: 1,
+                    at: t * 0.25,
+                }],
+                recoveries: vec![RecoverSpec {
+                    proc: 1,
+                    at: t * 0.4,
+                }],
+                loss: Some(LossSpec {
+                    prob: 0.15,
+                    seed: 23,
+                }),
+                delay: Some(DelaySpec {
+                    factor: 2.0,
+                    from: t * 0.3,
+                    until: t * 0.55,
                 }),
                 ..FaultPlan::default()
             },

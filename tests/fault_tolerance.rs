@@ -10,7 +10,9 @@
 //!    for all four strategies.
 
 use customized_dlb::core::{Strategy, StrategyConfig, UniformLoop};
-use customized_dlb::fault::{CrashSpec, FailurePolicy, FaultPlan, FaultReport, LossSpec};
+use customized_dlb::fault::{
+    CrashSpec, FailurePolicy, FaultPlan, FaultReport, LossSpec, PartitionSpec, RecoverSpec,
+};
 use customized_dlb::sim::{run_dlb, run_dlb_faulty, ClusterSpec, RunReport};
 use proptest::prelude::*;
 
@@ -87,6 +89,72 @@ proptest! {
         let report = run_dlb_faulty(&cluster, &wl, cfg, plan, FailurePolicy::default());
         prop_assert_eq!(report.total_iters, 200);
     }
+
+    /// Crash → recover → (optional second crash): the §S14 rejoin
+    /// handshake re-admits the processor under a bumped membership
+    /// epoch, re-expands the distribution toward it, and a second crash
+    /// confiscates again — every iteration still executes exactly once.
+    #[test]
+    fn crash_recover_crash_conserves_iterations(
+        seed in 0u64..200,
+        strat in 0u8..4,
+        victim in 0usize..4,
+        crash_at in 0.05f64..0.8,
+        gap in 0.1f64..1.0,
+        again in 0u8..2,
+    ) {
+        let again = again == 1;
+        let s = strategy_from(strat);
+        let wl = UniformLoop::new(300, 0.01, 800);
+        let cluster = ClusterSpec::paper_homogeneous(4, seed, 0.5);
+        let cfg = StrategyConfig::paper(s, 2);
+        let recover_at = crash_at + gap;
+        let mut plan = FaultPlan {
+            crashes: vec![CrashSpec { proc: victim, at: crash_at }],
+            recoveries: vec![RecoverSpec { proc: victim, at: recover_at }],
+            ..FaultPlan::default()
+        };
+        if again {
+            plan.crashes.push(CrashSpec { proc: victim, at: recover_at + gap });
+        }
+        let report = run_dlb_faulty(&cluster, &wl, cfg, plan, FailurePolicy::default());
+        prop_assert_eq!(report.total_iters, 300);
+        let f = report.faults.expect("plan was non-empty");
+        prop_assert_eq!(f.crashes_injected, if again { 2 } else { 1 });
+        prop_assert_eq!(f.recoveries, 1);
+    }
+
+    /// A partitioned link is targeted loss, not a death: whatever pair
+    /// of processors is cut off and for however long, no detection may
+    /// fire, and healing restores full progress with zero lost work.
+    #[test]
+    fn partition_and_heal_conserves_without_detections(
+        seed in 0u64..200,
+        strat in 0u8..4,
+        a in 0usize..4,
+        b in 0usize..4,
+        start in 0.0f64..0.5,
+        width in 0.1f64..1.0,
+    ) {
+        // The vendored proptest has no prop_assume; remap collisions.
+        let b = if a == b { (a + 1) % 4 } else { b };
+        let s = strategy_from(strat);
+        let wl = UniformLoop::new(200, 0.01, 800);
+        let cluster = ClusterSpec::paper_homogeneous(4, seed, 0.5);
+        let cfg = StrategyConfig::paper(s, 2);
+        let plan = FaultPlan {
+            partitions: vec![
+                PartitionSpec { from: a, to: b, start, heal: start + width },
+                PartitionSpec { from: b, to: a, start, heal: start + width },
+            ],
+            ..FaultPlan::default()
+        };
+        let report = run_dlb_faulty(&cluster, &wl, cfg, plan, FailurePolicy::default());
+        prop_assert_eq!(report.total_iters, 200);
+        let f = report.faults.expect("plan was non-empty");
+        prop_assert!(f.detections.is_empty(), "partition declared a death: {:?}", f.detections);
+        prop_assert!(f.rejoins.is_empty());
+    }
 }
 
 #[test]
@@ -136,6 +204,13 @@ fn fault_plan_and_report_serde_round_trip() {
             from: 0.0,
             until: 4.0,
         }),
+        recoveries: vec![customized_dlb::fault::RecoverSpec { proc: 3, at: 2.5 }],
+        partitions: vec![customized_dlb::fault::PartitionSpec {
+            from: 0,
+            to: 2,
+            start: 0.5,
+            heal: 1.5,
+        }],
     };
     let json = serde_json::to_string(&plan).expect("serialize plan");
     let back: FaultPlan = serde_json::from_str(&json).expect("deserialize plan");
