@@ -6,12 +6,17 @@
 //! 3. interrupt-based vs periodic synchronization (Dome/Siegell style);
 //! 4. K-block vs random group membership for the local schemes;
 //! 5. shared-bus (Ethernet) vs switched medium.
+//!
+//! All runs go through the process-wide run server; the noDLB baseline
+//! of each replica is shared by every ablation arm via the memo, so it
+//! simulates once however many arms normalize against it.
 
 use dlb_apps::MxmConfig;
-use dlb_bench::{format_table, persistence_for, Align, SweepExecutor, LOAD_SEED};
+use dlb_bench::{format_table, persistence_for, Align, LOAD_SEED};
 use dlb_core::strategy::{Grouping, Strategy, StrategyConfig};
 use now_net::NetworkParams;
-use now_sim::{run_dlb, run_dlb_periodic, run_no_dlb, ClusterSpec};
+use now_serve::{RunKind, RunServer, RunSpec, WorkloadSpec};
+use now_sim::ClusterSpec;
 
 const REPLICAS: u64 = 12;
 
@@ -23,30 +28,38 @@ fn cluster(p: usize, replica: u64, persistence: f64) -> ClusterSpec {
     )
 }
 
-/// Mean normalized time of `cfg` over the replicas (normalized per replica
-/// to its own noDLB run). Replicas fan out on `exec`; the fold-back is in
-/// replica order so the mean matches a serial loop bit for bit.
+/// Mean normalized time of `kind` over the replicas (normalized per
+/// replica to its own noDLB run). All runs are submitted up front; the
+/// fold-back is in replica order so the mean matches a serial loop bit
+/// for bit.
 fn mean_norm(
-    exec: &SweepExecutor,
+    server: &RunServer,
     p: usize,
-    wl: &dyn dlb_core::LoopWorkload,
+    wl: &WorkloadSpec,
     persistence: f64,
-    run: impl Fn(&ClusterSpec) -> now_sim::RunReport + Sync,
+    kind: &RunKind,
 ) -> f64 {
-    let norms = exec.run_indexed(REPLICAS as usize, |r| {
-        let c = cluster(p, r as u64, persistence);
-        let no = run_no_dlb(&c, wl);
-        run(&c).total_time / no.total_time
-    });
-    norms.iter().sum::<f64>() / REPLICAS as f64
+    let mut client = server.client();
+    for r in 0..REPLICAS {
+        let c = cluster(p, r, persistence);
+        client.submit(&RunSpec::new(wl.clone(), c.clone(), RunKind::NoDlb));
+        client.submit(&RunSpec::new(wl.clone(), c, kind.clone()));
+    }
+    let mut sum = 0.0;
+    for _ in 0..REPLICAS {
+        let no = client.recv();
+        let run = client.recv();
+        sum += run.total_time / no.total_time;
+    }
+    sum / REPLICAS as f64
 }
 
 fn main() {
     let p = 4;
-    let exec = SweepExecutor::from_env();
+    let server = now_serve::global();
     let cfg_mxm = MxmConfig::new(400, 400, 400);
-    let wl = cfg_mxm.workload();
-    let tl = persistence_for(&wl);
+    let wl = WorkloadSpec::mxm(cfg_mxm);
+    let tl = persistence_for(&cfg_mxm.workload());
     println!(
         "Ablations — MXM {} on P={p}, t_l = {tl:.2}s, {REPLICAS} replicas\n",
         cfg_mxm.label()
@@ -58,7 +71,7 @@ fn main() {
     for margin in [0.0, 0.05, 0.10, 0.30, 0.60] {
         let mut cfg = StrategyConfig::paper(Strategy::Gddlb, 2);
         cfg.profitability_margin = margin;
-        let t = mean_norm(&exec, p, &wl, tl, |c| run_dlb(c, &wl, cfg));
+        let t = mean_norm(server, p, &wl, tl, &RunKind::Dlb { cfg });
         rows.push(vec![format!("{:.0}%", margin * 100.0), format!("{t:.3}")]);
     }
     println!(
@@ -78,7 +91,7 @@ fn main() {
     for include in [false, true] {
         let mut cfg = StrategyConfig::paper(Strategy::Gddlb, 2);
         cfg.include_move_cost = include;
-        let t = mean_norm(&exec, p, &wl, tl, |c| run_dlb(c, &wl, cfg));
+        let t = mean_norm(server, p, &wl, tl, &RunKind::Dlb { cfg });
         rows.push(vec![
             (if include {
                 "included"
@@ -107,12 +120,12 @@ fn main() {
         "interrupt (paper)".to_string(),
         format!(
             "{:.3}",
-            mean_norm(&exec, p, &wl, tl, |c| run_dlb(c, &wl, cfg))
+            mean_norm(server, p, &wl, tl, &RunKind::Dlb { cfg })
         ),
     ]];
     for dt_frac in [0.05, 0.2, 1.0] {
         let dt = tl * dt_frac;
-        let t = mean_norm(&exec, p, &wl, tl, |c| run_dlb_periodic(c, &wl, cfg, dt));
+        let t = mean_norm(server, p, &wl, tl, &RunKind::Periodic { cfg, dt });
         rows.push(vec![format!("periodic dt={dt:.2}s"), format!("{t:.3}")]);
     }
     println!(
@@ -134,7 +147,7 @@ fn main() {
     ] {
         let mut cfg = StrategyConfig::paper(Strategy::Lddlb, 2);
         cfg.grouping = grouping;
-        let t = mean_norm(&exec, p, &wl, tl, |c| run_dlb(c, &wl, cfg));
+        let t = mean_norm(server, p, &wl, tl, &RunKind::Dlb { cfg });
         rows.push(vec![label.to_string(), format!("{t:.3}")]);
     }
     println!(
@@ -152,8 +165,8 @@ fn main() {
     println!("A1.5 Medium: Ethernet bus vs switched LAN (P=16, GDDLB vs LDDLB):");
     let p16 = 16;
     let cfg16 = MxmConfig::new(1600, 400, 400);
-    let wl16 = cfg16.workload();
-    let tl16 = persistence_for(&wl16);
+    let wl16 = WorkloadSpec::mxm(cfg16);
+    let tl16 = persistence_for(&cfg16.workload());
     let mut rows = Vec::new();
     for (label, net) in [
         ("Ethernet bus (paper)", NetworkParams::paper_ethernet()),
@@ -161,16 +174,23 @@ fn main() {
     ] {
         for strat in [Strategy::Gddlb, Strategy::Lddlb] {
             let cfg = StrategyConfig::paper(strat, 8);
-            let norms = exec.run_indexed(REPLICAS as usize, |r| {
-                let mut c = cluster(p16, r as u64, tl16);
+            let mut client = server.client();
+            for r in 0..REPLICAS {
+                let mut c = cluster(p16, r, tl16);
                 c.net = net;
-                let no = run_no_dlb(&c, &wl16);
-                run_dlb(&c, &wl16, cfg).total_time / no.total_time
-            });
+                client.submit(&RunSpec::new(wl16.clone(), c.clone(), RunKind::NoDlb));
+                client.submit(&RunSpec::new(wl16.clone(), c, RunKind::Dlb { cfg }));
+            }
+            let mut sum = 0.0;
+            for _ in 0..REPLICAS {
+                let no = client.recv();
+                let run = client.recv();
+                sum += run.total_time / no.total_time;
+            }
             rows.push(vec![
                 label.to_string(),
                 strat.abbrev().to_string(),
-                format!("{:.3}", norms.iter().sum::<f64>() / REPLICAS as f64),
+                format!("{:.3}", sum / REPLICAS as f64),
             ]);
         }
     }

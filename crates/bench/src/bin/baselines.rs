@@ -4,42 +4,59 @@
 //! simulated NOW and load. On a NOW every queue grab pays a message round
 //! trip and drags the iteration's array data — which is exactly why the
 //! paper builds coarse, redistribution-based schemes instead.
+//!
+//! All runs route through the process-wide run server; each replica's
+//! noDLB baseline is simulated once and served from the memo to every
+//! scheme that normalizes against it.
 
 use dlb_apps::MxmConfig;
-use dlb_bench::{format_table, persistence_for, Align, SweepExecutor, LOAD_SEED};
+use dlb_bench::{format_table, persistence_for, Align, LOAD_SEED};
 use dlb_core::loopsched::ChunkScheme;
+use dlb_core::LoopWorkload;
 use dlb_core::{Strategy, StrategyConfig};
-use now_sim::{run_dlb, run_no_dlb, run_task_queue, ClusterSpec};
+use now_serve::{RunKind, RunSpec, WorkloadSpec};
+use now_sim::ClusterSpec;
 
 const REPLICAS: u64 = 8;
 
 fn main() {
     let p = 4;
     let cfg = MxmConfig::new(400, 400, 400);
-    let wl = cfg.workload();
-    let tl = persistence_for(&wl);
+    let wl = WorkloadSpec::mxm(cfg);
+    let iterations = cfg.workload().iterations();
+    let tl = persistence_for(&cfg.workload());
     println!(
         "Task-queue baselines vs DLB — MXM {} on P={p}\n",
         cfg.label()
     );
 
-    let exec = SweepExecutor::from_env();
+    let server = now_serve::global();
+    let cluster = |r: u64| {
+        ClusterSpec::paper_homogeneous(
+            p,
+            LOAD_SEED ^ 0xBA5E ^ r.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            tl,
+        )
+    };
+
     let mut rows = Vec::new();
-    let mut add = |label: String, f: &(dyn Fn(&ClusterSpec) -> now_sim::RunReport + Sync)| {
-        // Replicas are independent draws; fan them out and fold back in
-        // replica order so the means match the serial loop exactly.
-        let per_replica = exec.run_indexed(REPLICAS as usize, |r| {
-            let cluster = ClusterSpec::paper_homogeneous(
-                p,
-                LOAD_SEED ^ 0xBA5E ^ (r as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-                tl,
-            );
-            let no = run_no_dlb(&cluster, &wl);
-            let run = f(&cluster);
-            (run.total_time / no.total_time, run.stats.syncs)
-        });
-        let acc: f64 = per_replica.iter().map(|(t, _)| t).sum();
-        let syncs: u64 = per_replica.iter().map(|(_, s)| s).sum();
+    let mut add = |label: String, kind: RunKind| {
+        // Replicas are independent draws; submit them all and fold back
+        // in replica order so the means match a serial loop exactly.
+        let mut client = server.client();
+        for r in 0..REPLICAS {
+            let c = cluster(r);
+            client.submit(&RunSpec::new(wl.clone(), c.clone(), RunKind::NoDlb));
+            client.submit(&RunSpec::new(wl.clone(), c, kind.clone()));
+        }
+        let mut acc = 0.0f64;
+        let mut syncs = 0u64;
+        for _ in 0..REPLICAS {
+            let no = client.recv();
+            let run = client.recv();
+            acc += run.total_time / no.total_time;
+            syncs += run.stats.syncs;
+        }
         rows.push(vec![
             label,
             format!("{:.3}", acc / REPLICAS as f64),
@@ -47,15 +64,16 @@ fn main() {
         ]);
     };
 
-    add("noDLB (static)".into(), &|c| run_no_dlb(c, &wl));
-    for scheme in ChunkScheme::standard_set(wl_iterations(&wl), p) {
-        add(format!("queue {}", scheme.label()), &|c| {
-            run_task_queue(c, &wl, scheme)
-        });
+    add("noDLB (static)".into(), RunKind::NoDlb);
+    for scheme in ChunkScheme::standard_set(iterations, p) {
+        add(
+            format!("queue {}", scheme.label()),
+            RunKind::TaskQueue { scheme },
+        );
     }
     for s in [Strategy::Gddlb, Strategy::Lddlb] {
         let cfg = StrategyConfig::paper(s, 2);
-        add(format!("DLB {}", s.abbrev()), &|c| run_dlb(c, &wl, cfg));
+        add(format!("DLB {}", s.abbrev()), RunKind::Dlb { cfg });
     }
 
     println!(
@@ -70,9 +88,4 @@ fn main() {
     println!("competitive but pay per-grab data movement from the master, while");
     println!("the DLB schemes move data directly between slaves only when the");
     println!("profitability analysis approves.");
-}
-
-fn wl_iterations(wl: &dlb_core::UniformLoop) -> u64 {
-    use dlb_core::LoopWorkload;
-    wl.iterations()
 }

@@ -34,6 +34,11 @@
 //! land in `BENCH_fault.json`; each invocation appends a point to the
 //! file's `trajectory` array so robustness coverage accumulates a
 //! cross-PR history like the engine bench does.
+//!
+//! Every cell routes through the process-wide run server: with
+//! `DLB_MEMO_DIR` set, a repeated campaign (same seed and plan range)
+//! replays entirely from the persistent memo — byte-identical reports,
+//! no engine invocations — and the report's memo counters prove it.
 
 use dlb_apps::MxmConfig;
 use dlb_core::strategy::{Strategy, StrategyConfig};
@@ -42,7 +47,8 @@ use now_fault::{
     rng, CrashSpec, DelaySpec, FailurePolicy, FaultPlan, LossSpec, PartitionSpec, RecoverSpec,
     StallSpec,
 };
-use now_sim::{ClusterSpec, Engine, EngineMode, RunReport};
+use now_serve::{RunKind, RunSpec, ServeResponse, WorkloadSpec};
+use now_sim::{ClusterSpec, EngineMode, RunReport};
 use serde::{Serialize, Value};
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
@@ -92,6 +98,13 @@ struct CampaignReport {
     rejoins_with_work: u64,
     stale_instructions: u64,
     messages_cut: u64,
+    /// Run-server memo counters over the whole campaign: a replay with
+    /// `DLB_MEMO_DIR` set serves every cell from the memo
+    /// (`simulations == 0`), a cold campaign simulates every cell.
+    memo_hits: u64,
+    memo_misses: u64,
+    memo_coalesced: u64,
+    simulations: u64,
     wall_s: f64,
     /// Campaign aggregates of previous invocations (oldest first), with
     /// this invocation's appended last.
@@ -250,19 +263,31 @@ fn make_plan(seed: u64, i: usize, t: f64) -> (usize, FaultPlan) {
     (kind, plan)
 }
 
-fn report_for(
+/// The three per-mode specs of one (plan, strategy) cell.
+fn cell_specs(
     cluster: &ClusterSpec,
-    wl: &dyn LoopWorkload,
+    wl: &WorkloadSpec,
     cfg: Option<StrategyConfig>,
     plan: &FaultPlan,
     policy: FailurePolicy,
-    mode: EngineMode,
-) -> RunReport {
-    let mut engine = Engine::new(cluster.clone(), wl, cfg).with_mode(mode);
-    if !plan.is_empty() {
-        engine = engine.with_faults(plan.clone(), policy);
-    }
-    engine.run()
+) -> Vec<(EngineMode, RunSpec)> {
+    [
+        EngineMode::PerIter,
+        EngineMode::Batched,
+        EngineMode::Episode,
+    ]
+    .into_iter()
+    .map(|m| {
+        let kind = match cfg {
+            None => RunKind::NoDlb,
+            Some(c) => RunKind::Dlb { cfg: c },
+        };
+        let spec = RunSpec::new(wl.clone(), cluster.clone(), kind)
+            .with_faults(plan.clone(), policy)
+            .with_mode(m);
+        (m, spec)
+    })
+    .collect()
 }
 
 fn main() {
@@ -303,12 +328,17 @@ fn main() {
         }
     }
 
-    let wl = MxmConfig::new(100, 400, 400).workload();
-    let expected = wl.iterations();
+    let mxm = MxmConfig::new(100, 400, 400);
+    let wl = WorkloadSpec::mxm(mxm);
+    let expected = mxm.workload().iterations();
     let cluster = ClusterSpec::paper_homogeneous(P, 0x0DB1_0ADE, 0.5);
     let policy = FailurePolicy::default();
+    let server = now_serve::global();
     // Probe run for the fault-free horizon; fault times scale off it.
-    let t = Engine::new(cluster.clone(), &wl, None).run().total_time;
+    // Served from the memo on replay like every other cell.
+    let t = server
+        .call(&RunSpec::new(wl.clone(), cluster.clone(), RunKind::NoDlb))
+        .total_time;
 
     let mut cfgs: Vec<(String, Option<StrategyConfig>)> = vec![("noDLB".into(), None)];
     for s in Strategy::ALL {
@@ -348,40 +378,41 @@ fn main() {
             runs += 1;
             let tag = format!("plan {i} ({}) / {cname}", KINDS[kind]);
             // Liveness watchdog: a wedged protocol must fail the
-            // campaign, not hang it.
+            // campaign, not hang it. The watchdog thread owns its own
+            // client on the global server.
+            let specs = cell_specs(&cluster, &wl, *cfg, &plan, policy);
             let (tx, rx) = mpsc::channel();
-            let reports = std::thread::scope(|scope| {
-                scope.spawn(|| {
-                    let r: Vec<(EngineMode, RunReport)> = [
-                        EngineMode::PerIter,
-                        EngineMode::Batched,
-                        EngineMode::Episode,
-                    ]
-                    .into_iter()
-                    .map(|m| (m, report_for(&cluster, &wl, *cfg, &plan, policy, m)))
-                    .collect();
+            {
+                let specs = specs.clone();
+                std::thread::spawn(move || {
+                    let mut client = now_serve::global().client();
+                    for (_, spec) in &specs {
+                        client.submit(spec);
+                    }
+                    let r: Vec<ServeResponse> =
+                        specs.iter().map(|_| client.recv_response()).collect();
                     let _ = tx.send(r);
                 });
-                match rx.recv_timeout(CELL_TIMEOUT) {
-                    Ok(r) => r,
-                    Err(_) => {
-                        eprintln!(
-                            "VIOLATION: {tag}: run did not terminate within {CELL_TIMEOUT:?}"
-                        );
-                        std::process::exit(1);
-                    }
+            }
+            let responses = match rx.recv_timeout(CELL_TIMEOUT) {
+                Ok(r) => r,
+                Err(_) => {
+                    eprintln!("VIOLATION: {tag}: run did not terminate within {CELL_TIMEOUT:?}");
+                    std::process::exit(1);
                 }
-            });
+            };
 
-            let reference = serde_json::to_string(&reports[0].1).expect("serialize");
-            for (m, rep) in &reports[1..] {
-                let bytes = serde_json::to_string(rep).expect("serialize");
-                if bytes != reference {
+            // Mode equivalence on the served bytes themselves — the
+            // server's responses ARE the serialized reports.
+            let reference = &responses[0].bytes;
+            for ((m, _), resp) in specs.iter().zip(&responses).skip(1) {
+                if resp.bytes != *reference {
                     violations.push(format!("{tag}: {m:?} report diverged from PerIter"));
                 }
             }
 
-            let rep = &reports[0].1;
+            let rep: RunReport = responses[0].report();
+            let rep = &rep;
             if rep.total_iters != expected {
                 violations.push(format!(
                     "{tag}: conservation broken: {} of {expected} iterations",
@@ -448,6 +479,7 @@ fn main() {
     }
 
     let wall_s = t0.elapsed().as_secs_f64();
+    let stats = server.stats();
     let scenario_counts: Vec<String> = KINDS
         .iter()
         .zip(kind_counts)
@@ -478,6 +510,10 @@ fn main() {
         rejoins_with_work,
         stale_instructions,
         messages_cut,
+        memo_hits: stats.hits(),
+        memo_misses: stats.misses,
+        memo_coalesced: stats.coalesced,
+        simulations: stats.simulations,
         wall_s,
         trajectory,
     };
@@ -488,6 +524,13 @@ fn main() {
         "campaign: {runs} cells, {detections} detections, {recoveries} recoveries, \
          {rejoins} rejoins ({rejoins_with_work} with post-admission work), \
          {stale_instructions} stale instructions, {messages_cut} cut messages, {wall_s:.1}s"
+    );
+    println!(
+        "memo: {} hit(s), {} miss(es), {} coalesced — {} simulation(s) executed",
+        stats.hits(),
+        stats.misses,
+        stats.coalesced,
+        stats.simulations
     );
     println!("wrote {out}");
     if violations.is_empty() {

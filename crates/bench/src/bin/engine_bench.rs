@@ -24,8 +24,8 @@
 use dlb_apps::MxmConfig;
 use dlb_bench::{format_table, paper_group_size, persistence_for, Align, LOAD_SEED};
 use dlb_core::strategy::{Strategy, StrategyConfig};
-use dlb_core::work::LoopWorkload;
-use now_sim::{ClusterSpec, Engine, EngineCounters, EngineMode, RunReport};
+use now_serve::{MemoConfig, RunKind, RunServer, RunSpec, ServeConfig, Served, WorkloadSpec};
+use now_sim::{ClusterSpec, EngineCounters, EngineMode};
 use serde::{Serialize, Value};
 use std::sync::Arc;
 use std::time::Instant;
@@ -117,24 +117,33 @@ fn median(samples: &mut [f64]) -> f64 {
     samples[samples.len() / 2]
 }
 
+/// Time `spec` through a memo-disabled server (every submission
+/// simulates — no deduplication, no caching), returning the median
+/// submit→response wall-clock, the served report bytes, and the engine
+/// counters of the last run.
 fn timed_runs(
-    cluster: &Arc<ClusterSpec>,
-    wl: &dyn LoopWorkload,
-    cfg: Option<StrategyConfig>,
-    mode: EngineMode,
+    server: &RunServer,
+    spec: &RunSpec,
     repeat: usize,
-) -> (f64, RunReport, EngineCounters) {
+) -> (f64, Arc<String>, EngineCounters) {
     let mut samples = Vec::with_capacity(repeat);
     let mut last = None;
     for _ in 0..repeat {
-        let engine = Engine::new(Arc::clone(cluster), wl, cfg).with_mode(mode);
+        let mut client = server.client();
         let t0 = Instant::now();
-        let out = engine.run_counted();
+        client.submit(spec);
+        let resp = client.recv_response();
         samples.push(t0.elapsed().as_secs_f64());
-        last = Some(out);
+        assert_eq!(
+            resp.source,
+            Served::Simulated,
+            "memo-disabled server must simulate every request"
+        );
+        last = Some(resp);
     }
-    let (report, counters) = last.expect("repeat >= 1");
-    (median(&mut samples), report, counters)
+    let resp = last.expect("repeat >= 1");
+    let counters = resp.counters.expect("simulated responses carry counters");
+    (median(&mut samples), resp.bytes, counters)
 }
 
 /// Salvage the `trajectory` array from a previous `BENCH_engine.json`,
@@ -246,14 +255,13 @@ fn main() {
         // the reference path means R = 3200 iter events per noDLB run.
         (16, MxmConfig::new(3200, 800, 400))
     };
-    let wl = cfg.workload();
-    let cluster = Arc::new(ClusterSpec::paper_homogeneous(
-        p,
-        LOAD_SEED,
-        persistence_for(&wl),
-    ));
+    let wl = WorkloadSpec::mxm(cfg);
+    let cluster = ClusterSpec::paper_homogeneous(p, LOAD_SEED, persistence_for(&cfg.workload()));
     let group = paper_group_size(p);
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // One worker, memo off: the timings measure the engine through the
+    // serve path, and repeats must re-simulate rather than hit a cache.
+    let server = RunServer::new(ServeConfig::new(1, MemoConfig::disabled()));
 
     println!(
         "engine_bench — per-iteration vs batched vs episode on MXM {} P={p}, {repeat} rep(s){}",
@@ -270,15 +278,23 @@ fn main() {
     let mut rows = Vec::new();
     let mut runs = Vec::new();
     for (name, scfg) in &kinds {
-        let (per_iter_s, ref_report, ref_counters) =
-            timed_runs(&cluster, &wl, *scfg, EngineMode::PerIter, repeat);
-        let (batched_s, bat_report, bat_counters) =
-            timed_runs(&cluster, &wl, *scfg, EngineMode::Batched, repeat);
-        let (episode_s, epi_report, epi_counters) =
-            timed_runs(&cluster, &wl, *scfg, EngineMode::Episode, repeat);
-        let ref_bytes = serde_json::to_string(&ref_report).expect("serialize");
-        let bat_bytes = serde_json::to_string(&bat_report).expect("serialize");
-        let epi_bytes = serde_json::to_string(&epi_report).expect("serialize");
+        let kind = match scfg {
+            None => RunKind::NoDlb,
+            Some(cfg) => RunKind::Dlb { cfg: *cfg },
+        };
+        let spec = RunSpec::new(wl.clone(), cluster.clone(), kind);
+        let (per_iter_s, ref_bytes, ref_counters) = timed_runs(
+            &server,
+            &spec.clone().with_mode(EngineMode::PerIter),
+            repeat,
+        );
+        let (batched_s, bat_bytes, bat_counters) = timed_runs(
+            &server,
+            &spec.clone().with_mode(EngineMode::Batched),
+            repeat,
+        );
+        let (episode_s, epi_bytes, epi_counters) =
+            timed_runs(&server, &spec.with_mode(EngineMode::Episode), repeat);
         let identical = ref_bytes == bat_bytes && ref_bytes == epi_bytes;
         assert!(
             ref_bytes == bat_bytes,

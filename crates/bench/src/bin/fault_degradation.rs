@@ -8,11 +8,11 @@
 //! accounting: iterations confiscated from dead members and worst-case
 //! detection latency.
 
-use dlb_bench::{format_table, Align, SweepExecutor};
+use dlb_bench::{format_table, Align};
 use dlb_core::strategy::{Strategy, StrategyConfig};
-use dlb_core::work::UniformLoop;
 use now_fault::{CrashSpec, FailurePolicy, FaultPlan};
-use now_sim::{run_dlb, run_dlb_faulty, ClusterSpec};
+use now_serve::{RunKind, RunSpec, WorkloadSpec};
+use now_sim::ClusterSpec;
 
 const PROCS: usize = 8;
 const ITERS: u64 = 2_000;
@@ -37,28 +37,34 @@ fn main() {
     println!("Fault degradation — {PROCS} processors, {ITERS} iterations");
     println!("(makespan normalized to the same strategy's fault-free run)\n");
 
-    let wl = UniformLoop::new(ITERS, ITER_COST, 800);
+    let wl = WorkloadSpec::Uniform {
+        iterations: ITERS,
+        iter_cost: ITER_COST,
+        bytes_per_iter: 800,
+    };
     let cluster = ClusterSpec::paper_homogeneous(PROCS, 41, 0.5);
     let policy = FailurePolicy::default();
     let group_size = PROCS / 2;
 
-    // The (strategy × crash-count) grid is embarrassingly parallel: each
-    // run only reads the shared cluster/workload. Fan it out and read the
-    // results back in grid order.
-    let exec = SweepExecutor::from_env();
+    // The (strategy × crash-count) grid is embarrassingly parallel: submit
+    // it to the run server in grid order and read the results back the
+    // same way.
+    let server = now_serve::global();
     const CRASH_COUNTS: usize = 4; // 0..=3 crashes
-    let jobs: Vec<(Strategy, usize)> = Strategy::ALL
-        .iter()
-        .flat_map(|&s| (0..CRASH_COUNTS).map(move |c| (s, c)))
-        .collect();
-    let reports = exec.par_map(&jobs, |&(s, crashes)| {
+    let mut client = server.client();
+    for &s in Strategy::ALL.iter() {
         let cfg = StrategyConfig::paper(s, group_size);
-        if crashes == 0 {
-            run_dlb(&cluster, &wl, cfg)
-        } else {
-            run_dlb_faulty(&cluster, &wl, cfg, crash_plan(crashes), policy)
+        for crashes in 0..CRASH_COUNTS {
+            let mut spec = RunSpec::new(wl.clone(), cluster.clone(), RunKind::Dlb { cfg });
+            if crashes > 0 {
+                spec = spec.with_faults(crash_plan(crashes), policy);
+            }
+            client.submit(&spec);
         }
-    });
+    }
+    let reports: Vec<_> = (0..Strategy::ALL.len() * CRASH_COUNTS)
+        .map(|_| client.recv())
+        .collect();
 
     let mut rows = Vec::new();
     for (chunk, s) in reports.chunks(CRASH_COUNTS).zip(Strategy::ALL) {

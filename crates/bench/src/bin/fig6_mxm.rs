@@ -2,17 +2,17 @@
 //! (K-block local groups of 8).
 
 use dlb_apps::MxmConfig;
-use dlb_bench::{format_table, mxm_experiment_with, Align, SweepExecutor};
+use dlb_bench::{format_table, mxm_experiment_with, Align};
 
 fn main() {
     let p = 16;
-    let exec = SweepExecutor::from_env();
+    let server = now_serve::global();
     println!("Fig. 6 — Matrix multiplication (P={p}), normalized execution time");
     println!("(simulated NOW; normalized to the noDLB run of each data size;");
-    println!(" sweep executor: {} worker thread(s))\n", exec.threads());
+    println!(" run server: {} worker thread(s))\n", server.threads());
     let mut rows = Vec::new();
     for cfg in MxmConfig::paper_configs(p) {
-        let result = mxm_experiment_with(&exec, p, cfg);
+        let result = mxm_experiment_with(server, p, cfg);
         let mut row = vec![result.label.clone()];
         for (_, t) in result.mean_normalized() {
             row.push(format!("{t:.3}"));

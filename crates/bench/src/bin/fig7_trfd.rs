@@ -2,17 +2,17 @@
 //! N = 30, 40, 50 (array sizes 465, 820, 1275).
 
 use dlb_apps::TrfdConfig;
-use dlb_bench::{format_table, trfd_experiment_with, Align, SweepExecutor};
+use dlb_bench::{format_table, trfd_experiment_with, Align};
 
 fn main() {
     let p = 4;
-    let exec = SweepExecutor::from_env();
+    let server = now_serve::global();
     println!("Fig. 7 — TRFD (P={p}), normalized total execution time");
     println!("(loop1 + sequential transpose + loop2; normalized to noDLB;");
-    println!(" sweep executor: {} worker thread(s))\n", exec.threads());
+    println!(" run server: {} worker thread(s))\n", server.threads());
     let mut rows = Vec::new();
     for cfg in TrfdConfig::paper_configs() {
-        let totals = trfd_experiment_with(&exec, p, cfg);
+        let totals = trfd_experiment_with(server, p, cfg);
         let mut row = vec![totals.label.clone()];
         for (_, t) in &totals.rows {
             row.push(format!("{t:.3}"));

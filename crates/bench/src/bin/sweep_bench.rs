@@ -1,6 +1,8 @@
-//! Self-benchmark of the parallel sweep executor: wall-clock serial vs
-//! parallel on real experiment cells, plus a byte-identity check of the
-//! two results (the executor's determinism contract).
+//! Self-benchmark of parallel grid execution on the run server:
+//! wall-clock of a 1-worker server vs an N-worker server on real
+//! experiment cells, plus a byte-identity check of the two results (the
+//! server's determinism contract — grid reassembly is positional, so the
+//! worker count must not change a single output byte).
 //!
 //! Usage:
 //!
@@ -11,17 +13,20 @@
 //! `--quick` runs scaled-down cells once (CI smoke); the default runs
 //! the heaviest paper cells (P = 16) and reports the **median** of
 //! `--repeat` individually-timed repetitions — a single cell simulates
-//! in milliseconds, so the benchmark measures sweep *throughput*, the
+//! in milliseconds, so the benchmark measures grid *throughput*, the
 //! quantity that matters when the binaries regenerate whole figures.
+//! Both servers run with the memo disabled: every repetition re-simulates
+//! every grid slot, so the numbers measure execution, not caching.
 //! On a single-core machine `speedup` is recorded as `null` with an
 //! explanatory note: a parallel-vs-serial ratio there is noise. `--threads` overrides the
-//! parallel pool size (default: `DLB_SWEEP_THREADS` or the machine's
+//! parallel pool size (default: `DLB_SERVE_THREADS` or the machine's
 //! available parallelism). Results land in `BENCH_sweep.json` (override
 //! with `--out`).
 
 use dlb_apps::{MxmConfig, TrfdConfig};
 use dlb_bench::{
-    format_table, mxm_experiment_with, trfd_loop_experiment_with, Align, SweepExecutor, TrfdLoop,
+    format_table, mxm_experiment_with, trfd_loop_experiment_with, Align, MemoConfig, RunServer,
+    ServeConfig, TrfdLoop,
 };
 use serde::Serialize;
 use std::time::Instant;
@@ -53,17 +58,17 @@ struct SweepBench {
 }
 
 /// One benchmarkable cell: a closure producing a serializable result on a
-/// given executor.
+/// given server.
 struct Cell {
     name: String,
-    run: Box<dyn Fn(&SweepExecutor) -> String + Sync>,
+    run: Box<dyn Fn(&RunServer) -> String + Sync>,
 }
 
 fn mxm_cell(p: usize, cfg: MxmConfig) -> Cell {
     Cell {
         name: format!("MXM {} P={p}", cfg.label()),
-        run: Box::new(move |exec| {
-            serde_json::to_string(&mxm_experiment_with(exec, p, cfg)).expect("serialize")
+        run: Box::new(move |server| {
+            serde_json::to_string(&mxm_experiment_with(server, p, cfg)).expect("serialize")
         }),
     }
 }
@@ -71,8 +76,8 @@ fn mxm_cell(p: usize, cfg: MxmConfig) -> Cell {
 fn trfd_cell(p: usize, cfg: TrfdConfig, which: TrfdLoop) -> Cell {
     Cell {
         name: format!("TRFD {} {} P={p}", cfg.label(), which.label()),
-        run: Box::new(move |exec| {
-            serde_json::to_string(&trfd_loop_experiment_with(exec, p, cfg, which))
+        run: Box::new(move |server| {
+            serde_json::to_string(&trfd_loop_experiment_with(server, p, cfg, which))
                 .expect("serialize")
         }),
     }
@@ -109,11 +114,13 @@ fn main() {
         }
     }
 
-    let serial = SweepExecutor::serial();
-    let parallel = match threads {
-        Some(n) => SweepExecutor::new(n),
-        None => SweepExecutor::from_env(),
-    };
+    // Memo off on both servers: repeats must re-simulate, and the
+    // parallel server must not serve the serial server's cells.
+    let serial = RunServer::new(ServeConfig::new(1, MemoConfig::disabled()));
+    let parallel = RunServer::new(ServeConfig::new(
+        threads.unwrap_or_else(|| ServeConfig::from_env().threads),
+        MemoConfig::disabled(),
+    ));
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
 
     let cells: Vec<Cell> = if quick {
@@ -141,12 +148,12 @@ fn main() {
     // Time each repetition separately and report the median: a single
     // aggregate Instant over all reps folds warm-up and scheduler noise
     // into the number.
-    let time_reps = |exec: &SweepExecutor, cell: &Cell| {
+    let time_reps = |server: &RunServer, cell: &Cell| {
         let mut samples = Vec::with_capacity(repeat);
         let mut last = String::new();
         for _ in 0..repeat {
             let t0 = Instant::now();
-            last = (cell.run)(exec);
+            last = (cell.run)(server);
             samples.push(t0.elapsed().as_secs_f64());
         }
         samples.sort_by(f64::total_cmp);
@@ -163,7 +170,7 @@ fn main() {
         let identical = serial_out == parallel_out;
         assert!(
             identical,
-            "{}: parallel sweep diverged from serial — determinism bug",
+            "{}: parallel grid diverged from serial — determinism bug",
             cell.name
         );
         let speedup = (!single_core).then(|| serial_s / parallel_s.max(1e-12));

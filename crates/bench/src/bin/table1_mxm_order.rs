@@ -2,17 +2,17 @@
 //! four strategies, for all eight parameter rows.
 
 use dlb_apps::MxmConfig;
-use dlb_bench::{format_table, mxm_experiment_with, Align, SweepExecutor};
+use dlb_bench::{format_table, mxm_experiment_with, Align};
 use dlb_model::rank_agreement;
 
 fn main() {
-    let exec = SweepExecutor::from_env();
+    let server = now_serve::global();
     println!("Table 1 — MXM: Actual vs. Predicted order\n");
     let mut rows = Vec::new();
     let mut agreements = Vec::new();
     for p in [4usize, 16] {
         for cfg in MxmConfig::paper_configs(p) {
-            let result = mxm_experiment_with(&exec, p, cfg);
+            let result = mxm_experiment_with(server, p, cfg);
             let actual = result.actual_order();
             let predicted = result.predicted_order();
             let agree = rank_agreement(&actual, &predicted);

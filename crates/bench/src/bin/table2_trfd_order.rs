@@ -2,18 +2,18 @@
 //! four strategies, per loop nest, for all twelve parameter rows.
 
 use dlb_apps::TrfdConfig;
-use dlb_bench::{format_table, trfd_loop_experiment_with, Align, SweepExecutor, TrfdLoop};
+use dlb_bench::{format_table, trfd_loop_experiment_with, Align, TrfdLoop};
 use dlb_model::rank_agreement;
 
 fn main() {
-    let exec = SweepExecutor::from_env();
+    let server = now_serve::global();
     println!("Table 2 — TRFD: Actual vs. Predicted order (per loop nest)\n");
     let mut rows = Vec::new();
     let mut agreements = Vec::new();
     for p in [4usize, 16] {
         for which in [TrfdLoop::L1, TrfdLoop::L2] {
             for cfg in TrfdConfig::paper_configs() {
-                let result = trfd_loop_experiment_with(&exec, p, cfg, which);
+                let result = trfd_loop_experiment_with(server, p, cfg, which);
                 let actual = result.actual_order();
                 let predicted = result.predicted_order();
                 let agree = rank_agreement(&actual, &predicted);

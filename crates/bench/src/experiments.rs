@@ -11,10 +11,9 @@ use dlb_apps::{ops_to_seconds, MxmConfig, TrfdConfig};
 use dlb_core::work::LoopWorkload;
 use dlb_core::{IndexedLoop, Strategy, StrategyConfig};
 use dlb_model::{choose_strategy, DecisionReport, SystemModel};
-use now_sim::{run_dlb_arc, run_no_dlb_arc, ClusterSpec, RunReport, StrategySweep};
-use now_sweep::SweepExecutor;
+use now_serve::{RunKind, RunServer, RunSpec, WorkloadSpec};
+use now_sim::{ClusterSpec, StrategySweep};
 use serde::{Deserialize, Serialize};
-use std::sync::Arc;
 
 /// Base seed for the external load streams (fixed: all experiments are
 /// deterministic).
@@ -147,92 +146,64 @@ fn system_for(cluster: &ClusterSpec) -> SystemModel {
     SystemModel::from_specs(cluster.speeds.clone(), &cluster.loads, cluster.net)
 }
 
-/// One unit of a cell's job grid: a replica's noDLB baseline, one of its
-/// four strategy runs, or its model decision. Each job is a pure function
-/// of its grid coordinates (the replica fixes the load seed), so the grid
-/// can be executed in any order — including concurrently — and merged
-/// back by index with bit-identical results.
-enum CellJob {
-    NoDlb(usize),
-    Strat(usize, Strategy),
-    Decide(usize),
-}
-
-enum CellOut {
-    Report(RunReport),
-    Decision(DecisionReport),
-}
-
-/// Jobs per replica in the cell grid: noDLB + four strategies + decision.
-const JOBS_PER_REPLICA: usize = Strategy::ALL.len() + 2;
-
-fn run_cell_with(
-    exec: &SweepExecutor,
+fn run_cell_on(
+    server: &RunServer,
     label: String,
     p: usize,
     salt: u64,
-    workload: &dyn LoopWorkload,
+    workload: &WorkloadSpec,
 ) -> ExperimentResult {
-    // Non-uniform workloads get a prefix-sum cost index so the model's
-    // per-processor `range_cost` probes are O(1). Uniform loops already
-    // answer in O(1) and are left untouched (indexing would perturb no
-    // value but costs an O(n) build per cell).
+    // The engine side of each run is described by `workload` and executed
+    // by the server (memoized, deduplicated, possibly on other threads).
+    // The model side needs a concrete workload to probe; non-uniform ones
+    // get a prefix-sum cost index so its per-processor `range_cost`
+    // probes are O(1). Indexing changes no probed value, so decisions
+    // match the unindexed model bit for bit.
+    let built = workload.build();
     let indexed;
-    let workload: &dyn LoopWorkload = if workload.is_uniform() {
-        workload
+    let model_wl: &dyn LoopWorkload = if built.is_uniform() {
+        built.as_ref()
     } else {
-        indexed = IndexedLoop::new(workload);
+        indexed = IndexedLoop::new(built.as_ref());
         &indexed
     };
 
     let k = paper_group_size(p);
-    let clusters: Vec<Arc<ClusterSpec>> = (0..REPLICAS)
-        .map(|replica| Arc::new(paper_cluster(p, salt, replica, workload)))
+    let clusters: Vec<ClusterSpec> = (0..REPLICAS)
+        .map(|replica| paper_cluster(p, salt, replica, model_wl))
         .collect();
 
-    let mut jobs = Vec::with_capacity(REPLICAS as usize * JOBS_PER_REPLICA);
-    for replica in 0..REPLICAS as usize {
-        jobs.push(CellJob::NoDlb(replica));
+    // Pipeline: submit every simulation up front, then compute the model
+    // decisions locally while the server's workers chew on the grid.
+    // Responses come back in submit order, so reassembly is positional —
+    // exactly the serial loop's output.
+    let mut client = server.client();
+    for cluster in &clusters {
+        client.submit(&RunSpec::new(
+            workload.clone(),
+            cluster.clone(),
+            RunKind::NoDlb,
+        ));
         for &s in Strategy::ALL.iter() {
-            jobs.push(CellJob::Strat(replica, s));
+            client.submit(&RunSpec::new(
+                workload.clone(),
+                cluster.clone(),
+                RunKind::Dlb {
+                    cfg: StrategyConfig::paper(s, k),
+                },
+            ));
         }
-        jobs.push(CellJob::Decide(replica));
     }
+    let decisions: Vec<DecisionReport> = clusters
+        .iter()
+        .map(|cluster| choose_strategy(&system_for(cluster), model_wl, k))
+        .collect();
 
-    let outs = exec.par_map(&jobs, |job| match *job {
-        CellJob::NoDlb(r) => CellOut::Report(run_no_dlb_arc(&clusters[r], workload)),
-        CellJob::Strat(r, s) => CellOut::Report(run_dlb_arc(
-            &clusters[r],
-            workload,
-            StrategyConfig::paper(s, k),
-        )),
-        CellJob::Decide(r) => {
-            CellOut::Decision(choose_strategy(&system_for(&clusters[r]), workload, k))
-        }
-    });
-
-    // Reassemble in grid order: par_map returns results positionally, so
-    // this is exactly the serial loop's output.
-    let mut outs = outs.into_iter();
     let mut sweeps = Vec::with_capacity(REPLICAS as usize);
-    let mut decisions = Vec::with_capacity(REPLICAS as usize);
     for _ in 0..REPLICAS {
-        let no_dlb = match outs.next() {
-            Some(CellOut::Report(r)) => r,
-            _ => unreachable!("grid starts each replica with its noDLB run"),
-        };
-        let strategies = Strategy::ALL
-            .iter()
-            .map(|_| match outs.next() {
-                Some(CellOut::Report(r)) => r,
-                _ => unreachable!("strategy slots hold reports"),
-            })
-            .collect();
+        let no_dlb = client.recv();
+        let strategies = Strategy::ALL.iter().map(|_| client.recv()).collect();
         sweeps.push(StrategySweep { no_dlb, strategies });
-        match outs.next() {
-            Some(CellOut::Decision(d)) => decisions.push(d),
-            _ => unreachable!("each replica ends with its decision"),
-        }
     }
 
     ExperimentResult {
@@ -244,16 +215,22 @@ fn run_cell_with(
     }
 }
 
-/// Run one MXM cell (Figs. 5/6, Table 1 rows).
+/// Run one MXM cell (Figs. 5/6, Table 1 rows) on the process-wide server.
 pub fn mxm_experiment(p: usize, cfg: MxmConfig) -> ExperimentResult {
-    mxm_experiment_with(&SweepExecutor::default(), p, cfg)
+    mxm_experiment_with(now_serve::global(), p, cfg)
 }
 
-/// [`mxm_experiment`] on an explicit executor (serial for baselines,
-/// sized pools for benchmarks). Output is identical for every executor.
-pub fn mxm_experiment_with(exec: &SweepExecutor, p: usize, cfg: MxmConfig) -> ExperimentResult {
-    let wl = cfg.workload();
-    run_cell_with(exec, cfg.label(), p, cfg.r ^ (cfg.c << 16), &wl)
+/// [`mxm_experiment`] on an explicit server (memo-off single-worker for
+/// baselines, sized pools for benchmarks). Output is identical for every
+/// server configuration.
+pub fn mxm_experiment_with(server: &RunServer, p: usize, cfg: MxmConfig) -> ExperimentResult {
+    run_cell_on(
+        server,
+        cfg.label(),
+        p,
+        cfg.r ^ (cfg.c << 16),
+        &WorkloadSpec::mxm(cfg),
+    )
 }
 
 /// Which TRFD loop nest an experiment covers.
@@ -277,22 +254,23 @@ impl TrfdLoop {
 /// Run one TRFD loop nest as its own experiment (the loops are balanced
 /// independently; Table 2 reports them separately).
 pub fn trfd_loop_experiment(p: usize, cfg: TrfdConfig, which: TrfdLoop) -> ExperimentResult {
-    trfd_loop_experiment_with(&SweepExecutor::default(), p, cfg, which)
+    trfd_loop_experiment_with(now_serve::global(), p, cfg, which)
 }
 
-/// [`trfd_loop_experiment`] on an explicit executor.
+/// [`trfd_loop_experiment`] on an explicit server.
 pub fn trfd_loop_experiment_with(
-    exec: &SweepExecutor,
+    server: &RunServer,
     p: usize,
     cfg: TrfdConfig,
     which: TrfdLoop,
 ) -> ExperimentResult {
     let salt = cfg.n ^ (((which == TrfdLoop::L2) as u64) << 32);
     let label = format!("{} {}", cfg.label(), which.label());
-    match which {
-        TrfdLoop::L1 => run_cell_with(exec, label, p, salt, &cfg.loop1_workload()),
-        TrfdLoop::L2 => run_cell_with(exec, label, p, salt, &cfg.loop2_workload()),
-    }
+    let workload = match which {
+        TrfdLoop::L1 => WorkloadSpec::TrfdL1 { n: cfg.n },
+        TrfdLoop::L2 => WorkloadSpec::TrfdL2 { n: cfg.n },
+    };
+    run_cell_on(server, label, p, salt, &workload)
 }
 
 /// Total TRFD program times (Figs. 7/8): loop 1 + sequential transpose on
@@ -307,41 +285,48 @@ pub struct TrfdTotals {
     pub rows: Vec<(String, f64)>,
 }
 
-/// Run the whole TRFD program for Figs. 7/8.
+/// Run the whole TRFD program for Figs. 7/8 on the process-wide server.
 pub fn trfd_experiment(p: usize, cfg: TrfdConfig) -> TrfdTotals {
-    trfd_experiment_with(&SweepExecutor::default(), p, cfg)
+    trfd_experiment_with(now_serve::global(), p, cfg)
 }
 
-/// [`trfd_experiment`] on an explicit executor: the 2 loops × 5 runs ×
-/// [`REPLICAS`] grid fans out; the transpose splice and normalization
-/// fold back serially in replica order, so totals match the serial run
-/// bit for bit.
-pub fn trfd_experiment_with(exec: &SweepExecutor, p: usize, cfg: TrfdConfig) -> TrfdTotals {
+/// [`trfd_experiment`] on an explicit server: the 2 loops × 5 runs ×
+/// [`REPLICAS`] grid is submitted up front; the transpose splice and
+/// normalization fold back serially in replica order, so totals match
+/// the serial run bit for bit.
+pub fn trfd_experiment_with(server: &RunServer, p: usize, cfg: TrfdConfig) -> TrfdTotals {
     let wl1 = cfg.loop1_workload();
-    let wl2 = cfg.loop2_workload();
-    let wls: [&dyn LoopWorkload; 2] = [&wl1, &wl2];
+    let loops = [
+        WorkloadSpec::TrfdL1 { n: cfg.n },
+        WorkloadSpec::TrfdL2 { n: cfg.n },
+    ];
     let k = paper_group_size(p);
-    let clusters: Vec<Arc<ClusterSpec>> = (0..REPLICAS)
-        .map(|replica| Arc::new(paper_cluster(p, cfg.n, replica, &wl1)))
+    let clusters: Vec<ClusterSpec> = (0..REPLICAS)
+        .map(|replica| paper_cluster(p, cfg.n, replica, &wl1))
         .collect();
 
     // Grid: for each replica, loop 1 then loop 2, each as noDLB + the four
     // strategies — 10 independent engine runs per replica.
     let runs_per_loop = 1 + Strategy::ALL.len();
     let per_replica = 2 * runs_per_loop;
-    let reports = exec.run_indexed(REPLICAS as usize * per_replica, |i| {
-        let replica = i / per_replica;
-        let slot = i % per_replica;
-        let wl = wls[slot / runs_per_loop];
-        match slot % runs_per_loop {
-            0 => run_no_dlb_arc(&clusters[replica], wl),
-            j => run_dlb_arc(
-                &clusters[replica],
-                wl,
-                StrategyConfig::paper(Strategy::ALL[j - 1], k),
-            ),
+    let mut client = server.client();
+    for cluster in &clusters {
+        for wl in &loops {
+            client.submit(&RunSpec::new(wl.clone(), cluster.clone(), RunKind::NoDlb));
+            for &s in Strategy::ALL.iter() {
+                client.submit(&RunSpec::new(
+                    wl.clone(),
+                    cluster.clone(),
+                    RunKind::Dlb {
+                        cfg: StrategyConfig::paper(s, k),
+                    },
+                ));
+            }
         }
-    });
+    }
+    let reports: Vec<_> = (0..REPLICAS as usize * per_replica)
+        .map(|_| client.recv())
+        .collect();
 
     let mut sums = vec![0.0f64; Strategy::ALL.len()];
     for (replica, chunk) in reports.chunks(per_replica).enumerate() {

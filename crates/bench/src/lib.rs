@@ -26,5 +26,6 @@ pub use experiments::{
     ExperimentResult, TrfdLoop, EPOCHS_PER_RUN, LOAD_PERSISTENCE, LOAD_SEED,
     REPLICAS as CELL_REPLICAS,
 };
+pub use now_serve::{MemoConfig, RunKind, RunServer, RunSpec, ServeConfig, WorkloadSpec};
 pub use now_sweep::SweepExecutor;
 pub use table::{format_table, Align};

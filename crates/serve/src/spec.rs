@@ -1,0 +1,338 @@
+//! Run specifications: the complete, serializable description of one
+//! simulated execution, and its content address.
+//!
+//! Every consumer of the simulator (bench bins, sweeps, the chaos
+//! campaign, CI) describes a run as a [`RunSpec`] — workload, cluster,
+//! run kind, fault plan, failure policy, engine mode. A spec is a pure
+//! value: executing it twice, anywhere, produces byte-identical
+//! [`RunReport`]s. That purity is what makes the result memo sound, and
+//! the **canonical serialization** of the spec (plus the engine version)
+//! is its memo key.
+//!
+//! Canonicalization normalizes every field that provably cannot affect
+//! the run (e.g. the failure policy under an empty fault plan), then
+//! serializes through the derived `Serialize` impls, which emit fields
+//! in declaration order into an ordered map — no `HashMap` iteration
+//! anywhere in the chain, so the bytes are stable across processes,
+//! platforms and reruns. The key is the 64-bit FNV-1a hash of those
+//! bytes; [`now_sim::ENGINE_VERSION`] is folded into the hashed envelope
+//! so any engine-semantics change atomically invalidates every
+//! previously persisted result.
+
+use dlb_apps::{MxmConfig, TrfdConfig};
+use dlb_core::loopsched::ChunkScheme;
+use dlb_core::strategy::StrategyConfig;
+use dlb_core::work::{LoopWorkload, UniformLoop};
+use now_fault::{FailurePolicy, FaultPlan};
+use now_sim::{ClusterSpec, Engine, EngineCounters, EngineMode, RunReport, ENGINE_VERSION};
+use serde::{Deserialize, Serialize};
+
+/// A serializable workload description — the closed set of loop shapes
+/// the experiments run. [`WorkloadSpec::build`] reconstructs the exact
+/// `LoopWorkload` the runner previously received directly (TRFD's second
+/// loop comes back bitonic-folded *and* prefix-sum indexed, as
+/// `TrfdConfig::loop2_workload` builds it).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WorkloadSpec {
+    /// A uniform loop: every iteration costs the same.
+    Uniform {
+        iterations: u64,
+        iter_cost: f64,
+        bytes_per_iter: u64,
+    },
+    /// MXM matrix multiplication, `R × C × R2` (Figs. 5/6, Table 1).
+    Mxm { r: u64, c: u64, r2: u64 },
+    /// TRFD first (uniform) loop nest for size `n`.
+    TrfdL1 { n: u64 },
+    /// TRFD second loop nest for size `n`, bitonic-folded and indexed.
+    TrfdL2 { n: u64 },
+}
+
+impl WorkloadSpec {
+    /// The MXM workload for `cfg`.
+    pub fn mxm(cfg: MxmConfig) -> Self {
+        WorkloadSpec::Mxm {
+            r: cfg.r,
+            c: cfg.c,
+            r2: cfg.r2,
+        }
+    }
+
+    /// Construct the concrete workload.
+    pub fn build(&self) -> Box<dyn LoopWorkload> {
+        match *self {
+            WorkloadSpec::Uniform {
+                iterations,
+                iter_cost,
+                bytes_per_iter,
+            } => Box::new(UniformLoop::new(iterations, iter_cost, bytes_per_iter)),
+            WorkloadSpec::Mxm { r, c, r2 } => Box::new(MxmConfig::new(r, c, r2).workload()),
+            WorkloadSpec::TrfdL1 { n } => Box::new(TrfdConfig::new(n).loop1_workload()),
+            WorkloadSpec::TrfdL2 { n } => Box::new(TrfdConfig::new(n).loop2_workload()),
+        }
+    }
+}
+
+/// What kind of execution the spec requests.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RunKind {
+    /// Static equal blocks, no balancing.
+    NoDlb,
+    /// One of the four DLB strategies.
+    Dlb { cfg: StrategyConfig },
+    /// DLB plus periodic synchronization every `dt` seconds (A1.3).
+    Periodic { cfg: StrategyConfig, dt: f64 },
+    /// Section-2.2 central-task-queue baseline.
+    TaskQueue { scheme: ChunkScheme },
+}
+
+/// The complete description of one simulated execution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunSpec {
+    pub workload: WorkloadSpec,
+    pub cluster: ClusterSpec,
+    pub kind: RunKind,
+    /// Fault plan; an empty plan runs fault-free.
+    pub plan: FaultPlan,
+    /// Failure policy; only meaningful when `plan` is non-empty.
+    pub policy: FailurePolicy,
+    /// Engine stepping mode. All modes produce byte-identical reports,
+    /// but the key keeps them separate: mode equivalence is a property
+    /// the chaos campaign *checks*, not one the memo may assume.
+    pub mode: EngineMode,
+}
+
+impl RunSpec {
+    /// A fault-free spec in the `DLB_ENGINE_MODE`-selected engine mode —
+    /// exactly what the direct runner entry points used to do.
+    pub fn new(workload: WorkloadSpec, cluster: ClusterSpec, kind: RunKind) -> Self {
+        Self {
+            workload,
+            cluster,
+            kind,
+            plan: FaultPlan::default(),
+            policy: FailurePolicy::default(),
+            mode: EngineMode::from_env(),
+        }
+    }
+
+    /// Attach a fault plan and failure policy.
+    pub fn with_faults(mut self, plan: FaultPlan, policy: FailurePolicy) -> Self {
+        self.plan = plan;
+        self.policy = policy;
+        self
+    }
+
+    /// Select the engine mode explicitly.
+    pub fn with_mode(mut self, mode: EngineMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// The spec with every run-irrelevant field normalized, so two specs
+    /// that provably execute identically share one memo entry:
+    ///
+    /// * an empty fault plan resets the policy to the default (the
+    ///   failure machinery never engages);
+    /// * the task-queue baseline ignores plan, policy and engine mode
+    ///   entirely, so all three reset.
+    pub fn canonical(&self) -> RunSpec {
+        let mut c = self.clone();
+        if matches!(c.kind, RunKind::TaskQueue { .. }) {
+            c.plan = FaultPlan::default();
+            c.mode = EngineMode::Batched;
+        }
+        if c.plan.is_empty() {
+            c.policy = FailurePolicy::default();
+        }
+        c
+    }
+
+    /// Canonical serialization of the keyed envelope (engine version +
+    /// canonical spec) — the exact bytes the memo key hashes.
+    pub fn canonical_bytes(&self) -> String {
+        Self::canonical_bytes_with_version(self, ENGINE_VERSION)
+    }
+
+    /// [`RunSpec::canonical_bytes`] under an explicit engine version
+    /// (exposed so tests can prove a version bump changes the key).
+    ///
+    /// The spec serializes through the derived `Serialize` impls, which
+    /// emit fields in declaration order into an ordered map — nothing
+    /// in the chain iterates a `HashMap`, so the bytes (and hence the
+    /// key) are stable across processes, platforms and reruns.
+    pub fn canonical_bytes_with_version(&self, engine_version: u32) -> String {
+        let spec = serde_json::to_string(&self.canonical()).expect("run specs always serialize");
+        format!("{{\"engine_version\":{engine_version},\"spec\":{spec}}}")
+    }
+
+    /// Content address of this spec under the current
+    /// [`now_sim::ENGINE_VERSION`].
+    pub fn memo_key(&self) -> MemoKey {
+        self.memo_key_with_version(ENGINE_VERSION)
+    }
+
+    /// [`RunSpec::memo_key`] under an explicit engine version.
+    pub fn memo_key_with_version(&self, engine_version: u32) -> MemoKey {
+        MemoKey(fnv1a64(
+            self.canonical_bytes_with_version(engine_version).as_bytes(),
+        ))
+    }
+
+    /// Execute the spec. Pure: two executions of equal specs produce
+    /// byte-identical reports.
+    pub fn execute(&self) -> RunReport {
+        self.execute_counted().0
+    }
+
+    /// Execute and also return the engine's heap-event counters (zero
+    /// for the task-queue baseline, which has no DLB engine).
+    pub fn execute_counted(&self) -> (RunReport, EngineCounters) {
+        let wl = self.workload.build();
+        match &self.kind {
+            RunKind::TaskQueue { scheme } => (
+                now_sim::run_task_queue(&self.cluster, wl.as_ref(), *scheme),
+                EngineCounters::default(),
+            ),
+            RunKind::NoDlb => self.engine(wl.as_ref(), None, None).run_counted(),
+            RunKind::Dlb { cfg } => self.engine(wl.as_ref(), Some(*cfg), None).run_counted(),
+            RunKind::Periodic { cfg, dt } => self
+                .engine(wl.as_ref(), Some(*cfg), Some(*dt))
+                .run_counted(),
+        }
+    }
+
+    fn engine<'w>(
+        &self,
+        wl: &'w dyn LoopWorkload,
+        cfg: Option<StrategyConfig>,
+        periodic: Option<f64>,
+    ) -> Engine<'w> {
+        let mut e = Engine::new(self.cluster.clone(), wl, cfg).with_mode(self.mode);
+        if !self.plan.is_empty() {
+            e = e.with_faults(self.plan.clone(), self.policy);
+        }
+        if let Some(dt) = periodic {
+            e = e.with_periodic_sync(dt);
+        }
+        e
+    }
+}
+
+/// A 64-bit content address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MemoKey(pub u64);
+
+impl std::fmt::Display for MemoKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// 64-bit FNV-1a over a byte string.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlb_core::Strategy;
+
+    fn spec() -> RunSpec {
+        RunSpec::new(
+            WorkloadSpec::Mxm {
+                r: 100,
+                c: 400,
+                r2: 400,
+            },
+            ClusterSpec::paper_homogeneous(4, 7, 0.5),
+            RunKind::Dlb {
+                cfg: StrategyConfig::paper(Strategy::Gddlb, 2),
+            },
+        )
+        .with_mode(EngineMode::Batched)
+    }
+
+    #[test]
+    fn fnv_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn key_is_deterministic_and_version_sensitive() {
+        let a = spec();
+        let b = spec();
+        assert_eq!(a.memo_key(), b.memo_key());
+        assert_ne!(
+            a.memo_key_with_version(ENGINE_VERSION),
+            a.memo_key_with_version(ENGINE_VERSION + 1),
+            "engine version must be part of the key"
+        );
+    }
+
+    #[test]
+    fn empty_plan_normalizes_policy() {
+        let a = spec();
+        let mut b = spec();
+        b.policy.heartbeat_interval *= 2.0;
+        // The policy cannot matter without a fault plan.
+        assert_eq!(a.memo_key(), b.memo_key());
+    }
+
+    #[test]
+    fn plan_and_mode_change_the_key() {
+        let a = spec();
+        let faulted = spec().with_faults(
+            FaultPlan {
+                crashes: vec![now_fault::CrashSpec { proc: 1, at: 0.5 }],
+                ..FaultPlan::default()
+            },
+            FailurePolicy::default(),
+        );
+        let episode = spec().with_mode(EngineMode::Episode);
+        assert_ne!(a.memo_key(), faulted.memo_key());
+        assert_ne!(a.memo_key(), episode.memo_key());
+    }
+
+    #[test]
+    fn task_queue_ignores_mode_and_faults() {
+        let base = RunSpec::new(
+            WorkloadSpec::Uniform {
+                iterations: 100,
+                iter_cost: 0.01,
+                bytes_per_iter: 64,
+            },
+            ClusterSpec::dedicated(4),
+            RunKind::TaskQueue {
+                scheme: ChunkScheme::Guided,
+            },
+        )
+        .with_mode(EngineMode::Batched);
+        let other = base.clone().with_mode(EngineMode::Episode);
+        assert_eq!(base.memo_key(), other.memo_key());
+    }
+
+    #[test]
+    fn execute_matches_direct_runner() {
+        let s = spec();
+        let wl = s.workload.build();
+        let direct = Engine::new(s.cluster.clone(), wl.as_ref(), {
+            let RunKind::Dlb { cfg } = s.kind else {
+                unreachable!()
+            };
+            Some(cfg)
+        })
+        .with_mode(EngineMode::Batched)
+        .run();
+        assert_eq!(s.execute(), direct);
+    }
+}

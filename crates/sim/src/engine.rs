@@ -43,6 +43,7 @@ use dlb_core::{Distribution, DlbStats};
 use now_fault::{DetectionRecord, FailurePolicy, FaultPlan, FaultReport, RejoinRecord};
 use now_load::{ClockCursor, WorkClock};
 use now_net::MediumSim;
+use serde::{Deserialize, Serialize};
 use std::cell::Cell;
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
@@ -102,7 +103,7 @@ enum Payload {
 }
 
 /// How the engine steps compute work. See the module docs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum EngineMode {
     /// One `BlockDone` event per contiguous run of queued iterations;
     /// boundary times precomputed, preemption settled lazily. The default.
@@ -126,7 +127,7 @@ impl EngineMode {
     /// `DLB_ENGINE_MODE=per-iter` selects the reference path,
     /// `DLB_ENGINE_MODE=episode` the fast-forward engine; anything else
     /// (including unset) selects batched execution.
-    fn from_env() -> Self {
+    pub fn from_env() -> Self {
         match std::env::var("DLB_ENGINE_MODE") {
             Ok(v) if v == "per-iter" => EngineMode::PerIter,
             Ok(v) if v == "episode" => EngineMode::Episode,

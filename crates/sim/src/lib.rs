@@ -25,6 +25,17 @@ pub mod report;
 pub mod runner;
 pub mod taskqueue;
 
+/// Version stamp of the simulation semantics.
+///
+/// Any change that can alter the `RunReport` bytes produced for *any*
+/// run specification — engine event ordering, float arithmetic, protocol
+/// behaviour, report schema, workload construction — MUST bump this
+/// constant. `now-serve` folds it into every content-addressed memo key,
+/// so a bump atomically invalidates all previously persisted results
+/// (stale reports are never served; the old entries are simply never
+/// looked up again).
+pub const ENGINE_VERSION: u32 = 6;
+
 pub use cluster::ClusterSpec;
 pub use engine::{Engine, EngineCounters, EngineMode};
 pub use report::{rank_strategies, ProcSummary, RunReport};

@@ -25,6 +25,7 @@
 //! | [`pvm`](pvm_rt) | `pvm-rt` | threaded PVM-style runtime + real-data DLB executor |
 //! | [`fault`](now_fault) | `now-fault` | seeded fault injection + failure-aware protocol parameters |
 //! | [`sweep`](now_sweep) | `now-sweep` | deterministic parallel sweep executor for experiment grids |
+//! | [`serve`](now_serve) | `now-serve` | multi-client run server with a content-addressed result memo |
 //!
 //! ## Quickstart
 //!
@@ -49,6 +50,7 @@ pub use dlb_model as model;
 pub use now_fault as fault;
 pub use now_load as load;
 pub use now_net as net;
+pub use now_serve as serve;
 pub use now_sim as sim;
 pub use now_sweep as sweep;
 pub use pvm_rt as pvm;
@@ -64,6 +66,7 @@ pub mod prelude {
     pub use now_fault::{FailurePolicy, FaultPlan};
     pub use now_load::{DiscreteRandomLoad, LoadFunction, LoadSpec};
     pub use now_net::NetworkParams;
+    pub use now_serve::{MemoConfig, RunKind, RunServer, RunSpec, ServeConfig, WorkloadSpec};
     pub use now_sim::{
         run_all_strategies, run_all_strategies_arc, run_dlb, run_dlb_arc, run_dlb_faulty,
         run_dlb_periodic, run_no_dlb, run_no_dlb_arc, ClusterSpec, RunReport,
