@@ -4,14 +4,20 @@
 //! Usage:
 //!
 //! ```text
-//! chaos_campaign [--quick] [--plans N] [--seed S] [--out PATH]
+//! chaos_campaign [--quick] [--plans N] [--seed S] [--procs P] [--out PATH]
 //! ```
 //!
 //! Generates `N` seeded random [`FaultPlan`]s — crash+recover, stall,
-//! partition+heal, message loss, delay inflation, crash-only, and a
-//! composition of several — and runs each under noDLB plus all four
-//! strategies in all three engine modes. Every run is checked against
-//! the fault-tolerance invariants:
+//! partition+heal, message loss, delay inflation, crash-only, a
+//! composition of several, a **three-way network split** (every
+//! cross-segment link cut, then healed), and **churn** (every processor
+//! crashes and recovers twice, staggered) — and runs each under noDLB
+//! plus all four strategies in all three engine modes. `--procs`
+//! scales the cluster (default 4, the paper's small cell): iterations
+//! grow with P, groups stay K ≤ 8 so the group count grows, and at
+//! P ≥ 64 the local strategies run under the §S16 two-level hierarchy,
+//! putting promotion escalation and per-domain admission under chaos.
+//! Every run is checked against the fault-tolerance invariants:
 //!
 //! 1. **Conservation** — every iteration executes exactly once
 //!    (`total_iters` matches the workload, and the per-processor counts
@@ -53,8 +59,6 @@ use serde::{Serialize, Value};
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
-const P: usize = 4;
-const GROUP: usize = 2;
 /// Wall-clock ceiling for one (plan, strategy) cell — three engine
 /// runs on a small workload finish in milliseconds; a cell that takes
 /// this long has wedged.
@@ -74,6 +78,8 @@ impl Serialize for Raw {
 #[derive(Debug, Serialize)]
 struct TrajectoryPoint {
     mode: String,
+    /// Cluster size of the campaign (4 = the paper cell).
+    procs: usize,
     plans: usize,
     runs: usize,
     violations: usize,
@@ -128,7 +134,7 @@ fn load_trajectory(path: &str) -> Vec<Raw> {
         .unwrap_or_default()
 }
 
-const KINDS: [&str; 7] = [
+const KINDS: [&str; 9] = [
     "crash+recover",
     "stall",
     "partition+heal",
@@ -136,30 +142,36 @@ const KINDS: [&str; 7] = [
     "delay",
     "crash",
     "composition",
+    "three-way-split",
+    "churn",
 ];
 
 /// Deterministic plan generator: scenario kinds cycle so every kind is
 /// covered, parameters come from the splitmix64 stream.
-fn make_plan(seed: u64, i: usize, t: f64) -> (usize, FaultPlan) {
+fn make_plan(seed: u64, i: usize, t: f64, p: usize) -> (usize, FaultPlan) {
     let u = |k: u64| rng::unit(seed, (i as u64) << 8 | k);
-    let victim = |k: u64| (u(k) * P as f64) as usize % P;
+    let victim = |k: u64| (u(k) * p as f64) as usize % p;
     if i == 0 {
         // The deterministic rejoin-liveness anchor: crash early, recover
         // early, leave most of the run for the rejoined processor.
         let plan = FaultPlan {
             crashes: vec![CrashSpec {
-                proc: P - 1,
+                proc: p - 1,
                 at: t * 0.15,
             }],
             recoveries: vec![RecoverSpec {
-                proc: P - 1,
+                proc: p - 1,
                 at: t * 0.3,
             }],
             ..FaultPlan::default()
         };
         return (0, plan);
     }
-    let kind = i % KINDS.len();
+    // The three-way split needs one processor per segment.
+    let kind = match i % KINDS.len() {
+        7 if p < 3 => 2,
+        k => k,
+    };
     let plan = match kind {
         0 => {
             let at = t * (0.05 + u(0) * 0.4);
@@ -188,7 +200,7 @@ fn make_plan(seed: u64, i: usize, t: f64) -> (usize, FaultPlan) {
         }
         2 => {
             let a = victim(0);
-            let b = (a + 1 + (u(1) * (P - 1) as f64) as usize % (P - 1)) % P;
+            let b = (a + 1 + (u(1) * (p - 1) as f64) as usize % (p - 1)) % p;
             let start = t * (0.05 + u(2) * 0.4);
             let heal = start + t * (0.05 + u(3) * 0.45);
             FaultPlan {
@@ -234,7 +246,7 @@ fn make_plan(seed: u64, i: usize, t: f64) -> (usize, FaultPlan) {
             }],
             ..FaultPlan::default()
         },
-        _ => {
+        6 => {
             // Composition: crash+recover under loss and delay.
             let at = t * (0.05 + u(0) * 0.3);
             let from = t * (0.05 + u(4) * 0.3);
@@ -256,6 +268,61 @@ fn make_plan(seed: u64, i: usize, t: f64) -> (usize, FaultPlan) {
                     from,
                     until: from + t * (0.1 + u(6) * 0.3),
                 }),
+                ..FaultPlan::default()
+            }
+        }
+        7 => {
+            // Three-way split: the cluster separates into three
+            // contiguous segments and every cross-segment link is cut
+            // in both directions, then all heal at once. Groups (and at
+            // large P, §S16 domains) straddle the boundaries, so
+            // episodes in flight lose arbitrary subsets of their
+            // participants' links.
+            let s1 = (p / 3).max(1);
+            let s2 = (2 * p / 3).max(s1 + 1);
+            let seg = |m: usize| usize::from(m >= s1) + usize::from(m >= s2);
+            let start = t * (0.1 + u(0) * 0.3);
+            let heal = start + t * (0.1 + u(1) * 0.3);
+            let partitions = (0..p)
+                .flat_map(|a| (0..p).map(move |b| (a, b)))
+                .filter(|&(a, b)| a != b && seg(a) != seg(b))
+                .map(|(a, b)| PartitionSpec {
+                    from: a,
+                    to: b,
+                    start,
+                    heal,
+                })
+                .collect();
+            FaultPlan {
+                partitions,
+                ..FaultPlan::default()
+            }
+        }
+        _ => {
+            // Churn: every processor crashes and recovers twice, with
+            // staggered short outages so the membership epoch, rejoin
+            // admission, and (at depth) role promotion chains are
+            // exercised on every processor — including every balancer
+            // host — while survivors always exist to carry the work.
+            let mut crashes = Vec::with_capacity(2 * p);
+            let mut recoveries = Vec::with_capacity(2 * p);
+            for cycle in 0..2u64 {
+                for m in 0..p {
+                    let at = t
+                        * (0.08
+                            + 0.38 * cycle as f64
+                            + 0.30 * m as f64 / p as f64
+                            + 0.02 * u(cycle << 1 | 1));
+                    crashes.push(CrashSpec { proc: m, at });
+                    recoveries.push(RecoverSpec {
+                        proc: m,
+                        at: at + t * (0.02 + 0.02 * u(cycle << 1)),
+                    });
+                }
+            }
+            FaultPlan {
+                crashes,
+                recoveries,
                 ..FaultPlan::default()
             }
         }
@@ -297,10 +364,19 @@ fn main() {
     let mut plans: usize = if quick { 24 } else { 210 };
     let mut start: usize = 0;
     let mut seed: u64 = 0xC4A0_5CA1;
+    let mut p: usize = 4;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--out" => out = it.next().expect("--out needs a path").clone(),
+            "--procs" => {
+                p = it
+                    .next()
+                    .expect("--procs needs a count")
+                    .parse()
+                    .expect("--procs needs a number");
+                assert!(p >= 2, "--procs must be at least 2");
+            }
             "--start" => {
                 start = it
                     .next()
@@ -328,10 +404,13 @@ fn main() {
         }
     }
 
-    let mxm = MxmConfig::new(100, 400, 400);
+    // Iterations scale with P (constant work per processor); at the
+    // default P=4 this is the original 100-iteration cell, so existing
+    // memo entries and trajectory history stay comparable.
+    let mxm = MxmConfig::new(25 * p as u64, 400, 400);
     let wl = WorkloadSpec::mxm(mxm);
     let expected = mxm.workload().iterations();
-    let cluster = ClusterSpec::paper_homogeneous(P, 0x0DB1_0ADE, 0.5);
+    let cluster = ClusterSpec::paper_homogeneous(p, 0x0DB1_0ADE, 0.5);
     let policy = FailurePolicy::default();
     let server = now_serve::global();
     // Probe run for the fault-free horizon; fault times scale off it.
@@ -340,13 +419,20 @@ fn main() {
         .call(&RunSpec::new(wl.clone(), cluster.clone(), RunKind::NoDlb))
         .total_time;
 
+    // Groups stay K ≤ 8 so the group count grows with P; the local
+    // strategies go hierarchical (§S16) once there are enough groups.
+    let group = (p / 2).clamp(1, 8);
     let mut cfgs: Vec<(String, Option<StrategyConfig>)> = vec![("noDLB".into(), None)];
     for s in Strategy::ALL {
-        cfgs.push((s.to_string(), Some(StrategyConfig::paper(s, GROUP))));
+        let mut cfg = StrategyConfig::paper(s, group);
+        if p >= 64 && s.scope() == dlb_core::Scope::Local {
+            cfg = cfg.with_hierarchy(2, 8);
+        }
+        cfgs.push((s.to_string(), Some(cfg)));
     }
 
     println!(
-        "chaos_campaign — {plans} seeded plans x {} run kinds x 3 engine modes (seed {seed:#x}{})",
+        "chaos_campaign — {plans} seeded plans x {} run kinds x 3 engine modes, P={p} (seed {seed:#x}{})",
         cfgs.len(),
         if quick { ", quick" } else { "" }
     );
@@ -363,8 +449,8 @@ fn main() {
     let mut messages_cut = 0u64;
 
     for i in start..plans {
-        let (kind, plan) = make_plan(seed, i, t);
-        plan.validate(P).expect("generated plan must be valid");
+        let (kind, plan) = make_plan(seed, i, t, p);
+        plan.validate(p).expect("generated plan must be valid");
         if start > 0 {
             println!(
                 "plan {i}: {}",
@@ -489,6 +575,7 @@ fn main() {
     let mut trajectory = load_trajectory(&out);
     trajectory.push(Raw(serde_json::to_value(&TrajectoryPoint {
         mode: if quick { "quick" } else { "full" }.to_string(),
+        procs: p,
         plans,
         runs,
         violations: violations.len(),

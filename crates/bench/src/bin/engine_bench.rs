@@ -5,7 +5,7 @@
 //! Usage:
 //!
 //! ```text
-//! engine_bench [--quick] [--repeat R] [--out PATH]
+//! engine_bench [--quick] [--procs P] [--repeat R] [--out PATH]
 //! ```
 //!
 //! For noDLB plus each of the four strategies, the run is executed in
@@ -20,6 +20,20 @@
 //! (override with `--out`); each invocation appends its cell aggregate
 //! to the file's `trajectory` array so successive optimization passes
 //! accumulate a history.
+//!
+//! `--procs P` runs a **large-P scaling cell** instead of the paper
+//! cell: the iteration count scales with P (constant work per
+//! processor), the strategy set narrows to noDLB + GDDLB + LCDLB (one
+//! global-distributed, one local-centralized — the two protocol
+//! shapes), and LCDLB runs under a two-level group hierarchy
+//! (DESIGN.md §S16) once P ≥ 64. At P ≥ 1024 the per-iteration
+//! reference is skipped — its O(P) broadcast replay is exactly the
+//! cost this cell demonstrates the episode engine avoids — and the
+//! byte-identity assert compares batched vs episode (the reference is
+//! pinned separately by the P=64 equivalence test). Trajectory points
+//! carry a `procs` field and the regression gate compares like with
+//! like: same mode string *and* same P (older points without the field
+//! are read as quick=4 / full=16).
 
 use dlb_apps::MxmConfig;
 use dlb_bench::{format_table, paper_group_size, persistence_for, Align, LOAD_SEED};
@@ -77,6 +91,8 @@ struct RunBench {
 #[derive(Debug, Serialize)]
 struct TrajectoryPoint {
     mode: String,
+    /// Cell size — regression comparisons never cross P values.
+    procs: usize,
     total_per_iter_s: f64,
     total_batched_s: f64,
     total_episode_s: f64,
@@ -166,27 +182,35 @@ fn load_trajectory(path: &str) -> Vec<Raw> {
 
 /// Trajectory regression gate (satellite of the rejoin PR): compare this
 /// invocation's cell aggregate against the most recent *prior* trajectory
-/// point recorded in the same mode (quick vs full — their scales differ).
+/// point recorded at the same (mode, procs) cell — scales differ across
+/// both axes, so comparisons never cross them. Points written before the
+/// `procs` field existed can only have come from the quick (P=4) or full
+/// (P=16) paper cells, so they are read as such and stay valid history.
 /// A >10% growth in the deterministic episode-mode event count, or in
 /// episode wall-clock above a 50 ms noise floor, fails the run so an
 /// engine perf regression cannot land silently. Setting
 /// `DLB_BENCH_ALLOW_REGRESSION=1` downgrades the failure to a warning
 /// (for deliberate trade-offs). Points written by older schemas (no
 /// event-count field) are skipped.
-fn regression_gate(trajectory: &[Raw], mode: &str, wall_s: f64, events: u64) {
+fn regression_gate(trajectory: &[Raw], mode: &str, procs: usize, wall_s: f64, events: u64) {
     let prior = trajectory
         .iter()
         .rev()
         .skip(1) // the point this invocation just appended
         .filter_map(|p| p.0.as_map())
         .find(|m| {
-            matches!(
+            let same_mode = matches!(
                 serde::value::get_field(m, "mode"),
                 Some(Value::Str(s)) if s == mode
-            )
+            );
+            let same_procs = match serde::value::get_field(m, "procs") {
+                Some(&Value::U64(pp)) => pp as usize == procs,
+                _ => procs == if mode == "quick" { 4 } else { 16 },
+            };
+            same_mode && same_procs
         });
     let Some(prior) = prior else {
-        println!("regression gate: no prior {mode} trajectory point, nothing to compare");
+        println!("regression gate: no prior {mode} P={procs} trajectory point, nothing to compare");
         return;
     };
     let mut regressions = Vec::new();
@@ -212,7 +236,7 @@ fn regression_gate(trajectory: &[Raw], mode: &str, wall_s: f64, events: u64) {
         }
     }
     if regressions.is_empty() {
-        println!("regression gate: within 10% of the prior {mode} point");
+        println!("regression gate: within 10% of the prior {mode} P={procs} point");
         return;
     }
     for r in &regressions {
@@ -231,6 +255,7 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     let mut out = "BENCH_engine.json".to_string();
     let mut repeat: usize = if quick { 3 } else { 5 };
+    let mut procs_override: Option<usize> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -243,21 +268,47 @@ fn main() {
                     .expect("--repeat needs a number");
                 assert!(repeat > 0, "--repeat must be at least 1");
             }
+            "--procs" => {
+                let p: usize = it
+                    .next()
+                    .expect("--procs needs a count")
+                    .parse()
+                    .expect("--procs needs a number");
+                assert!(p >= 2, "--procs must be at least 2");
+                procs_override = Some(p);
+            }
             "--quick" => {}
             other => panic!("unknown argument {other:?}"),
         }
     }
 
-    let (p, cfg) = if quick {
-        (4, MxmConfig::new(100, 400, 400))
-    } else {
+    let (p, cfg) = match procs_override {
+        // Large-P scaling cell: constant work per processor, so the
+        // events-vs-P curve isolates per-event protocol cost.
+        Some(p) => {
+            let r = (if quick { 25 } else { 100 }) * p as u64;
+            (p, MxmConfig::new(r, if quick { 400 } else { 800 }, 400))
+        }
+        None if quick => (4, MxmConfig::new(100, 400, 400)),
         // The heaviest Fig. 6 cell: one simulated event per iteration in
         // the reference path means R = 3200 iter events per noDLB run.
-        (16, MxmConfig::new(3200, 800, 400))
+        None => (16, MxmConfig::new(3200, 800, 400)),
     };
+    // The O(P)-broadcast reference path is the cost the large-P cell
+    // exists to show the episode engine shedding — running it at
+    // P ≥ 1024 would dominate the bench for no signal (the P=64
+    // equivalence test pins the reference separately).
+    let run_reference = procs_override.is_none_or(|p| p < 1024);
     let wl = WorkloadSpec::mxm(cfg);
     let cluster = ClusterSpec::paper_homogeneous(p, LOAD_SEED, persistence_for(&cfg.workload()));
-    let group = paper_group_size(p);
+    // Paper cells keep the paper's K=P/2 grouping; scaling cells hold K
+    // constant so the *group count* grows with P, which is the regime
+    // the §S16 hierarchy exists for.
+    let group = if procs_override.is_some() {
+        8.min(p)
+    } else {
+        paper_group_size(p)
+    };
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     // One worker, memo off: the timings measure the engine through the
     // serve path, and repeats must re-simulate rather than hit a cache.
@@ -271,8 +322,24 @@ fn main() {
     println!("(median wall-clock per mode; reports byte-compared across all three)\n");
 
     let mut kinds: Vec<(String, Option<StrategyConfig>)> = vec![("noDLB".into(), None)];
-    for s in Strategy::ALL {
-        kinds.push((s.to_string(), Some(StrategyConfig::paper(s, group))));
+    if procs_override.is_some() {
+        // One global-distributed and one local-centralized strategy —
+        // the two protocol shapes whose scaling differs. LCDLB gets the
+        // §S16 two-level hierarchy once there are enough groups for
+        // domains to mean anything.
+        kinds.push((
+            Strategy::Gddlb.to_string(),
+            Some(StrategyConfig::paper(Strategy::Gddlb, group)),
+        ));
+        let mut lc = StrategyConfig::paper(Strategy::Lcdlb, group);
+        if p >= 64 {
+            lc = lc.with_hierarchy(2, 8);
+        }
+        kinds.push((Strategy::Lcdlb.to_string(), Some(lc)));
+    } else {
+        for s in Strategy::ALL {
+            kinds.push((s.to_string(), Some(StrategyConfig::paper(s, group))));
+        }
     }
 
     let mut rows = Vec::new();
@@ -283,27 +350,34 @@ fn main() {
             Some(cfg) => RunKind::Dlb { cfg: *cfg },
         };
         let spec = RunSpec::new(wl.clone(), cluster.clone(), kind);
-        let (per_iter_s, ref_bytes, ref_counters) = timed_runs(
-            &server,
-            &spec.clone().with_mode(EngineMode::PerIter),
-            repeat,
-        );
         let (batched_s, bat_bytes, bat_counters) = timed_runs(
             &server,
             &spec.clone().with_mode(EngineMode::Batched),
             repeat,
         );
-        let (episode_s, epi_bytes, epi_counters) =
-            timed_runs(&server, &spec.with_mode(EngineMode::Episode), repeat);
-        let identical = ref_bytes == bat_bytes && ref_bytes == epi_bytes;
-        assert!(
-            ref_bytes == bat_bytes,
-            "{name}: batched report diverged from the per-iteration reference"
+        let (episode_s, epi_bytes, epi_counters) = timed_runs(
+            &server,
+            &spec.clone().with_mode(EngineMode::Episode),
+            repeat,
         );
         assert!(
-            ref_bytes == epi_bytes,
-            "{name}: episode report diverged from the per-iteration reference"
+            bat_bytes == epi_bytes,
+            "{name}: episode report diverged from the batched engine"
         );
+        // Reference skipped at P ≥ 1024: its columns read 0 and the
+        // byte-identity contract is batched vs episode only.
+        let (per_iter_s, ref_counters) = if run_reference {
+            let (per_iter_s, ref_bytes, ref_counters) =
+                timed_runs(&server, &spec.with_mode(EngineMode::PerIter), repeat);
+            assert!(
+                ref_bytes == bat_bytes,
+                "{name}: batched report diverged from the per-iteration reference"
+            );
+            (per_iter_s, ref_counters)
+        } else {
+            (0.0, EngineCounters::default())
+        };
+        let identical = true; // asserted above
         let speedup_batched = per_iter_s / batched_s.max(1e-12);
         let speedup_episode = per_iter_s / episode_s.max(1e-12);
         let event_reduction = ref_counters.events as f64 / epi_counters.events.max(1) as f64;
@@ -393,6 +467,7 @@ fn main() {
     let mut trajectory = load_trajectory(&out);
     trajectory.push(Raw(serde_json::to_value(&TrajectoryPoint {
         mode: if quick { "quick" } else { "full" }.to_string(),
+        procs: p,
         total_per_iter_s,
         total_batched_s,
         total_episode_s,
@@ -428,6 +503,7 @@ fn main() {
     regression_gate(
         &bench.trajectory,
         &bench.mode,
+        p,
         total_episode_s,
         total_events_episode,
     );

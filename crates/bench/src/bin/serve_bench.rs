@@ -3,11 +3,11 @@
 //! Usage:
 //!
 //! ```text
-//! serve_bench [--quick] [--repeat R] [--out PATH]
+//! serve_bench [--quick] [--repeat R] [--threads N] [--out PATH]
 //! serve_bench --replay [--quick]
 //! ```
 //!
-//! The default mode measures two things and records both in
+//! The default mode measures three things and records them in
 //! `BENCH_serve.json` (override with `--out`):
 //!
 //! 1. **Memo latency** — the submit→response wall-clock of the heaviest
@@ -21,6 +21,14 @@
 //!    server with 1, 4 and 16 client threads submitting unique,
 //!    never-memoized specs, i.e. the worker pool under real simulation
 //!    load.
+//! 3. **Grid determinism** — real experiment cells (the full replica ×
+//!    strategy grid behind a figure) run on a 1-worker server and on an
+//!    N-worker server, byte-compared and timed. Grid reassembly is
+//!    positional, so the worker count must not change a single output
+//!    byte; the run fails if it does. This absorbed the retired
+//!    `now-sweep` executor's self-benchmark — the run server is the one
+//!    parallel grid engine now. `--threads` overrides the parallel pool
+//!    size (default: `DLB_SERVE_THREADS` or available parallelism).
 //!
 //! Each invocation appends its aggregate to the file's `trajectory`
 //! array (the same pattern as `engine_bench`) so successive passes over
@@ -32,9 +40,10 @@
 //! second pass is served almost entirely (≥ 90 %) from the memo with
 //! byte-identical output.
 
-use dlb_apps::MxmConfig;
+use dlb_apps::{MxmConfig, TrfdConfig};
 use dlb_bench::{
-    format_table, mxm_experiment_with, paper_group_size, persistence_for, Align, LOAD_SEED,
+    format_table, mxm_experiment_with, paper_group_size, persistence_for,
+    trfd_loop_experiment_with, Align, TrfdLoop, LOAD_SEED,
 };
 use dlb_core::strategy::{Strategy, StrategyConfig};
 use now_serve::{MemoConfig, RunKind, RunServer, RunSpec, ServeConfig, Served, WorkloadSpec};
@@ -59,6 +68,21 @@ struct ThroughputRow {
     requests: usize,
     wall_s: f64,
     req_per_s: f64,
+}
+
+/// One experiment grid timed on a 1-worker vs an N-worker server.
+#[derive(Debug, Serialize)]
+struct GridCell {
+    name: String,
+    /// Median wall-clock of one repetition on the 1-worker server.
+    serial_s: f64,
+    /// Median wall-clock of one repetition on the N-worker server.
+    parallel_s: f64,
+    /// `null` when only one core is available — a parallel-vs-serial
+    /// ratio measured on a single core is noise, not a speedup.
+    speedup: Option<f64>,
+    /// Parallel result serializes to exactly the same bytes as serial.
+    identical: bool,
 }
 
 #[derive(Debug, Serialize)]
@@ -88,6 +112,7 @@ struct ServeBench {
     hit_speedup: f64,
     warm_samples: usize,
     throughput: Vec<ThroughputRow>,
+    grid: Vec<GridCell>,
     trajectory: Vec<Raw>,
 }
 
@@ -187,6 +212,115 @@ fn throughput(server: &RunServer, clients: usize, total: usize, section: u64) ->
         wall_s,
         req_per_s: requests as f64 / wall_s.max(1e-12),
     }
+}
+
+/// One benchmarkable grid: a closure producing a serializable result on
+/// a given server.
+struct Grid {
+    name: String,
+    run: Box<dyn Fn(&RunServer) -> String>,
+}
+
+fn mxm_grid(p: usize, cfg: MxmConfig) -> Grid {
+    Grid {
+        name: format!("MXM {} P={p}", cfg.label()),
+        run: Box::new(move |server| {
+            serde_json::to_string(&mxm_experiment_with(server, p, cfg)).expect("serialize")
+        }),
+    }
+}
+
+fn trfd_grid(p: usize, cfg: TrfdConfig, which: TrfdLoop) -> Grid {
+    Grid {
+        name: format!("TRFD {} {} P={p}", cfg.label(), which.label()),
+        run: Box::new(move |server| {
+            serde_json::to_string(&trfd_loop_experiment_with(server, p, cfg, which))
+                .expect("serialize")
+        }),
+    }
+}
+
+/// Serial-vs-parallel determinism + throughput on real experiment grids.
+/// Both servers run memo-disabled: every repetition re-simulates every
+/// grid slot, so the numbers measure execution, not caching.
+fn grid_bench(quick: bool, threads: usize, repeat: usize, cores: usize) -> Vec<GridCell> {
+    let serial = RunServer::new(ServeConfig::new(1, MemoConfig::disabled()));
+    let parallel = RunServer::new(ServeConfig::new(threads, MemoConfig::disabled()));
+    let grids: Vec<Grid> = if quick {
+        vec![
+            mxm_grid(4, MxmConfig::new(100, 400, 400)),
+            trfd_grid(4, TrfdConfig::new(10), TrfdLoop::L2),
+        ]
+    } else {
+        // The heaviest cells of Fig. 6 and Table 2: P = 16, largest data.
+        vec![
+            mxm_grid(16, MxmConfig::new(3200, 800, 400)),
+            trfd_grid(16, TrfdConfig::new(50), TrfdLoop::L2),
+        ]
+    };
+
+    let time_reps = |server: &RunServer, grid: &Grid| {
+        let mut samples = Vec::with_capacity(repeat);
+        let mut last = String::new();
+        for _ in 0..repeat {
+            let t0 = Instant::now();
+            last = (grid.run)(server);
+            samples.push(t0.elapsed().as_secs_f64());
+        }
+        (median(&mut samples), last)
+    };
+
+    let single_core = cores == 1;
+    let mut cells = Vec::new();
+    let mut table = Vec::new();
+    for grid in &grids {
+        let (serial_s, serial_out) = time_reps(&serial, grid);
+        let (parallel_s, parallel_out) = time_reps(&parallel, grid);
+        let identical = serial_out == parallel_out;
+        assert!(
+            identical,
+            "{}: parallel grid diverged from serial — determinism bug",
+            grid.name
+        );
+        let speedup = (!single_core).then(|| serial_s / parallel_s.max(1e-12));
+        table.push(vec![
+            grid.name.clone(),
+            format!("{serial_s:.3}"),
+            format!("{parallel_s:.3}"),
+            speedup.map_or("n/a".to_string(), |s| format!("{s:.2}x")),
+            "yes".to_string(),
+        ]);
+        cells.push(GridCell {
+            name: grid.name.clone(),
+            serial_s,
+            parallel_s,
+            speedup,
+            identical,
+        });
+    }
+    println!(
+        "grid determinism (1 vs {} worker(s), {repeat} rep(s), memo off, byte-compared):",
+        parallel.threads()
+    );
+    println!(
+        "{}",
+        format_table(
+            &["grid", "serial [s]", "parallel [s]", "speedup", "identical"],
+            &[
+                Align::Left,
+                Align::Right,
+                Align::Right,
+                Align::Right,
+                Align::Right
+            ],
+            &table
+        )
+    );
+    if single_core {
+        println!("note: single core — parallel-vs-serial speedup is not meaningful");
+    }
+    println!();
+    cells
 }
 
 /// CI cache-replay check: the same small sweep twice against one fresh
@@ -318,6 +452,7 @@ fn main() {
     }
     let mut out = "BENCH_serve.json".to_string();
     let mut repeat: usize = 3;
+    let mut threads: Option<usize> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -329,6 +464,14 @@ fn main() {
                     .parse()
                     .expect("--repeat needs a number");
                 assert!(repeat > 0, "--repeat must be at least 1");
+            }
+            "--threads" => {
+                threads = Some(
+                    it.next()
+                        .expect("--threads needs a count")
+                        .parse()
+                        .expect("--threads needs a number"),
+                )
             }
             "--quick" => {}
             other => panic!("unknown argument {other:?}"),
@@ -380,6 +523,13 @@ fn main() {
         )
     );
 
+    let grid = grid_bench(
+        quick,
+        threads.unwrap_or_else(|| ServeConfig::from_env().threads),
+        if quick { 1 } else { repeat },
+        cores,
+    );
+
     let req_per_s_16 = rows.last().map_or(0.0, |r| r.req_per_s);
     let mode = if quick { "quick" } else { "full" }.to_string();
     let mut trajectory = load_trajectory(&out);
@@ -401,6 +551,7 @@ fn main() {
         hit_speedup,
         warm_samples,
         throughput: rows,
+        grid,
         trajectory,
     };
     let json = serde_json::to_string_pretty(&bench).expect("serialize bench");

@@ -27,5 +27,4 @@ pub use experiments::{
     REPLICAS as CELL_REPLICAS,
 };
 pub use now_serve::{MemoConfig, RunKind, RunServer, RunSpec, ServeConfig, WorkloadSpec};
-pub use now_sweep::SweepExecutor;
 pub use table::{format_table, Align};

@@ -45,6 +45,7 @@ pub mod arrays;
 pub mod balance;
 pub mod costindex;
 pub mod distribution;
+pub mod hierarchy;
 pub mod loopsched;
 pub mod membership;
 pub mod moveplan;
@@ -60,6 +61,7 @@ pub use arrays::{DataDistribution, DlbArray};
 pub use balance::{balance_group, BalanceOutcome, BalanceVerdict};
 pub use costindex::{CostIndex, IndexedLoop};
 pub use distribution::Distribution;
+pub use hierarchy::GroupTree;
 pub use loopsched::{ChunkQueue, ChunkScheme};
 pub use membership::Membership;
 pub use moveplan::{plan_transfers, Transfer};

@@ -8,11 +8,31 @@
 //! promoted. This tracker owns that bookkeeping; it is
 //! transport-independent so both the simulator and the threaded runtime
 //! can drive it.
+//!
+//! At paper scale (P=4/16) a full scan per query is free; at P=4096 it
+//! dominates per-event work. The tracker therefore maintains the death
+//! set incrementally: a sorted set of dead ids plus a live counter,
+//! kept in lock-step with the `dead` bit vector by the only two
+//! mutators ([`declare_dead`]/[`revive`]). Queries that used to scan
+//! all of `0..P` — [`alive_count`], [`promote`], and the iteration of
+//! dead members — now cost O(1) or O(#dead), never O(P). The bit
+//! vector stays for O(1) `is_dead`/`is_alive` point queries.
+//!
+//! [`declare_dead`]: Membership::declare_dead
+//! [`revive`]: Membership::revive
+//! [`alive_count`]: Membership::alive_count
+//! [`promote`]: Membership::promote
+
+use std::collections::BTreeSet;
 
 /// Live/dead bookkeeping for one run's processors.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Membership {
     dead: Vec<bool>,
+    /// Sorted ids of dead processors — always consistent with `dead`.
+    dead_set: BTreeSet<usize>,
+    /// Live-processor count — always `processors() - dead_set.len()`.
+    alive: usize,
 }
 
 impl Membership {
@@ -20,6 +40,8 @@ impl Membership {
     pub fn new(p: usize) -> Self {
         Membership {
             dead: vec![false; p],
+            dead_set: BTreeSet::new(),
+            alive: p,
         }
     }
 
@@ -39,7 +61,12 @@ impl Membership {
     /// declaration), `false` if it was already dead — callers use this to
     /// make detection idempotent across the heartbeat and watchdog paths.
     pub fn declare_dead(&mut self, proc: usize) -> bool {
-        !std::mem::replace(&mut self.dead[proc], true)
+        let news = !std::mem::replace(&mut self.dead[proc], true);
+        if news {
+            self.dead_set.insert(proc);
+            self.alive -= 1;
+        }
+        news
     }
 
     /// Bring a dead processor back to life. Returns `true` if this is
@@ -48,12 +75,29 @@ impl Membership {
     ///
     /// [`declare_dead`]: Membership::declare_dead
     pub fn revive(&mut self, proc: usize) -> bool {
-        std::mem::replace(&mut self.dead[proc], false)
+        let news = std::mem::replace(&mut self.dead[proc], false);
+        if news {
+            self.dead_set.remove(&proc);
+            self.alive += 1;
+        }
+        news
     }
 
-    /// Number of live processors.
+    /// Number of live processors. O(1).
     pub fn alive_count(&self) -> usize {
-        self.dead.iter().filter(|&&d| !d).count()
+        self.alive
+    }
+
+    /// Number of dead processors. O(1).
+    pub fn dead_count(&self) -> usize {
+        self.dead_set.len()
+    }
+
+    /// Dead processors in ascending id order. O(#dead) to walk — never
+    /// O(P) — which is what keeps failure sweeps off the hot path at
+    /// large P.
+    pub fn dead_members(&self) -> impl Iterator<Item = usize> + '_ {
+        self.dead_set.iter().copied()
     }
 
     /// Live members of `group`, in order.
@@ -64,11 +108,29 @@ impl Membership {
     /// The processor that takes over a central balancer role previously
     /// held by `master`: `master` itself while alive, else the
     /// lowest-numbered survivor. `None` if everyone is dead.
+    ///
+    /// O(#dead): the lowest survivor is the first gap in the sorted
+    /// death set.
     pub fn promote(&self, master: usize) -> Option<usize> {
         if !self.dead[master] {
             return Some(master);
         }
-        (0..self.dead.len()).find(|&p| !self.dead[p])
+        let mut candidate = 0usize;
+        for &d in &self.dead_set {
+            if d == candidate {
+                candidate += 1;
+            } else {
+                break;
+            }
+        }
+        (candidate < self.dead.len()).then_some(candidate)
+    }
+
+    /// The lowest-numbered live member of `group`, if any. O(|group|)
+    /// worst case but short-circuits on the first survivor; groups are
+    /// K-sized, not P-sized.
+    pub fn promote_within(&self, group: &[usize]) -> Option<usize> {
+        group.iter().copied().find(|&m| !self.dead[m])
     }
 }
 
@@ -84,6 +146,7 @@ mod tests {
         assert!(!m.declare_dead(2), "second declaration is not news");
         assert!(m.is_dead(2));
         assert_eq!(m.alive_count(), 3);
+        assert_eq!(m.dead_count(), 1);
     }
 
     #[test]
@@ -118,5 +181,43 @@ mod tests {
         assert_eq!(m.promote(0), Some(3));
         m.declare_dead(3);
         assert_eq!(m.promote(0), None);
+    }
+
+    #[test]
+    fn promotion_skips_non_prefix_deaths() {
+        let mut m = Membership::new(8);
+        m.declare_dead(2);
+        m.declare_dead(5);
+        // Dead set {2,5} has its first gap at 0.
+        m.declare_dead(0);
+        assert_eq!(m.promote(0), Some(1));
+        m.declare_dead(1);
+        assert_eq!(m.promote(0), Some(3));
+    }
+
+    #[test]
+    fn dead_members_sorted_and_incremental() {
+        let mut m = Membership::new(16);
+        for p in [9, 3, 12, 3] {
+            m.declare_dead(p);
+        }
+        assert_eq!(m.dead_members().collect::<Vec<_>>(), vec![3, 9, 12]);
+        m.revive(9);
+        assert_eq!(m.dead_members().collect::<Vec<_>>(), vec![3, 12]);
+        assert_eq!(m.alive_count(), 14);
+    }
+
+    #[test]
+    fn promote_within_picks_lowest_group_survivor() {
+        let mut m = Membership::new(8);
+        let group = [4, 5, 6, 7];
+        assert_eq!(m.promote_within(&group), Some(4));
+        m.declare_dead(4);
+        m.declare_dead(5);
+        assert_eq!(m.promote_within(&group), Some(6));
+        for p in group {
+            m.declare_dead(p);
+        }
+        assert_eq!(m.promote_within(&group), None);
     }
 }

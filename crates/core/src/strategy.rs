@@ -132,6 +132,17 @@ pub struct StrategyConfig {
     /// Balancer distribution-calculation cost `ξ` in seconds (Section 4.2
     /// calls it "usually quite small").
     pub calc_cost: f64,
+    /// Depth of the group hierarchy for the local schemes (§S16): 1 is
+    /// the paper's flat grouping (a single central balancer for LC);
+    /// `d > 1` stacks `d - 1` domain levels over the leaf groups, giving
+    /// each level-1 domain of [`StrategyConfig::group_fanout`] leaf
+    /// groups its own balancer role, with master promotion escalating
+    /// level by level when whole domains die. Ignored by the global
+    /// schemes.
+    pub group_depth: usize,
+    /// Leaf groups (and domains) per parent domain when
+    /// [`StrategyConfig::group_depth`] exceeds 1.
+    pub group_fanout: usize,
 }
 
 impl StrategyConfig {
@@ -145,7 +156,45 @@ impl StrategyConfig {
             min_move_fraction: 0.02,
             include_move_cost: false,
             calc_cost: 1e-3,
+            group_depth: 1,
+            group_fanout: 2,
         }
+    }
+
+    /// Select a hierarchical group tree: `depth - 1` domain levels of
+    /// `fanout` children each over the leaf groups.
+    pub fn with_hierarchy(mut self, depth: usize, fanout: usize) -> Self {
+        self.group_depth = depth;
+        self.group_fanout = fanout;
+        self
+    }
+
+    /// Apply the `DLB_GROUP_DEPTH` / `DLB_GROUP_FANOUT` environment
+    /// knobs, if set. Callers apply this **before** building a
+    /// `RunSpec`, never inside the engine — the resolved values must be
+    /// part of the spec so memo keys stay content-addressed.
+    pub fn with_hierarchy_from_env(mut self) -> Self {
+        let read = |name: &str| {
+            std::env::var(name).ok().map(|v| {
+                v.parse::<usize>()
+                    .unwrap_or_else(|_| panic!("{name} must be a positive integer, got {v:?}"))
+            })
+        };
+        if let Some(d) = read("DLB_GROUP_DEPTH") {
+            self.group_depth = d;
+        }
+        if let Some(f) = read("DLB_GROUP_FANOUT") {
+            self.group_fanout = f;
+        }
+        self
+    }
+
+    /// The group tree this configuration induces over `leaf_groups`
+    /// leaf groups, or `None` for the flat paper layout.
+    pub fn hierarchy(&self, leaf_groups: usize) -> Option<crate::hierarchy::GroupTree> {
+        (self.group_depth > 1 && self.strategy.scope() == Scope::Local).then(|| {
+            crate::hierarchy::GroupTree::new(leaf_groups, self.group_fanout, self.group_depth - 1)
+        })
     }
 
     /// Partition processors `0..p` into groups according to the strategy:
@@ -215,6 +264,17 @@ impl StrategyConfig {
             assert!(
                 self.group_size > 0,
                 "local strategies need a positive group size"
+            );
+        }
+        assert!(self.group_depth >= 1, "group depth must be at least 1");
+        if self.group_depth > 1 {
+            assert!(
+                self.strategy.scope() == Scope::Local,
+                "hierarchical groups require a local strategy"
+            );
+            assert!(
+                self.group_fanout >= 2,
+                "hierarchical groups need a fanout of at least 2"
             );
         }
     }
@@ -303,5 +363,33 @@ mod tests {
     fn local_zero_group_rejected() {
         let cfg = StrategyConfig::paper(Strategy::Lddlb, 0);
         cfg.groups(8);
+    }
+
+    #[test]
+    fn flat_and_global_configs_have_no_tree() {
+        assert!(StrategyConfig::paper(Strategy::Lcdlb, 4)
+            .hierarchy(8)
+            .is_none());
+        assert!(StrategyConfig::paper(Strategy::Gddlb, 4)
+            .with_hierarchy(2, 4)
+            .hierarchy(1)
+            .is_none());
+    }
+
+    #[test]
+    fn hierarchy_builder_shapes_the_tree() {
+        let cfg = StrategyConfig::paper(Strategy::Lcdlb, 4).with_hierarchy(3, 4);
+        cfg.validate();
+        let tree = cfg.hierarchy(64).expect("local depth>1 yields a tree");
+        assert_eq!(tree.levels(), 2);
+        assert_eq!(tree.roles(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "require a local strategy")]
+    fn global_hierarchy_rejected() {
+        StrategyConfig::paper(Strategy::Gcdlb, 4)
+            .with_hierarchy(2, 4)
+            .validate();
     }
 }

@@ -1,0 +1,98 @@
+//! Property coverage for the incremental membership structures (§S16).
+//!
+//! At P=4096 the tracker answers `alive_count`/`promote`/`dead_members`
+//! from an incrementally maintained death set instead of scanning all
+//! of `0..P`. These properties drive arbitrary crash/recover sequences
+//! (a partition is just simultaneous deaths on one side, a heal
+//! simultaneous revivals, so interleaved single-processor events cover
+//! both) and assert the incremental answers stay equal to a naive
+//! rescan of the bit vector after every event.
+
+use dlb_core::membership::Membership;
+use proptest::prelude::*;
+
+/// Naive O(P) reference answers computed straight off `is_dead`.
+fn naive_alive(m: &Membership) -> usize {
+    (0..m.processors()).filter(|&p| m.is_alive(p)).count()
+}
+
+fn naive_dead_members(m: &Membership) -> Vec<usize> {
+    (0..m.processors()).filter(|&p| m.is_dead(p)).collect()
+}
+
+fn naive_promote(m: &Membership, master: usize) -> Option<usize> {
+    if m.is_alive(master) {
+        return Some(master);
+    }
+    (0..m.processors()).find(|&p| m.is_alive(p))
+}
+
+proptest! {
+    #[test]
+    fn incremental_matches_naive_scan(
+        p in 1usize..512,
+        // Each op packs (proc_pick, is_crash) into one draw: the low 9
+        // bits pick the processor, bit 9 picks crash vs recover.
+        // Duplicate picks exercise the idempotent re-declare/re-revive
+        // paths; recover-before-crash exercises the no-news path.
+        ops in prop::collection::vec(0usize..1024, 0..64),
+        master in 0usize..512,
+        group_lo in 0usize..512,
+        group_len in 1usize..16,
+    ) {
+        let mut m = Membership::new(p);
+        let master = master % p;
+        let group: Vec<usize> = (0..group_len).map(|i| (group_lo + i) % p).collect();
+        for op in ops {
+            let (pick, is_crash) = (op & 0x1FF, op & 0x200 != 0);
+            let proc = pick % p;
+            let was_dead = m.is_dead(proc);
+            if is_crash {
+                prop_assert_eq!(m.declare_dead(proc), !was_dead, "news iff state flips");
+            } else {
+                prop_assert_eq!(m.revive(proc), was_dead, "news iff state flips");
+            }
+
+            // Every incremental answer equals the naive rescan.
+            prop_assert_eq!(m.alive_count(), naive_alive(&m));
+            prop_assert_eq!(m.dead_count(), p - naive_alive(&m));
+            prop_assert_eq!(
+                m.dead_members().collect::<Vec<_>>(),
+                naive_dead_members(&m)
+            );
+            prop_assert_eq!(m.promote(master), naive_promote(&m, master));
+            prop_assert_eq!(
+                m.promote_within(&group),
+                group.iter().copied().find(|&g| m.is_alive(g))
+            );
+            prop_assert_eq!(
+                m.alive_members(&group).collect::<Vec<_>>(),
+                group.iter().copied().filter(|&g| m.is_alive(g)).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    /// A partition is a batch of deaths followed (maybe) by a heal: the
+    /// tracker must round-trip back to all-alive regardless of batch
+    /// shape or overlap with individual crashes.
+    #[test]
+    fn partition_heal_round_trips(
+        p in 2usize..2048,
+        cut in prop::collection::vec(0usize..2048, 1..64),
+    ) {
+        let mut m = Membership::new(p);
+        let cut: Vec<usize> = cut.into_iter().map(|c| c % p).collect();
+        for &c in &cut {
+            m.declare_dead(c);
+        }
+        prop_assert_eq!(m.alive_count(), naive_alive(&m));
+        prop_assert_eq!(m.dead_members().collect::<Vec<_>>(), naive_dead_members(&m));
+        for &c in &cut {
+            m.revive(c);
+        }
+        prop_assert_eq!(m.alive_count(), p);
+        prop_assert_eq!(m.dead_count(), 0);
+        prop_assert_eq!(m.dead_members().count(), 0);
+        prop_assert_eq!(m.promote(0), Some(0));
+    }
+}

@@ -76,7 +76,7 @@ fn golden_key_pinned() {
     let key = pinned_spec().memo_key_with_version(1);
     assert_eq!(
         format!("{key}"),
-        "ea4ea6cfc7d279d0",
+        "fea2caaccf326941",
         "canonical serialization changed — if intentional, bump ENGINE_VERSION \
          (crates/sim/src/lib.rs) and re-pin this hash"
     );

@@ -39,7 +39,8 @@ use dlb_core::recovery::split_ranges;
 use dlb_core::strategy::{Control, StrategyConfig};
 use dlb_core::work::LoopWorkload;
 use dlb_core::workqueue::{ranges_len, WorkQueue};
-use dlb_core::{Distribution, DlbStats};
+use dlb_core::{Distribution, DlbStats, GroupTree};
+
 use now_fault::{DetectionRecord, FailurePolicy, FaultPlan, FaultReport, RejoinRecord};
 use now_load::{ClockCursor, WorkClock};
 use now_net::MediumSim;
@@ -69,6 +70,12 @@ enum Payload {
     Profile {
         group: usize,
         profile: PerfProfile,
+        /// Id of the episode the profile was measured for. A watchdog
+        /// retransmission duplicate that outlives its episode must not be
+        /// recorded into the next one: the snapshot is stale (the sender
+        /// has computed or shipped since), and a balancer planning from
+        /// it can schedule transfers the donor no longer covers.
+        episode: u64,
     },
     Instruction {
         group: usize,
@@ -83,6 +90,14 @@ enum Payload {
         /// stale view is dead on arrival, and the watchdog re-sends from
         /// the current view.
         epoch: u64,
+        /// Id of the episode the outcome was computed for. A watchdog
+        /// retransmission can race its original: the first copy acts and
+        /// the episode closes, a *new* episode opens under the same
+        /// membership view, and the duplicate then lands with an episode
+        /// running and a current epoch — but its transfer plan belongs to
+        /// the closed episode, so acting on it would ship work the donor
+        /// queues no longer cover. The id mismatch drops it.
+        episode: u64,
     },
     Work {
         group: usize,
@@ -257,13 +272,29 @@ struct Ev {
     /// order in every mode (the network medium is FCFS, so a swapped
     /// same-instant send order would diverge the whole run).
     tie: f64,
+    /// Second-level tie-break: the owning processor for compute events
+    /// (`IterDone`/`BlockDone`/`SettleCheck`), `u32::MAX` for everything
+    /// else. `(time, tie)` alone is not collision-free: a mass resume
+    /// (episode act or abort) restarts many processors at the same
+    /// instant, and on a homogeneous cluster their next boundaries
+    /// coincide in *both* components. `seq` would then decide — but
+    /// `seq` is mode-local (the per-iteration engine pushes its
+    /// `IterDone`s at the resume, the batched engine pushes `BlockDone`
+    /// at schedule time and `SettleCheck`s at interrupt arrival), so the
+    /// processors would profile in different orders and the FCFS medium
+    /// would diverge the whole run. Ordering colliding compute events by
+    /// processor id is mode-independent.
+    pkey: u32,
     seq: u64,
     kind: EvKind,
 }
 
 impl PartialEq for Ev {
     fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.tie == other.tie && self.seq == other.seq
+        self.time == other.time
+            && self.tie == other.tie
+            && self.pkey == other.pkey
+            && self.seq == other.seq
     }
 }
 impl Eq for Ev {}
@@ -277,6 +308,7 @@ impl Ord for Ev {
         self.time
             .total_cmp(&other.time)
             .then(self.tie.total_cmp(&other.tie))
+            .then(self.pkey.cmp(&other.pkey))
             .then(self.seq.cmp(&other.seq))
     }
 }
@@ -403,6 +435,17 @@ pub struct Engine<'w> {
     /// Current central-balancer host. Starts at `cluster.master`; mutable
     /// (promotion on master death) without touching the shared spec.
     master: usize,
+    /// Hierarchical balancer domains (DESIGN.md §S16): present only when
+    /// the strategy stacks domain levels over the leaf groups
+    /// (`group_depth > 1`). `None` reproduces the paper's flat layout
+    /// byte-for-byte.
+    hier: Option<GroupTree>,
+    /// Leaf group → balancer role (level-1 domain). All zeros in the
+    /// flat layout.
+    role_of_group: Vec<usize>,
+    /// Role → current balancer host (re-elected on death via the §S16
+    /// escalation chain). One entry — the global master — when flat.
+    role_master: Vec<usize>,
 
     // --- substrate ---
     clocks: Vec<WorkClock>,
@@ -448,17 +491,27 @@ pub struct Engine<'w> {
     queues: Vec<WorkQueue>,
     state: Vec<ProcState>,
     active: Vec<bool>,
+    /// `active.iter().filter(|a| **a).count()`, maintained incrementally
+    /// by [`Engine::set_active`] so the periodic tick never rescans all P
+    /// flags.
+    active_count: usize,
     interrupted: Vec<bool>,
     window_start: Vec<f64>,
     window_iters: Vec<u64>,
     iters_done: Vec<u64>,
+    /// `iters_done.iter().sum()`, maintained incrementally — the rejoin
+    /// retry chain consults it every heartbeat interval.
+    total_iters_done: u64,
     work_done: Vec<f64>,
     finished_at: Vec<f64>,
 
     // --- groups & balancer ---
     groups: Vec<GroupCtl>,
     proc_group: Vec<usize>,
-    master_busy_until: f64,
+    /// Per-role balancer FIFO horizon (the paper's LCDLB delay factor):
+    /// `role_busy[r]` is when role `r`'s balancer frees up. One entry —
+    /// the old scalar `master_busy_until` — in the flat layout.
+    role_busy: Vec<f64>,
     /// Work that arrived before the receiver finished its own (replicated)
     /// balancer calculation — possible in the distributed schemes, where a
     /// fast donor can decide and ship before a slow receiver decides.
@@ -484,6 +537,10 @@ pub struct Engine<'w> {
     membership: Membership,
     /// Dead processors whose death the protocol has already handled.
     detected: Vec<bool>,
+    /// Dead-but-undetected processors — exactly `{m : dead[m] &&
+    /// !detected[m]}`, maintained at crash/detection time so liveness
+    /// sweeps walk this (usually tiny) set instead of all of `0..P`.
+    undetected: BTreeSet<usize>,
     /// Membership view version: bumped on every death handling and every
     /// rejoin admission. Instructions are stamped with it at send time;
     /// receivers discard older-epoch instructions (§S14 split-brain
@@ -494,6 +551,9 @@ pub struct Engine<'w> {
     /// heartbeat chain keeps running while any instance is unhandled —
     /// the recovery-aware generalization of "any crash undetected".
     crash_handled: Vec<bool>,
+    /// Count of `false` entries in `crash_handled`, so the heartbeat
+    /// re-push check is O(1) instead of a scan over the plan.
+    unhandled_crashes: usize,
     /// The crash instance (index into `plan.crashes`) a currently-dead
     /// processor is down with. Validated interleaving makes it unique.
     cur_crash: Vec<Option<usize>>,
@@ -561,6 +621,26 @@ impl<'w> Engine<'w> {
                 proc_group[m] = g;
             }
         }
+        // §S16: the hierarchical layout assigns each leaf group to a
+        // level-1 domain whose balancer role is initially hosted by the
+        // domain's lowest-numbered processor. The flat layout keeps one
+        // role, hosted by the global master — bit-identical to the
+        // pre-hierarchy scalar state.
+        let hier = cfg.as_ref().and_then(|c| c.hierarchy(group_lists.len()));
+        let (role_of_group, role_master) = match &hier {
+            Some(tree) => (
+                (0..group_lists.len()).map(|g| tree.role_of(g)).collect(),
+                (0..tree.roles())
+                    .map(|r| {
+                        tree.leaf_range(1, r)
+                            .flat_map(|g| group_lists[g].iter().copied())
+                            .min()
+                            .expect("level-1 domains cover at least one processor")
+                    })
+                    .collect(),
+            ),
+            None => (vec![0usize; group_lists.len()], vec![cluster.master]),
+        };
         let groups = group_lists
             .into_iter()
             .map(|members| GroupCtl {
@@ -575,6 +655,10 @@ impl<'w> Engine<'w> {
         Self {
             bytes_per_iter: workload.bytes_per_iter(),
             master: cluster.master,
+            hier,
+            role_of_group,
+            role_busy: vec![0.0; role_master.len()],
+            role_master,
             cluster,
             workload,
             cfg,
@@ -603,15 +687,16 @@ impl<'w> Engine<'w> {
             queues,
             state: vec![ProcState::Computing; p],
             active: vec![true; p],
+            active_count: p,
             interrupted: vec![false; p],
             window_start: vec![0.0; p],
             window_iters: vec![0; p],
             iters_done: vec![0; p],
+            total_iters_done: 0,
             work_done: vec![0.0; p],
             finished_at: vec![0.0; p],
             groups,
             proc_group,
-            master_busy_until: 0.0,
             early_work: vec![Vec::new(); p],
             stats: DlbStats::default(),
             sync_times: Vec::new(),
@@ -622,8 +707,10 @@ impl<'w> Engine<'w> {
             faults: FaultReport::default(),
             membership: Membership::new(p),
             detected: vec![false; p],
+            undetected: BTreeSet::new(),
             membership_epoch: 0,
             crash_handled: Vec::new(),
+            unhandled_crashes: 0,
             cur_crash: vec![None; p],
             recovered_at: vec![0.0; p],
             limbo: Vec::new(),
@@ -651,6 +738,7 @@ impl<'w> Engine<'w> {
         }
         self.fault_active = !plan.is_empty();
         self.crash_handled = vec![false; plan.crashes.len()];
+        self.unhandled_crashes = plan.crashes.len();
         self.plan = plan;
         self.policy = policy;
         self
@@ -692,7 +780,7 @@ impl<'w> Engine<'w> {
             if self.queues[proc].is_empty() {
                 // More processors than iterations: this one never computes.
                 self.state[proc] = ProcState::Inactive;
-                self.active[proc] = false;
+                self.set_active(proc, false);
             } else {
                 self.schedule_compute(proc, 0.0);
             }
@@ -743,8 +831,10 @@ impl<'w> Engine<'w> {
             }
         }
         // Hard invariant: the event queue drained, so every processor must
-        // have finished — any residue means the protocol deadlocked.
+        // have finished — any residue means the protocol deadlocked. The
+        // naive sum also cross-checks the incremental counter.
         let done: u64 = self.iters_done.iter().sum();
+        debug_assert_eq!(done, self.total_iters_done, "iteration counter drifted");
         assert_eq!(
             done,
             self.workload.iterations(),
@@ -772,7 +862,7 @@ impl<'w> Engine<'w> {
                 })
                 .collect(),
             sync_times: self.sync_times,
-            total_iters: self.iters_done.iter().sum(),
+            total_iters: self.total_iters_done,
             faults: if self.fault_active {
                 Some(self.faults)
             } else {
@@ -796,17 +886,27 @@ impl<'w> Engine<'w> {
     /// batched engine's compute events, whose per-iteration twins would
     /// have been pushed at a different (earlier or later) moment.
     fn push_event_tied(&mut self, time: f64, tie: f64, kind: EvKind) {
-        match kind {
-            EvKind::IterDone { .. } | EvKind::BlockDone { .. } | EvKind::SettleCheck { .. } => {
+        let pkey = match kind {
+            EvKind::IterDone { proc, .. }
+            | EvKind::BlockDone { proc, .. }
+            | EvKind::SettleCheck { proc, .. } => {
                 self.counters.compute_events += 1;
+                proc as u32
             }
-            EvKind::Heartbeat => self.counters.heartbeat_events += 1,
-            _ => self.counters.protocol_events += 1,
-        }
+            EvKind::Heartbeat => {
+                self.counters.heartbeat_events += 1;
+                u32::MAX
+            }
+            _ => {
+                self.counters.protocol_events += 1;
+                u32::MAX
+            }
+        };
         self.seq += 1;
         self.events.push(Reverse(Ev {
             time,
             tie,
+            pkey,
             seq: self.seq,
             kind,
         }));
@@ -843,6 +943,38 @@ impl<'w> Engine<'w> {
             self.slow_spans[node].set(span);
         }
         span.slow
+    }
+
+    /// Single mutation point for the `active` flags, keeping the O(1)
+    /// active-processor count in lock-step (the periodic tick used to
+    /// recount all P flags on every interval).
+    fn set_active(&mut self, m: usize, v: bool) {
+        if self.active[m] != v {
+            self.active[m] = v;
+            if v {
+                self.active_count += 1;
+            } else {
+                self.active_count -= 1;
+            }
+        }
+    }
+
+    /// The processor hosting group `g`'s central balancer: the global
+    /// master in the paper's flat layout, the group's level-1 domain
+    /// master under a §S16 hierarchy.
+    fn balancer_host(&self, g: usize) -> usize {
+        match self.hier {
+            Some(_) => self.role_master[self.role_of_group[g]],
+            None => self.master,
+        }
+    }
+
+    /// The processor that admits `proc`'s rejoin. Admission is a
+    /// membership decision, so it routes to the same role that balances
+    /// the rejoiner's group — the global master when flat, `proc`'s
+    /// domain master under a hierarchy.
+    fn admission_host(&self, proc: usize) -> usize {
+        self.balancer_host(self.proc_group[proc])
     }
 
     fn send(&mut self, from: usize, to: usize, bytes: usize, payload: Payload, now: f64) {
@@ -1055,6 +1187,7 @@ impl<'w> Engine<'w> {
         let k = upto - done;
         self.window_iters[proc] += k;
         self.iters_done[proc] += k;
+        self.total_iters_done += k;
         let taken = self.queues[proc].take_front(k);
         debug_assert_eq!(ranges_len(&taken), k, "queue must cover the settled prefix");
         self.finished_at[proc] = finished;
@@ -1183,6 +1316,7 @@ impl<'w> Engine<'w> {
         self.in_flight[proc] = None;
         self.window_iters[proc] += 1;
         self.iters_done[proc] += 1;
+        self.total_iters_done += 1;
         self.work_done[proc] += self.workload.iter_cost(iter);
         self.finished_at[proc] = now;
 
@@ -1244,7 +1378,7 @@ impl<'w> Engine<'w> {
 
     fn deactivate(&mut self, proc: usize, now: f64) {
         self.state[proc] = ProcState::Inactive;
-        self.active[proc] = false;
+        self.set_active(proc, false);
         self.finished_at[proc] = self.finished_at[proc].max(now);
     }
 
@@ -1287,7 +1421,7 @@ impl<'w> Engine<'w> {
             // The initiator itself reacts at its next iteration boundary.
             self.flag_interrupt(initiator, now);
         }
-        if self.active.iter().filter(|&&a| a).count() >= 2 {
+        if self.active_count >= 2 {
             let dt = self
                 .periodic_interval
                 .expect("tick only fires when configured");
@@ -1362,9 +1496,10 @@ impl<'w> Engine<'w> {
             .expect("profile outside an episode");
         episode.profiled.insert(proc);
         episode.sent_profiles.insert(proc, profile);
+        let episode_id = episode.id;
         match control {
             Control::Centralized => {
-                let master = self.master;
+                let master = self.balancer_host(g);
                 if proc == master {
                     self.record_central_profile(g, profile, now);
                 } else {
@@ -1372,7 +1507,11 @@ impl<'w> Engine<'w> {
                         proc,
                         master,
                         PerfProfile::WIRE_BYTES,
-                        Payload::Profile { group: g, profile },
+                        Payload::Profile {
+                            group: g,
+                            profile,
+                            episode: episode_id,
+                        },
                         now,
                     );
                 }
@@ -1388,7 +1527,11 @@ impl<'w> Engine<'w> {
                             proc,
                             to,
                             PerfProfile::WIRE_BYTES,
-                            Payload::Profile { group: g, profile },
+                            Payload::Profile {
+                                group: g,
+                                profile,
+                                episode: episode_id,
+                            },
                             now,
                         );
                     }
@@ -1421,13 +1564,15 @@ impl<'w> Engine<'w> {
             return;
         }
         episode.calc_central_scheduled = true;
-        // The single balancer serves groups FIFO: the wait in this
-        // queue is the paper's LCDLB delay factor. The calculation
-        // runs on the (possibly loaded, possibly still computing)
-        // master CPU.
-        let start = now.max(self.master_busy_until);
-        let done = start + cfg.calc_cost * self.cpu_factor(self.master, now);
-        self.master_busy_until = done;
+        // The balancer serves its groups FIFO: the wait in this queue is
+        // the paper's LCDLB delay factor — global with one flat role,
+        // per-domain under a §S16 hierarchy. The calculation runs on the
+        // (possibly loaded, possibly still computing) host CPU.
+        let role = self.role_of_group[g];
+        let host = self.balancer_host(g);
+        let start = now.max(self.role_busy[role]);
+        let done = start + cfg.calc_cost * self.cpu_factor(host, now);
+        self.role_busy[role] = done;
         self.push_event(done, EvKind::CalcCentral { group: g });
     }
 
@@ -1492,20 +1637,20 @@ impl<'w> Engine<'w> {
         let Some(episode) = self.groups[g].episode.as_ref() else {
             return;
         };
-        if episode.outcome.is_some() || self.membership.is_dead(self.master) {
+        if episode.outcome.is_some() || self.membership.is_dead(self.balancer_host(g)) {
             return;
         }
         let profiles: Vec<PerfProfile> = episode.central_profiles.values().copied().collect();
         let outcome = Arc::new(self.decide(&profiles));
         self.record_decision(g, &outcome, now);
-        let master = self.master;
-        let participants = {
+        let master = self.balancer_host(g);
+        let (participants, episode_id) = {
             let episode = self.groups[g]
                 .episode
                 .as_mut()
                 .expect("episode checked above");
             episode.outcome = Some(Arc::clone(&outcome));
-            Arc::clone(&episode.participants)
+            (Arc::clone(&episode.participants), episode.id)
         };
         // Broadcast the outcome ("the load balancer broadcasts the new
         // distribution information to the processors", Section 3.3);
@@ -1523,6 +1668,7 @@ impl<'w> Engine<'w> {
                     group: g,
                     outcome: Arc::clone(&outcome),
                     epoch: self.membership_epoch,
+                    episode: episode_id,
                 },
                 now,
             );
@@ -1583,6 +1729,20 @@ impl<'w> Engine<'w> {
         // Ship what we owe.
         for t in outcome.transfers.iter().filter(|t| t.from == m) {
             let ranges = self.queues[m].take_back(t.iters);
+            if ranges_len(&ranges) != t.iters {
+                let e = self.groups[g].episode.as_ref().unwrap();
+                eprintln!(
+                    "SHORTFALL m={m} g={g} planned={} got={} episode_id={} same_outcome={} state={:?} profile_remaining={:?}",
+                    t.iters,
+                    ranges_len(&ranges),
+                    e.id,
+                    e.outcome
+                        .as_ref()
+                        .is_some_and(|o| std::ptr::eq(o.as_ref(), outcome)),
+                    self.state[m],
+                    e.sent_profiles.get(&m).map(|p| p.remaining),
+                );
+            }
             assert_eq!(
                 ranges_len(&ranges),
                 t.iters,
@@ -1683,6 +1843,7 @@ impl<'w> Engine<'w> {
         if !self.membership.declare_dead(proc) {
             return;
         }
+        self.undetected.insert(proc);
         self.faults.crashes_injected += 1;
         // Which planned instance fired? Per-processor crash times are
         // distinct (validated interleaving), so the exact event time
@@ -1720,7 +1881,7 @@ impl<'w> Engine<'w> {
             self.queues[proc].push_back(got..got + 1);
             self.invalidate_block(proc);
         }
-        self.active[proc] = false;
+        self.set_active(proc, false);
         self.state[proc] = ProcState::Inactive;
         self.interrupted[proc] = false;
         let _ = now;
@@ -1731,16 +1892,21 @@ impl<'w> Engine<'w> {
     /// heartbeat interval (plus any earlier watchdog detection).
     fn on_heartbeat(&mut self, now: f64) {
         self.faults.heartbeat_sweeps += 1;
-        let p = self.cluster.processors();
-        for proc in 0..p {
-            if self.membership.is_dead(proc) && !self.detected[proc] {
-                self.handle_death(proc, now);
-            }
-        }
+        self.sweep_undetected(now);
         // Keep sweeping while a planned crash instance is still
         // unhandled (neither detected nor voided by a recovery).
-        if self.crash_handled.iter().any(|&h| !h) {
+        if self.unhandled_crashes > 0 {
             self.push_event(now + self.policy.heartbeat_interval, EvKind::Heartbeat);
+        }
+    }
+
+    /// Detection pass over the dead-but-undetected set — O(#undetected),
+    /// never O(P) — visiting ids in the same ascending order the old
+    /// full-membership scan did. `handle_death` removes each entry, so
+    /// popping the minimum until empty is exactly that scan.
+    fn sweep_undetected(&mut self, now: f64) {
+        while let Some(&proc) = self.undetected.iter().next() {
+            self.handle_death(proc, now);
         }
     }
 
@@ -1791,11 +1957,7 @@ impl<'w> Engine<'w> {
         debug_assert_eq!(t.to_bits(), now.to_bits(), "coalesced tick drifted");
         self.faults.heartbeat_sweeps += idx - self.hb_ticks_counted;
         self.hb_ticks_counted = idx;
-        for proc in 0..self.cluster.processors() {
-            if self.membership.is_dead(proc) && !self.detected[proc] {
-                self.handle_death(proc, now);
-            }
-        }
+        self.sweep_undetected(now);
         self.aim_heartbeat_from(idx + 1, t + self.policy.heartbeat_interval);
     }
 
@@ -1849,12 +2011,15 @@ impl<'w> Engine<'w> {
             return;
         }
         self.detected[d] = true;
+        self.undetected.remove(&d);
         // The membership view changes: in-flight instructions from the
         // old view are now stale (§S14).
         self.membership_epoch += 1;
         let crashed_at = match self.cur_crash[d] {
             Some(i) => {
-                self.crash_handled[i] = true;
+                if !std::mem::replace(&mut self.crash_handled[i], true) {
+                    self.unhandled_crashes -= 1;
+                }
                 self.plan.crashes[i].at
             }
             None => now,
@@ -1893,9 +2058,28 @@ impl<'w> Engine<'w> {
         self.groups[g].pending_joins.remove(&d);
 
         // Central balancer promotion. Profiles parked in the dead
-        // master's memory are gone; live senders retransmit to the
-        // promoted balancer on the next watchdog round.
-        if self.master == d {
+        // host's memory are gone; live senders retransmit to the
+        // promoted balancer on the next watchdog round. Under a §S16
+        // hierarchy only the roles `d` actually hosted re-elect (via the
+        // escalation chain), and only their domains' in-flight profile
+        // sets are invalidated — the one `membership_epoch` bump above
+        // already stales every in-flight instruction at every level.
+        if let Some(tree) = self.hier {
+            for r in 0..self.role_master.len() {
+                if self.role_master[r] != d {
+                    continue;
+                }
+                self.promote_role(r);
+                for gg in tree.leaf_range(1, r) {
+                    if let Some(e) = self.groups[gg].episode.as_mut() {
+                        if e.outcome.is_none() {
+                            e.central_profiles.clear();
+                            e.calc_central_scheduled = false;
+                        }
+                    }
+                }
+            }
+        } else if self.master == d {
             if let Some(new_master) = self.membership.promote(d) {
                 self.master = new_master;
             }
@@ -1911,6 +2095,30 @@ impl<'w> Engine<'w> {
 
         self.fixup_episode_after_death(g, d, now);
         self.reassign_ranges(g, ranges, now);
+    }
+
+    /// Re-elect role `r`'s balancer after its host died: the §S16
+    /// escalation chain takes the lowest live processor of the role's own
+    /// level-1 domain, then of each covering domain up to the tree root,
+    /// and only past the root falls back to the global lowest survivor.
+    /// Each step is O(domain size); the common case resolves at level 1.
+    fn promote_role(&mut self, r: usize) {
+        let tree = self.hier.expect("roles re-elect only under a hierarchy");
+        for range in tree.escalation_ranges(r) {
+            let survivor = range
+                .flat_map(|g| self.groups[g].members.iter().copied())
+                .filter(|&m| self.membership.is_alive(m))
+                .min();
+            if let Some(m) = survivor {
+                self.role_master[r] = m;
+                return;
+            }
+        }
+        // The whole root domain is dead (transient by plan validation):
+        // any global survivor keeps the role reachable for rejoins.
+        if let Some(m) = self.membership.promote(self.role_master[r]) {
+            self.role_master[r] = m;
+        }
     }
 
     /// Distribute confiscated `ranges` across the live members of group
@@ -1964,7 +2172,7 @@ impl<'w> Engine<'w> {
                 self.groups[self.proc_group[m]]
                     .pending_initiators
                     .remove(&m);
-                self.active[m] = true;
+                self.set_active(m, true);
                 self.resume(m, now);
             }
             // Computing continues; WaitOutcome/WaitWork pick the new
@@ -2102,7 +2310,7 @@ impl<'w> Engine<'w> {
             if self.queues[proc].is_empty() {
                 self.deactivate(proc, now);
             } else {
-                self.active[proc] = true;
+                self.set_active(proc, true);
                 self.window_start[proc] = now;
                 self.window_iters[proc] = 0;
                 self.schedule_compute(proc, now);
@@ -2110,17 +2318,12 @@ impl<'w> Engine<'w> {
             return;
         }
         self.state[proc] = ProcState::Rejoining;
-        if self.master == proc {
+        let host = self.admission_host(proc);
+        if host == proc {
             // Sole survivor scenarios: the comeback *is* the coordinator.
             self.request_admission(proc, now);
         } else {
-            self.send(
-                proc,
-                self.master,
-                JOIN_BYTES,
-                Payload::JoinRequest { proc },
-                now,
-            );
+            self.send(proc, host, JOIN_BYTES, Payload::JoinRequest { proc }, now);
             self.push_event(
                 now + self.policy.heartbeat_interval,
                 EvKind::JoinRetry { proc },
@@ -2135,19 +2338,13 @@ impl<'w> Engine<'w> {
         if self.state[proc] != ProcState::Rejoining {
             return;
         }
-        if self.master == proc {
+        let host = self.admission_host(proc);
+        if host == proc {
             self.request_admission(proc, now);
             return;
         }
-        self.send(
-            proc,
-            self.master,
-            JOIN_BYTES,
-            Payload::JoinRequest { proc },
-            now,
-        );
-        let total_done: u64 = self.iters_done.iter().sum();
-        if total_done < self.workload.iterations() {
+        self.send(proc, host, JOIN_BYTES, Payload::JoinRequest { proc }, now);
+        if self.total_iters_done < self.workload.iterations() {
             self.push_event(
                 now + self.policy.heartbeat_interval,
                 EvKind::JoinRetry { proc },
@@ -2248,11 +2445,12 @@ impl<'w> Engine<'w> {
                 true,
             );
         }
-        if q == self.master {
+        let host = self.admission_host(q);
+        if q == host {
             self.apply_join_grant(q, now);
         } else {
             self.send(
-                self.master,
+                host,
                 q,
                 JOIN_BYTES,
                 Payload::JoinGrant {
@@ -2271,7 +2469,7 @@ impl<'w> Engine<'w> {
         if self.state[q] != ProcState::Rejoining {
             return; // duplicate grant (retry raced the original)
         }
-        self.active[q] = true;
+        self.set_active(q, true);
         self.window_start[q] = now;
         self.window_iters[q] = 0;
         if self.queues[q].is_empty() {
@@ -2386,6 +2584,7 @@ impl<'w> Engine<'w> {
             .strategy
             .control();
         let (
+            episode_id,
             initiator,
             participants,
             profiled,
@@ -2400,6 +2599,7 @@ impl<'w> Engine<'w> {
                 .as_ref()
                 .expect("retransmit needs an episode");
             (
+                e.id,
                 e.initiator,
                 Arc::clone(&e.participants),
                 e.profiled.clone(),
@@ -2416,10 +2616,17 @@ impl<'w> Engine<'w> {
                 e.outcome.clone(),
             )
         };
-        let alive_now: Vec<bool> = (0..self.cluster.processors())
-            .map(|m| self.membership.is_alive(m))
+        // Every liveness query below is about the initiator or a
+        // participant (sent_profiles keys are participants too — the
+        // fault fixup prunes dead ones), so the snapshot only needs the
+        // episode's K members, not all P processors.
+        let alive_set: BTreeSet<usize> = participants
+            .iter()
+            .copied()
+            .chain(std::iter::once(initiator))
+            .filter(|&m| self.membership.is_alive(m))
             .collect();
-        let alive = move |m: usize| alive_now[m];
+        let alive = move |m: usize| alive_set.contains(&m);
         let sender = if alive(initiator) {
             initiator
         } else {
@@ -2468,7 +2675,7 @@ impl<'w> Engine<'w> {
         // copy (also repopulates a promoted master after balancer death).
         match control {
             Control::Centralized => {
-                let master = self.master;
+                let master = self.balancer_host(g);
                 for (&q, prof) in &sent_profiles {
                     if !alive(q) || central_have.contains(&q) {
                         continue;
@@ -2484,6 +2691,7 @@ impl<'w> Engine<'w> {
                             Payload::Profile {
                                 group: g,
                                 profile: *prof,
+                                episode: episode_id,
                             },
                             now,
                         );
@@ -2508,6 +2716,7 @@ impl<'w> Engine<'w> {
                             Payload::Profile {
                                 group: g,
                                 profile: *prof,
+                                episode: episode_id,
                             },
                             now,
                         );
@@ -2520,7 +2729,7 @@ impl<'w> Engine<'w> {
         // distributed schemes have no instruction messages).
         if control == Control::Centralized {
             if let Some(out) = outcome {
-                let master = self.master;
+                let master = self.balancer_host(g);
                 for &m in participants.iter() {
                     if !alive(m) || acted.contains(&m) {
                         continue;
@@ -2540,6 +2749,7 @@ impl<'w> Engine<'w> {
                                 group: g,
                                 outcome: Arc::clone(&out),
                                 epoch: self.membership_epoch,
+                                episode: episode_id,
                             },
                             now,
                         );
@@ -2663,15 +2873,23 @@ impl<'w> Engine<'w> {
                     _ => {}
                 }
             }
-            Payload::Profile { group, profile } => {
+            Payload::Profile {
+                group,
+                profile,
+                episode,
+            } => {
                 let control = self
                     .cfg
                     .as_ref()
                     .expect("profile delivery under DLB")
                     .strategy
                     .control();
-                if self.groups[group].episode.is_none() {
-                    return; // stale (episode raced to completion)
+                // Stale if the episode completed or aborted (None) or a
+                // fresh one replaced it (id mismatch) — a retransmission
+                // duplicate's snapshot must not seed the next episode's
+                // balance calculation.
+                if self.groups[group].episode.as_ref().map(|e| e.id) != Some(episode) {
+                    return;
                 }
                 match control {
                     Control::Centralized => self.record_central_profile(group, profile, now),
@@ -2682,6 +2900,7 @@ impl<'w> Engine<'w> {
                 group,
                 outcome,
                 epoch,
+                episode,
             } => {
                 if self.fault_active && epoch < self.membership_epoch {
                     // §S14 split-brain guard: the sender's membership
@@ -2691,8 +2910,20 @@ impl<'w> Engine<'w> {
                     self.faults.stale_instructions += 1;
                     return;
                 }
-                if self.groups[group].episode.is_some() {
-                    self.act_on_outcome(to, group, &outcome, now);
+                match self.groups[group].episode.as_ref().map(|e| e.id) {
+                    Some(id) if id == episode => {
+                        self.act_on_outcome(to, group, &outcome, now);
+                    }
+                    Some(_) => {
+                        // A retransmission duplicate outlived its episode
+                        // and a fresh one is already running: its plan is
+                        // dead (the donors' queues moved on). Same fate
+                        // as a stale epoch, same counter.
+                        self.faults.stale_instructions += 1;
+                    }
+                    // Aborted while in flight: silently stale (the abort
+                    // already resumed everyone).
+                    None => {}
                 }
             }
             Payload::JoinRequest { proc } => {
@@ -2700,7 +2931,7 @@ impl<'w> Engine<'w> {
                 // coordinator regardless of the balancing control mode. A
                 // request addressed to a since-replaced coordinator is
                 // covered by the sender's retry chain.
-                if to != self.master
+                if to != self.admission_host(proc)
                     || self.membership.is_dead(proc)
                     || self.state[proc] != ProcState::Rejoining
                 {
@@ -2718,26 +2949,29 @@ impl<'w> Engine<'w> {
             }
             Payload::Work { group, ranges } => {
                 let ProcState::WaitWork { expect } = self.state[to] else {
-                    if self.groups[group].episode.is_none()
-                        || self.state[to] == ProcState::Rejoining
-                    {
-                        // No episode to credit it against (aborted while
-                        // the shipment was in flight), or the receiver is
-                        // mid-rejoin and thus no participant: keep the
-                        // work directly — a rejoiner parking it in
-                        // `early_work` would leak it (nothing drains a
-                        // non-participant's stash). Only reachable under
-                        // faults.
+                    // `early_work` exists solely to credit a pending
+                    // `act_on_outcome`: stash only if the receiver is a
+                    // live-episode participant whose act is still coming
+                    // (the donor's replicated balancer decided — and
+                    // shipped — before this receiver finished its own
+                    // calculation). Anything else — episode aborted while
+                    // the shipment was in flight, a rejoiner (no
+                    // participant), an orphan reassignment landing on a
+                    // drained non-participant, a duplicate after the act —
+                    // keeps the work directly: nothing would ever drain
+                    // its stash. Only reachable under faults.
+                    let act_pending = self.state[to] != ProcState::Rejoining
+                        && self.groups[group].episode.as_ref().is_some_and(|e| {
+                            e.participants.contains(&to) && !e.acted.contains(&to)
+                        });
+                    if act_pending {
+                        self.early_work[to].push((group, ranges));
+                    } else {
                         for r in ranges {
                             self.queues[to].push_back(r);
                         }
                         self.wake_if_idle(to, now);
-                        return;
                     }
-                    // The donor's replicated balancer decided (and shipped)
-                    // before this receiver finished its own calculation:
-                    // hold the shipment until the receiver acts.
-                    self.early_work[to].push((group, ranges));
                     return;
                 };
                 let got = ranges_len(&ranges);
@@ -3270,6 +3504,7 @@ mod tests {
                 group: 0,
                 outcome: Arc::clone(&outcome),
                 epoch: 1,
+                episode: 0,
             },
             0.1,
         );
@@ -3285,6 +3520,7 @@ mod tests {
                 group: 0,
                 outcome,
                 epoch: 2,
+                episode: 0,
             },
             0.2,
         );

@@ -100,13 +100,20 @@ struct FfEv {
     /// order coincident events exactly as the real loop would, and
     /// leftover events re-pushed at commit must carry their real key.
     tie: f64,
+    /// Mirror of [`Ev::pkey`]: processor id for compute events, so
+    /// `(time, tie)` collisions between different participants resolve
+    /// the same way in the replay as in the real loop.
+    pkey: u32,
     seq: u64,
     kind: FfKind,
 }
 
 impl PartialEq for FfEv {
     fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.tie == other.tie && self.seq == other.seq
+        self.time == other.time
+            && self.tie == other.tie
+            && self.pkey == other.pkey
+            && self.seq == other.seq
     }
 }
 impl Eq for FfEv {}
@@ -120,6 +127,7 @@ impl Ord for FfEv {
         self.time
             .total_cmp(&other.time)
             .then(self.tie.total_cmp(&other.tie))
+            .then(self.pkey.cmp(&other.pkey))
             .then(self.seq.cmp(&other.seq))
     }
 }
@@ -151,6 +159,10 @@ pub(super) struct FfScratch {
     net: Option<EpisodeSchedule>,
     /// Participant list, sorted ascending (the episode's order).
     parts: Vec<usize>,
+    /// The previous episode's participants — the only `pidx` entries
+    /// that are not `usize::MAX` between runs, so the next snapshot can
+    /// reset them in O(K) instead of re-zeroing all P.
+    prev_parts: Vec<usize>,
     /// proc → participant index (`usize::MAX` = not a participant).
     pidx: Vec<usize>,
     /// Full-processor shadow of `finished_at` (senders touch it).
@@ -192,6 +204,11 @@ pub(super) struct FfScratch {
     // --- shadow globals ---
     seq: u64,
     msg_seq: u64,
+    /// Balancer host and role for the episode's group — `self.master` /
+    /// role 0 in the flat layout, the level-1 domain master under a
+    /// hierarchy (§S16).
+    host: usize,
+    role: usize,
     mbu: f64,
     ctrl_msgs: u64,
     xfer_msgs: u64,
@@ -274,15 +291,11 @@ impl<'w> Engine<'w> {
         let p = self.cluster.processors();
 
         // --- preconditions -------------------------------------------
-        if self.fault_active {
+        if self.fault_active && !self.undetected.is_empty() {
             // A dead-but-undetected processor means a `handle_death` can
             // run at this very instant (we may be *inside* its wake-up
             // cascade) and mutate participant queues after our snapshot.
-            for m in 0..p {
-                if self.membership.is_dead(m) && !self.detected[m] {
-                    return false;
-                }
-            }
+            return false;
         }
 
         // --- snapshot ------------------------------------------------
@@ -292,13 +305,37 @@ impl<'w> Engine<'w> {
         s.parts.sort_unstable();
         let k = s.parts.len();
 
-        s.pidx.clear();
-        s.pidx.resize(p, usize::MAX);
+        // `pidx` must read `usize::MAX` for every non-participant (the
+        // heap scan probes arbitrary procs), but rebuilding all P entries
+        // per episode is exactly the O(P) this path avoids: un-mark the
+        // *previous* episode's K entries instead. `prev_parts` holds them
+        // — `parts` itself was just overwritten above.
+        if s.pidx.len() == p {
+            for &m in &s.prev_parts {
+                s.pidx[m] = usize::MAX;
+            }
+            debug_assert!(s.pidx.iter().all(|&i| i == usize::MAX));
+        } else {
+            s.pidx.clear();
+            s.pidx.resize(p, usize::MAX);
+        }
         for (i, &m) in s.parts.iter().enumerate() {
             s.pidx[m] = i;
         }
+        s.prev_parts.clone_from(&s.parts);
 
-        s.finished_at.clone_from(&self.finished_at);
+        // The shadow `finished_at` is only read/written for send
+        // endpoints — participants and the balancer host — so copy just
+        // those lanes instead of cloning all P.
+        let host = self.balancer_host(g);
+        if s.finished_at.len() != p {
+            s.finished_at.clear();
+            s.finished_at.resize(p, 0.0);
+        }
+        for &m in &s.parts {
+            s.finished_at[m] = self.finished_at[m];
+        }
+        s.finished_at[host] = self.finished_at[host];
 
         let clear_resize = |v: &mut Vec<bool>| {
             v.clear();
@@ -340,7 +377,9 @@ impl<'w> Engine<'w> {
         s.waiting_count = 0;
         s.seq = self.seq;
         s.msg_seq = self.msg_seq;
-        s.mbu = self.master_busy_until;
+        s.host = host;
+        s.role = self.role_of_group[g];
+        s.mbu = self.role_busy[s.role];
         s.ctrl_msgs = 0;
         s.xfer_msgs = 0;
         s.bytes_moved = 0;
@@ -393,6 +432,7 @@ impl<'w> Engine<'w> {
                 s.heap.push(Reverse(FfEv {
                     time: end,
                     tie: block_done_tie(&b.boundaries, b.started),
+                    pkey: m as u32,
                     seq: b.seq,
                     kind: FfKind::BlockDone { p: m, epoch: 0 },
                 }));
@@ -582,10 +622,15 @@ impl<'w> Engine<'w> {
     /// `tie` is the shadow clock at the push — the moment the real loop
     /// would have pushed this event (see [`FfEv::tie`]).
     fn ff_push(&self, s: &mut FfScratch, time: f64, tie: f64, kind: FfKind) {
+        let pkey = match kind {
+            FfKind::BlockDone { p, .. } | FfKind::Settle { p, .. } => p as u32,
+            _ => u32::MAX,
+        };
         s.seq += 1;
         s.heap.push(Reverse(FfEv {
             time,
             tie,
+            pkey,
             seq: s.seq,
             kind,
         }));
@@ -610,7 +655,7 @@ impl<'w> Engine<'w> {
             .control();
         match control {
             Control::Centralized => {
-                let master = self.master;
+                let master = s.host;
                 if m == master {
                     self.ff_account_central(s, profile, now);
                 } else {
@@ -658,7 +703,7 @@ impl<'w> Engine<'w> {
         let now = s.central_latest;
         let cfg = *self.cfg.as_ref().expect("centralized profile under DLB");
         let start = now.max(s.mbu);
-        let done = start + cfg.calc_cost * self.ff_cpu_factor(s, self.master, now);
+        let done = start + cfg.calc_cost * self.ff_cpu_factor(s, s.host, now);
         s.mbu = done;
         self.ff_push(s, done, now, FfKind::CalcCentral);
     }
@@ -705,7 +750,7 @@ impl<'w> Engine<'w> {
         s.profs = profs;
         self.ff_record_decision(s, now);
         s.outcome = Some(Arc::clone(&outcome));
-        let master = self.master;
+        let master = s.host;
         for pos in 0..s.parts.len() {
             let m = s.parts[pos];
             if m == master {
@@ -1077,8 +1122,13 @@ impl<'w> Engine<'w> {
             .expect("schedule anchored")
             .commit_to(&mut self.medium);
         self.msg_seq = s.msg_seq;
-        self.master_busy_until = s.mbu;
-        std::mem::swap(&mut self.finished_at, &mut s.finished_at);
+        self.role_busy[s.role] = s.mbu;
+        // Only participant lanes and the balancer host ever moved in the
+        // shadow — copy those back rather than swapping all P lanes.
+        for &m in s.parts.iter() {
+            self.finished_at[m] = s.finished_at[m];
+        }
+        self.finished_at[s.host] = s.finished_at[s.host];
 
         // Per-participant state. Bumping every participant's epoch
         // stamps all its pre-episode events stale, exactly as the
@@ -1087,10 +1137,11 @@ impl<'w> Engine<'w> {
             let m = s.parts[i];
             self.invalidate_block(m);
             self.state[m] = s.state[i];
-            self.active[m] = s.active[i];
+            self.set_active(m, s.active[i]);
             self.interrupted[m] = s.interrupted[i];
             self.window_start[m] = s.window_start[i];
             self.window_iters[m] = s.window_iters[i];
+            self.total_iters_done += s.iters_done[i] - self.iters_done[m];
             self.iters_done[m] = s.iters_done[i];
             self.work_done[m] = s.work_done[i];
             std::mem::swap(&mut self.queues[m], &mut s.queues[i]);

@@ -24,8 +24,7 @@
 //! | [`load`](now_load) | `now-load` | external load functions and effective-speed math |
 //! | [`pvm`](pvm_rt) | `pvm-rt` | threaded PVM-style runtime + real-data DLB executor |
 //! | [`fault`](now_fault) | `now-fault` | seeded fault injection + failure-aware protocol parameters |
-//! | [`sweep`](now_sweep) | `now-sweep` | deterministic parallel sweep executor for experiment grids |
-//! | [`serve`](now_serve) | `now-serve` | multi-client run server with a content-addressed result memo |
+//! | [`serve`](now_serve) | `now-serve` | multi-client run server with a content-addressed result memo; its worker pool is the parallel grid engine for experiment sweeps |
 //!
 //! ## Quickstart
 //!
@@ -52,7 +51,6 @@ pub use now_load as load;
 pub use now_net as net;
 pub use now_serve as serve;
 pub use now_sim as sim;
-pub use now_sweep as sweep;
 pub use pvm_rt as pvm;
 
 /// Everything most programs need.
@@ -71,6 +69,5 @@ pub mod prelude {
         run_all_strategies, run_all_strategies_arc, run_dlb, run_dlb_arc, run_dlb_faulty,
         run_dlb_periodic, run_no_dlb, run_no_dlb_arc, ClusterSpec, RunReport,
     };
-    pub use now_sweep::SweepExecutor;
     pub use pvm_rt::{run_loop, RowKernel};
 }
