@@ -11,8 +11,12 @@
 //! partition+heal, message loss, delay inflation, crash-only, a
 //! composition of several, a **three-way network split** (every
 //! cross-segment link cut, then healed), and **churn** (every processor
-//! crashes and recovers twice, staggered) — and runs each under noDLB
-//! plus all four strategies in all three engine modes. `--procs`
+//! crashes and recovers twice, staggered) — and runs each under noDLB,
+//! all four static strategies, **and the §S17 adaptive switching
+//! policy**, in all three engine modes. The campaign cluster's random
+//! external load drifts (persistence 0.5), so the adaptive cells
+//! genuinely re-decide — and sometimes switch — while the plan's
+//! crashes, partitions and delays land around the handover. `--procs`
 //! scales the cluster (default 4, the paper's small cell): iterations
 //! grow with P, groups stay K ≤ 8 so the group count grows, and at
 //! P ≥ 64 the local strategies run under the §S16 two-level hierarchy,
@@ -35,6 +39,10 @@
 //!    processor is admitted and executes work after rejoining
 //!    (plan 0 is a deterministic early-crash/early-recover scenario
 //!    that guarantees the opportunity).
+//! 7. **Legal handover** — adaptive cells never switch strategy inside
+//!    an open episode (`mid_episode_switches == 0`) and never apply an
+//!    old-regime instruction that crossed the switch
+//!    (`stale_applied == 0`).
 //!
 //! Any violation is reported and the process exits nonzero. Results
 //! land in `BENCH_fault.json`; each invocation appends a point to the
@@ -47,7 +55,7 @@
 //! no engine invocations — and the report's memo counters prove it.
 
 use dlb_apps::MxmConfig;
-use dlb_core::strategy::{Strategy, StrategyConfig};
+use dlb_core::strategy::{AdaptiveConfig, Strategy, StrategyConfig};
 use dlb_core::work::LoopWorkload;
 use now_fault::{
     rng, CrashSpec, DelaySpec, FailurePolicy, FaultPlan, LossSpec, PartitionSpec, RecoverSpec,
@@ -104,6 +112,10 @@ struct CampaignReport {
     rejoins_with_work: u64,
     stale_instructions: u64,
     messages_cut: u64,
+    /// §S17 strategy switches performed across the adaptive cells.
+    strategy_switches: u64,
+    /// Old-regime Instructions/Interrupts dropped by the epoch guards.
+    stale_dropped: u64,
     /// Run-server memo counters over the whole campaign: a replay with
     /// `DLB_MEMO_DIR` set serves every cell from the memo
     /// (`simulations == 0`), a cold campaign simulates every cell.
@@ -330,11 +342,11 @@ fn make_plan(seed: u64, i: usize, t: f64, p: usize) -> (usize, FaultPlan) {
     (kind, plan)
 }
 
-/// The three per-mode specs of one (plan, strategy) cell.
+/// The three per-mode specs of one (plan, run-kind) cell.
 fn cell_specs(
     cluster: &ClusterSpec,
     wl: &WorkloadSpec,
-    cfg: Option<StrategyConfig>,
+    kind: &RunKind,
     plan: &FaultPlan,
     policy: FailurePolicy,
 ) -> Vec<(EngineMode, RunSpec)> {
@@ -345,11 +357,7 @@ fn cell_specs(
     ]
     .into_iter()
     .map(|m| {
-        let kind = match cfg {
-            None => RunKind::NoDlb,
-            Some(c) => RunKind::Dlb { cfg: c },
-        };
-        let spec = RunSpec::new(wl.clone(), cluster.clone(), kind)
+        let spec = RunSpec::new(wl.clone(), cluster.clone(), kind.clone())
             .with_faults(plan.clone(), policy)
             .with_mode(m);
         (m, spec)
@@ -422,14 +430,27 @@ fn main() {
     // Groups stay K ≤ 8 so the group count grows with P; the local
     // strategies go hierarchical (§S16) once there are enough groups.
     let group = (p / 2).clamp(1, 8);
-    let mut cfgs: Vec<(String, Option<StrategyConfig>)> = vec![("noDLB".into(), None)];
+    let mut cfgs: Vec<(String, RunKind)> = vec![("noDLB".into(), RunKind::NoDlb)];
     for s in Strategy::ALL {
         let mut cfg = StrategyConfig::paper(s, group);
         if p >= 64 && s.scope() == dlb_core::Scope::Local {
             cfg = cfg.with_hierarchy(2, 8);
         }
-        cfgs.push((s.to_string(), Some(cfg)));
+        cfgs.push((s.to_string(), RunKind::Dlb { cfg }));
     }
+    // §S17 adaptive switching under chaos: a tight observation window so
+    // re-decisions (and hence epoch-guarded handovers) actually happen
+    // inside these short runs, on top of whatever the plan injects.
+    cfgs.push((
+        "adaptive".into(),
+        RunKind::Adaptive {
+            cfg: AdaptiveConfig {
+                window: 1,
+                min_episodes_between: 2,
+                ..AdaptiveConfig::paper(Strategy::Lddlb, group)
+            },
+        },
+    ));
 
     println!(
         "chaos_campaign — {plans} seeded plans x {} run kinds x 3 engine modes, P={p} (seed {seed:#x}{})",
@@ -447,6 +468,8 @@ fn main() {
     let mut rejoins_with_work = 0u64;
     let mut stale_instructions = 0u64;
     let mut messages_cut = 0u64;
+    let mut strategy_switches = 0u64;
+    let mut stale_dropped = 0u64;
 
     for i in start..plans {
         let (kind, plan) = make_plan(seed, i, t, p);
@@ -466,7 +489,7 @@ fn main() {
             // Liveness watchdog: a wedged protocol must fail the
             // campaign, not hang it. The watchdog thread owns its own
             // client on the global server.
-            let specs = cell_specs(&cluster, &wl, *cfg, &plan, policy);
+            let specs = cell_specs(&cluster, &wl, cfg, &plan, policy);
             let (tx, rx) = mpsc::channel();
             {
                 let specs = specs.clone();
@@ -514,6 +537,22 @@ fn main() {
             }
             if !rep.total_time.is_finite() {
                 violations.push(format!("{tag}: non-finite finish time"));
+            }
+            if let Some(a) = rep.adaptive.as_ref() {
+                if a.mid_episode_switches != 0 {
+                    violations.push(format!(
+                        "{tag}: {} strategy switch(es) inside an open episode",
+                        a.mid_episode_switches
+                    ));
+                }
+                if a.stale_applied != 0 {
+                    violations.push(format!(
+                        "{tag}: {} old-regime instruction(s) applied across a switch",
+                        a.stale_applied
+                    ));
+                }
+                strategy_switches += a.switches.len() as u64;
+                stale_dropped += a.stale_dropped;
             }
             let Some(f) = rep.faults.as_ref() else {
                 continue;
@@ -597,6 +636,8 @@ fn main() {
         rejoins_with_work,
         stale_instructions,
         messages_cut,
+        strategy_switches,
+        stale_dropped,
         memo_hits: stats.hits(),
         memo_misses: stats.misses,
         memo_coalesced: stats.coalesced,
@@ -610,7 +651,8 @@ fn main() {
     println!(
         "campaign: {runs} cells, {detections} detections, {recoveries} recoveries, \
          {rejoins} rejoins ({rejoins_with_work} with post-admission work), \
-         {stale_instructions} stale instructions, {messages_cut} cut messages, {wall_s:.1}s"
+         {stale_instructions} stale instructions, {messages_cut} cut messages, \
+         {strategy_switches} strategy switch(es) ({stale_dropped} stale drop(s)), {wall_s:.1}s"
     );
     println!(
         "memo: {} hit(s), {} miss(es), {} coalesced — {} simulation(s) executed",

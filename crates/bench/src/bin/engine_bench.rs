@@ -82,6 +82,14 @@ struct RunBench {
     /// per-message (fallback).
     episodes_fast_forwarded: u64,
     episodes_fallback: u64,
+    /// Fallback causes: a foreign (cross-group) message arrived in the
+    /// window, a fault intersected the episode, a delay régime change
+    /// invalidated the cached timings, or a §S17 strategy switch forced
+    /// the group's next episode onto the per-message path.
+    ff_fallback_foreign: u64,
+    ff_fallback_fault: u64,
+    ff_fallback_delay: u64,
+    ff_fallback_switch: u64,
     /// All three modes' reports serialize to exactly the same bytes.
     identical: bool,
 }
@@ -401,6 +409,13 @@ fn main() {
                 epi_counters.episodes_fast_forwarded,
                 epi_counters.episodes_fast_forwarded + epi_counters.episodes_fallback
             ),
+            format!(
+                "{}f+{}F+{}d+{}s",
+                epi_counters.ff_fallback_foreign,
+                epi_counters.ff_fallback_fault,
+                epi_counters.ff_fallback_delay,
+                epi_counters.ff_fallback_switch
+            ),
             "yes".to_string(),
         ]);
         runs.push(RunBench {
@@ -419,6 +434,10 @@ fn main() {
             episode_heartbeat_events: epi_counters.heartbeat_events,
             episodes_fast_forwarded: epi_counters.episodes_fast_forwarded,
             episodes_fallback: epi_counters.episodes_fallback,
+            ff_fallback_foreign: epi_counters.ff_fallback_foreign,
+            ff_fallback_fault: epi_counters.ff_fallback_fault,
+            ff_fallback_delay: epi_counters.ff_fallback_delay,
+            ff_fallback_switch: epi_counters.ff_fallback_switch,
             identical,
         });
     }
@@ -436,10 +455,12 @@ fn main() {
                 "ev ref",
                 "ev epi (c/p/h)",
                 "ff/eps",
+                "fb why",
                 "identical",
             ],
             &[
                 Align::Left,
+                Align::Right,
                 Align::Right,
                 Align::Right,
                 Align::Right,

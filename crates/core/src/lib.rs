@@ -68,7 +68,7 @@ pub use moveplan::{plan_transfers, Transfer};
 pub use profile::PerfProfile;
 pub use recovery::split_ranges;
 pub use stats::DlbStats;
-pub use strategy::{Control, Scope, Strategy, StrategyConfig};
+pub use strategy::{AdaptiveConfig, Control, Scope, Strategy, StrategyConfig};
 pub use sync::{plan_sync, LogicalMsg, MsgKind, SyncScript};
 pub use work::{CostFnLoop, FoldedLoop, LoopWorkload, UniformLoop};
 pub use workqueue::WorkQueue;

@@ -280,6 +280,93 @@ impl StrategyConfig {
     }
 }
 
+/// Runtime re-customization policy (§S17): run the paper's decision
+/// process *again* at episode boundaries, over observed rates and the
+/// live fault picture, and switch strategy mid-run when the predicted
+/// win clears the hysteresis threshold. This is a policy wrapper, not a
+/// fifth [`Strategy`]: the engine always executes one of the four paper
+/// schemes at any instant; `AdaptiveConfig` only governs when it trades
+/// the current one for another.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdaptiveConfig {
+    /// Strategy configuration the run starts under (group size, margins
+    /// and hierarchy shape persist across switches — only
+    /// `initial.strategy` is re-decided).
+    pub initial: StrategyConfig,
+    /// Required predicted relative win before a switch fires: the new
+    /// strategy's predicted completion must undercut the current one's
+    /// by this fraction. Guards against churn on near-tied predictions.
+    pub hysteresis: f64,
+    /// Minimum closed episodes between consecutive switches — the other
+    /// half of the churn guard.
+    pub min_episodes_between: u32,
+    /// Observation window in episodes: rates are measured over the last
+    /// `window` closed episodes, and the model is re-consulted at most
+    /// once per window.
+    pub window: u32,
+}
+
+impl AdaptiveConfig {
+    /// Default adaptive policy around the paper's settings for the
+    /// given starting strategy and group size.
+    pub fn paper(strategy: Strategy, group_size: usize) -> Self {
+        Self {
+            initial: StrategyConfig::paper(strategy, group_size),
+            hysteresis: 0.15,
+            min_episodes_between: 2,
+            window: 4,
+        }
+    }
+
+    /// Apply the `DLB_ADAPTIVE_HYSTERESIS` / `DLB_ADAPTIVE_MIN_EPISODES`
+    /// / `DLB_ADAPTIVE_WINDOW` environment knobs, if set. Callers apply
+    /// this **before** building a `RunSpec`, never inside the engine —
+    /// the resolved values must be part of the spec so memo keys stay
+    /// content-addressed.
+    pub fn with_env(mut self) -> Self {
+        if let Some(h) = std::env::var("DLB_ADAPTIVE_HYSTERESIS").ok().map(|v| {
+            v.parse::<f64>().unwrap_or_else(|_| {
+                panic!("DLB_ADAPTIVE_HYSTERESIS must be a number in [0,1), got {v:?}")
+            })
+        }) {
+            self.hysteresis = h;
+        }
+        let read = |name: &str| {
+            std::env::var(name).ok().map(|v| {
+                v.parse::<u32>()
+                    .unwrap_or_else(|_| panic!("{name} must be a positive integer, got {v:?}"))
+            })
+        };
+        if let Some(m) = read("DLB_ADAPTIVE_MIN_EPISODES") {
+            self.min_episodes_between = m;
+        }
+        if let Some(w) = read("DLB_ADAPTIVE_WINDOW") {
+            self.window = w;
+        }
+        self
+    }
+
+    /// Validate ranges; called by runtimes before a run.
+    ///
+    /// # Panics
+    /// Panics on out-of-range parameters.
+    pub fn validate(&self) {
+        self.initial.validate();
+        assert!(
+            (0.0..1.0).contains(&self.hysteresis),
+            "adaptive hysteresis must be in [0,1)"
+        );
+        assert!(
+            self.min_episodes_between >= 1,
+            "adaptive policy needs at least one episode between switches"
+        );
+        assert!(
+            self.window >= 1,
+            "adaptive observation window must cover at least one episode"
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -391,5 +478,39 @@ mod tests {
         StrategyConfig::paper(Strategy::Gcdlb, 4)
             .with_hierarchy(2, 4)
             .validate();
+    }
+
+    #[test]
+    fn adaptive_paper_defaults_validate() {
+        let cfg = AdaptiveConfig::paper(Strategy::Gddlb, 2);
+        cfg.validate();
+        assert_eq!(cfg.initial.strategy, Strategy::Gddlb);
+        assert!((cfg.hysteresis - 0.15).abs() < 1e-12);
+        assert_eq!(cfg.min_episodes_between, 2);
+        assert_eq!(cfg.window, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "hysteresis must be in [0,1)")]
+    fn adaptive_rejects_full_hysteresis() {
+        let mut cfg = AdaptiveConfig::paper(Strategy::Gddlb, 2);
+        cfg.hysteresis = 1.0;
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "between switches")]
+    fn adaptive_rejects_zero_switch_gap() {
+        let mut cfg = AdaptiveConfig::paper(Strategy::Lcdlb, 2);
+        cfg.min_episodes_between = 0;
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "observation window")]
+    fn adaptive_rejects_zero_window() {
+        let mut cfg = AdaptiveConfig::paper(Strategy::Lddlb, 2);
+        cfg.window = 0;
+        cfg.validate();
     }
 }

@@ -30,10 +30,12 @@
 //! strategy.
 
 pub mod decision;
+pub mod observe;
 pub mod predict;
 pub mod system;
 
 pub use decision::first_sync_progress;
 pub use decision::{choose_strategy, predicted_order, rank_agreement, DecisionReport};
+pub use observe::ObservedSystem;
 pub use predict::{predict, predict_all, predict_no_dlb, Prediction};
 pub use system::SystemModel;

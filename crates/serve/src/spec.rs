@@ -21,7 +21,7 @@
 
 use dlb_apps::{MxmConfig, TrfdConfig};
 use dlb_core::loopsched::ChunkScheme;
-use dlb_core::strategy::StrategyConfig;
+use dlb_core::strategy::{AdaptiveConfig, StrategyConfig};
 use dlb_core::work::{LoopWorkload, UniformLoop};
 use now_fault::{FailurePolicy, FaultPlan};
 use now_sim::{ClusterSpec, Engine, EngineCounters, EngineMode, RunReport, ENGINE_VERSION};
@@ -84,6 +84,11 @@ pub enum RunKind {
     Periodic { cfg: StrategyConfig, dt: f64 },
     /// Section-2.2 central-task-queue baseline.
     TaskQueue { scheme: ChunkScheme },
+    /// §S17 runtime re-customization: start under `cfg.initial` and
+    /// re-decide the strategy at episode boundaries. The full policy
+    /// (hysteresis, window, churn guard) is part of the spec — and hence
+    /// of the memo key — because every parameter can change the report.
+    Adaptive { cfg: AdaptiveConfig },
 }
 
 /// The complete description of one simulated execution.
@@ -198,6 +203,10 @@ impl RunSpec {
             RunKind::Dlb { cfg } => self.engine(wl.as_ref(), Some(*cfg), None).run_counted(),
             RunKind::Periodic { cfg, dt } => self
                 .engine(wl.as_ref(), Some(*cfg), Some(*dt))
+                .run_counted(),
+            RunKind::Adaptive { cfg } => self
+                .engine(wl.as_ref(), Some(cfg.initial), None)
+                .with_adaptive(*cfg)
                 .run_counted(),
         }
     }
@@ -319,6 +328,71 @@ mod tests {
         .with_mode(EngineMode::Batched);
         let other = base.clone().with_mode(EngineMode::Episode);
         assert_eq!(base.memo_key(), other.memo_key());
+    }
+
+    #[test]
+    fn adaptive_policy_is_part_of_the_key() {
+        let mk = |hysteresis: f64| {
+            RunSpec::new(
+                WorkloadSpec::Uniform {
+                    iterations: 4000,
+                    iter_cost: 0.01,
+                    bytes_per_iter: 800,
+                },
+                ClusterSpec::paper_homogeneous(4, 7, 0.5),
+                RunKind::Adaptive {
+                    cfg: AdaptiveConfig {
+                        hysteresis,
+                        ..AdaptiveConfig::paper(Strategy::Lddlb, 2)
+                    },
+                },
+            )
+            .with_mode(EngineMode::Episode)
+        };
+        assert_eq!(mk(0.15).memo_key(), mk(0.15).memo_key());
+        assert_ne!(
+            mk(0.15).memo_key(),
+            mk(0.3).memo_key(),
+            "every switching-policy parameter must be content-addressed"
+        );
+        // And an adaptive spec never collides with the static spec of
+        // its initial strategy.
+        let stat = RunSpec::new(
+            WorkloadSpec::Uniform {
+                iterations: 4000,
+                iter_cost: 0.01,
+                bytes_per_iter: 800,
+            },
+            ClusterSpec::paper_homogeneous(4, 7, 0.5),
+            RunKind::Dlb {
+                cfg: StrategyConfig::paper(Strategy::Lddlb, 2),
+            },
+        )
+        .with_mode(EngineMode::Episode);
+        assert_ne!(mk(0.15).memo_key(), stat.memo_key());
+    }
+
+    #[test]
+    fn adaptive_execute_matches_direct_runner() {
+        let acfg = AdaptiveConfig::paper(Strategy::Lddlb, 2);
+        let s = RunSpec::new(
+            WorkloadSpec::Uniform {
+                iterations: 4000,
+                iter_cost: 0.01,
+                bytes_per_iter: 800,
+            },
+            ClusterSpec::paper_homogeneous(4, 7, 0.5),
+            RunKind::Adaptive { cfg: acfg },
+        )
+        .with_mode(EngineMode::Episode);
+        let wl = s.workload.build();
+        let direct = Engine::new(s.cluster.clone(), wl.as_ref(), Some(acfg.initial))
+            .with_mode(EngineMode::Episode)
+            .with_adaptive(acfg)
+            .run();
+        let report = s.execute();
+        assert!(report.adaptive.is_some(), "adaptive accounting present");
+        assert_eq!(report, direct);
     }
 
     #[test]

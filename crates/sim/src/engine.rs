@@ -51,6 +51,7 @@ use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 use std::ops::Range;
 use std::sync::Arc;
 
+mod adaptive;
 mod ff;
 
 /// Per-iteration work message header bytes (range descriptors etc.).
@@ -66,6 +67,13 @@ const JOIN_BYTES: usize = 16;
 enum Payload {
     Interrupt {
         group: usize,
+        /// Membership epoch at send time. Only consulted under adaptive
+        /// re-customization (§S17): after a strategy switch the group
+        /// structure itself changed, so an old-regime interrupt's group
+        /// index is meaningless and the interrupt is dropped. Static
+        /// runs ignore the field entirely (and [`INTERRUPT_BYTES`] is a
+        /// constant, so carrying it never changes timing).
+        epoch: u64,
     },
     Profile {
         group: usize,
@@ -107,14 +115,10 @@ enum Payload {
     /// the current master. Control-plane: exempt from loss and link
     /// cuts (like the heartbeat oracle), but still costed and contended
     /// on the medium.
-    JoinRequest {
-        proc: usize,
-    },
+    JoinRequest { proc: usize },
     /// §S14 rejoin handshake: the master's admission, carrying the
     /// epoch-stamped membership view the newcomer joins under.
-    JoinGrant {
-        epoch: u64,
-    },
+    JoinGrant { epoch: u64 },
 }
 
 /// How the engine steps compute work. See the module docs.
@@ -167,6 +171,32 @@ pub struct EngineCounters {
     pub episodes_fast_forwarded: u64,
     /// Fast-forward attempts that aborted back to per-message replay.
     pub episodes_fallback: u64,
+    /// Fallbacks caused by a foreign event in the episode window (a
+    /// non-participant delivery, a pending calc, stale protocol state,
+    /// or a replay deadlock).
+    pub ff_fallback_foreign: u64,
+    /// Fallbacks caused by the fault plan: an undetected crash, or a
+    /// replayed message the plan drops or cuts.
+    pub ff_fallback_fault: u64,
+    /// Fallbacks caused by delay inflation stretching the episode past
+    /// its watchdog timeout.
+    pub ff_fallback_delay: u64,
+    /// Fallbacks forced after an adaptive strategy switch (§S17): the
+    /// first episode of each re-seeded group replays per-message.
+    pub ff_fallback_switch: u64,
+}
+
+/// Why a fast-forward attempt fell back to the per-message path —
+/// feeds the per-reason [`EngineCounters`] fields.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+enum FallbackReason {
+    /// Foreign event, stale protocol state, or replay deadlock.
+    #[default]
+    Foreign,
+    /// Fault plan interference (undetected crash, drop, link cut).
+    Fault,
+    /// Delay inflation pushed the close past the watchdog timeout.
+    Delay,
 }
 
 /// A scheduled contiguous run of iterations (batched mode only).
@@ -578,6 +608,12 @@ pub struct Engine<'w> {
     msg_seq: u64,
     /// Episode id source for watchdog staleness checks.
     episode_seq: u64,
+
+    // --- runtime re-customization (§S17) ---
+    /// The adaptive re-decision loop; `None` (static strategy) takes no
+    /// adaptive branches, so a static run is bit-identical to a
+    /// pre-adaptive engine.
+    adaptive: Option<adaptive::AdaptiveState>,
 }
 
 impl<'w> Engine<'w> {
@@ -719,6 +755,7 @@ impl<'w> Engine<'w> {
             lost_work: Vec::new(),
             msg_seq: 0,
             episode_seq: 0,
+            adaptive: None,
         }
     }
 
@@ -850,6 +887,10 @@ impl<'w> Engine<'w> {
             rec.iters_after_rejoin = self.iters_done[rec.proc] - base;
         }
         let total_time = self.finished_at.iter().copied().fold(0.0, f64::max);
+        let adaptive = self
+            .adaptive
+            .take()
+            .map(adaptive::AdaptiveState::into_report);
         let report = RunReport {
             strategy: self.cfg.as_ref().map(|c| c.strategy),
             total_time,
@@ -868,6 +909,7 @@ impl<'w> Engine<'w> {
             } else {
                 None
             },
+            adaptive,
         };
         let mut counters = self.counters;
         counters.events = self.seq;
@@ -1414,7 +1456,10 @@ impl<'w> Engine<'w> {
                     initiator,
                     m,
                     INTERRUPT_BYTES,
-                    Payload::Interrupt { group: g },
+                    Payload::Interrupt {
+                        group: g,
+                        epoch: self.membership_epoch,
+                    },
                     now,
                 );
             }
@@ -1446,7 +1491,10 @@ impl<'w> Engine<'w> {
                 initiator,
                 m,
                 INTERRUPT_BYTES,
-                Payload::Interrupt { group: g },
+                Payload::Interrupt {
+                    group: g,
+                    epoch: self.membership_epoch,
+                },
                 now,
             );
         }
@@ -1632,9 +1680,10 @@ impl<'w> Engine<'w> {
     }
 
     fn on_calc_central(&mut self, g: usize, now: f64) {
-        // The episode may have been aborted, or the balancer host may
-        // have died, between scheduling and firing.
-        let Some(episode) = self.groups[g].episode.as_ref() else {
+        // The episode may have been aborted, the balancer host may have
+        // died, or a §S17 switch may have dropped the group index,
+        // between scheduling and firing.
+        let Some(episode) = self.groups.get(g).and_then(|gc| gc.episode.as_ref()) else {
             return;
         };
         if episode.outcome.is_some() || self.membership.is_dead(self.balancer_host(g)) {
@@ -1679,9 +1728,10 @@ impl<'w> Engine<'w> {
     }
 
     fn on_calc_local(&mut self, g: usize, proc: usize, now: f64) {
-        // Aborted episode or a balancer replica that died since
-        // scheduling: nothing to do.
-        let Some(episode) = self.groups[g].episode.as_ref() else {
+        // Aborted episode, a balancer replica that died since
+        // scheduling, or a group index dropped by a §S17 switch:
+        // nothing to do.
+        let Some(episode) = self.groups.get(g).and_then(|gc| gc.episode.as_ref()) else {
             return;
         };
         if self.membership.is_dead(proc) {
@@ -1797,7 +1847,9 @@ impl<'w> Engine<'w> {
 
     fn maybe_close_episode(&mut self, g: usize, now: f64) {
         let done = {
-            let Some(e) = self.groups[g].episode.as_ref() else {
+            // `get`: reachable with a group index a §S17 switch dropped
+            // (via the Work delivery path); no group, no episode.
+            let Some(e) = self.groups.get(g).and_then(|gc| gc.episode.as_ref()) else {
                 return;
             };
             e.acted.len() == e.participants.len() && e.waiting_work.is_empty()
@@ -1806,32 +1858,7 @@ impl<'w> Engine<'w> {
             return;
         }
         self.groups[g].episode = None;
-        // The episode boundary: admit rejoiners that knocked while it was
-        // open (§S14). An admission may itself open the next episode, in
-        // which case the rest keep waiting for *its* boundary.
-        loop {
-            if self.groups[g].episode.is_some() {
-                break;
-            }
-            let Some(&q) = self.groups[g].pending_joins.iter().next() else {
-                break;
-            };
-            self.groups[g].pending_joins.remove(&q);
-            self.admit_rejoin(q, now);
-        }
-        if self.groups[g].episode.is_some() {
-            return;
-        }
-        // A member that drained during the close gets to start the next
-        // episode immediately.
-        while let Some(&p) = self.groups[g].pending_initiators.iter().next() {
-            self.groups[g].pending_initiators.remove(&p);
-            if !self.active[p] || self.state[p] != ProcState::IdlePending {
-                continue;
-            }
-            self.on_out_of_work(p, now);
-            break;
-        }
+        self.episode_boundary_tail(g, now);
     }
 
     // ------------------------------------------------------------------
@@ -1966,7 +1993,14 @@ impl<'w> Engine<'w> {
     /// lost. Detect deaths, then retransmit; after `max_retries` rounds,
     /// abort the episode and release everyone still parked in it.
     fn on_watchdog(&mut self, g: usize, id: u64, now: f64) {
-        let Some(cur) = self.groups[g].episode.as_ref().map(|e| e.id) else {
+        // `get`: a §S17 switch may have shrunk the group list while this
+        // watchdog was on the heap; its episode is gone either way.
+        let Some(cur) = self
+            .groups
+            .get(g)
+            .and_then(|gc| gc.episode.as_ref())
+            .map(|e| e.id)
+        else {
             return;
         };
         if cur != id {
@@ -2412,7 +2446,14 @@ impl<'w> Engine<'w> {
                 remaining: self.logical_remaining(m, now),
             })
             .collect();
-        let cfg = self.cfg.as_ref().expect("rejoin admission requires DLB");
+        // Invariant: this path is only reachable through the §S14
+        // handshake (JoinRequest → request_admission → here), and
+        // `on_recover` routes `cfg = None` runs to the direct-rejoin
+        // branch before any handshake starts.
+        let cfg = self
+            .cfg
+            .as_ref()
+            .expect("rejoin admission is only reachable via the DLB handshake path");
         let outcome = balance_group(&profiles, cfg, |_| 0.0);
         let idx = self.faults.rejoins.len();
         self.faults.rejoins.push(RejoinRecord {
@@ -2665,7 +2706,10 @@ impl<'w> Engine<'w> {
                     sender,
                     m,
                     INTERRUPT_BYTES,
-                    Payload::Interrupt { group: g },
+                    Payload::Interrupt {
+                        group: g,
+                        epoch: self.membership_epoch,
+                    },
                     now,
                 );
             }
@@ -2804,29 +2848,9 @@ impl<'w> Engine<'w> {
                 self.reassign_orphan_ranges(to, ranges, now);
             }
         }
-        // The aborted episode's boundary admits rejoiners too (§S14).
-        loop {
-            if self.groups[g].episode.is_some() {
-                break;
-            }
-            let Some(&q) = self.groups[g].pending_joins.iter().next() else {
-                break;
-            };
-            self.groups[g].pending_joins.remove(&q);
-            self.admit_rejoin(q, now);
-        }
-        if self.groups[g].episode.is_some() {
-            return;
-        }
-        // A member that drained during the episode gets to restart.
-        while let Some(&p) = self.groups[g].pending_initiators.iter().next() {
-            self.groups[g].pending_initiators.remove(&p);
-            if !self.active[p] || self.state[p] != ProcState::IdlePending {
-                continue;
-            }
-            self.on_out_of_work(p, now);
-            break;
-        }
+        // The aborted episode's boundary admits rejoiners too (§S14),
+        // and is an adaptive re-decision point like any other boundary.
+        self.episode_boundary_tail(g, now);
     }
 
     // ------------------------------------------------------------------
@@ -2849,7 +2873,24 @@ impl<'w> Engine<'w> {
             return;
         }
         match payload {
-            Payload::Interrupt { group } => {
+            Payload::Interrupt { group, epoch } => {
+                // §S17 staleness guard: after an adaptive switch the
+                // group structure itself changed, so an old-regime
+                // interrupt's group index is meaningless (it may not
+                // even be in range). The guard runs first — any
+                // interrupt that survives it carries the current view,
+                // so `group` indexes the current `groups`. A mid-episode
+                // epoch bump (death, rejoin) is recovered by watchdog
+                // retransmission, which re-stamps with the current
+                // epoch. Non-adaptive runs never take this branch: their
+                // group structure is fixed, and dropping interrupts on
+                // fault-driven bumps would change pre-adaptive behavior.
+                if self.adaptive.is_some() && epoch < self.membership_epoch {
+                    if let Some(a) = self.adaptive.as_mut() {
+                        a.report.stale_dropped += 1;
+                    }
+                    return;
+                }
                 if !self.active[to] || self.proc_group[to] != group {
                     return;
                 }
@@ -2887,8 +2928,17 @@ impl<'w> Engine<'w> {
                 // Stale if the episode completed or aborted (None) or a
                 // fresh one replaced it (id mismatch) — a retransmission
                 // duplicate's snapshot must not seed the next episode's
-                // balance calculation.
-                if self.groups[group].episode.as_ref().map(|e| e.id) != Some(episode) {
+                // balance calculation. Episode ids are engine-global, so
+                // an old-regime profile can never match a post-switch
+                // episode; `get` covers a group index that a §S17 switch
+                // dropped from the group list entirely.
+                if self
+                    .groups
+                    .get(group)
+                    .and_then(|gc| gc.episode.as_ref())
+                    .map(|e| e.id)
+                    != Some(episode)
+                {
                     return;
                 }
                 match control {
@@ -2902,16 +2952,36 @@ impl<'w> Engine<'w> {
                 epoch,
                 episode,
             } => {
-                if self.fault_active && epoch < self.membership_epoch {
+                if (self.fault_active || self.adaptive.is_some()) && epoch < self.membership_epoch {
                     // §S14 split-brain guard: the sender's membership
-                    // view is stale (a death or rejoin intervened while
-                    // this was in flight). The current view's balancer
-                    // re-sends on the next watchdog round.
-                    self.faults.stale_instructions += 1;
+                    // view is stale (a death, rejoin, or §S17 strategy
+                    // switch intervened while this was in flight). The
+                    // current view's balancer re-sends on the next
+                    // watchdog round.
+                    if self.fault_active {
+                        self.faults.stale_instructions += 1;
+                    }
+                    if let Some(a) = self.adaptive.as_mut() {
+                        a.report.stale_dropped += 1;
+                    }
                     return;
                 }
-                match self.groups[group].episode.as_ref().map(|e| e.id) {
+                match self
+                    .groups
+                    .get(group)
+                    .and_then(|gc| gc.episode.as_ref())
+                    .map(|e| e.id)
+                {
                     Some(id) if id == episode => {
+                        if epoch < self.membership_epoch {
+                            // Unreachable under adaptive (the guard above
+                            // returned); counted so the chaos campaign
+                            // can machine-check that no stale-regime
+                            // instruction ever acts.
+                            if let Some(a) = self.adaptive.as_mut() {
+                                a.report.stale_applied += 1;
+                            }
+                        }
                         self.act_on_outcome(to, group, &outcome, now);
                     }
                     Some(_) => {
@@ -2960,10 +3030,18 @@ impl<'w> Engine<'w> {
                     // drained non-participant, a duplicate after the act —
                     // keeps the work directly: nothing would ever drain
                     // its stash. Only reachable under faults.
+                    // `get`: a rejoin re-expansion shipment can cross a
+                    // §S17 switch that dropped its group index; work is
+                    // never discarded, so an out-of-range group simply
+                    // means "no episode" and the receiver keeps it.
                     let act_pending = self.state[to] != ProcState::Rejoining
-                        && self.groups[group].episode.as_ref().is_some_and(|e| {
-                            e.participants.contains(&to) && !e.acted.contains(&to)
-                        });
+                        && self
+                            .groups
+                            .get(group)
+                            .and_then(|gc| gc.episode.as_ref())
+                            .is_some_and(|e| {
+                                e.participants.contains(&to) && !e.acted.contains(&to)
+                            });
                     if act_pending {
                         self.early_work[to].push((group, ranges));
                     } else {
@@ -2980,7 +3058,11 @@ impl<'w> Engine<'w> {
                 }
                 let left = expect.saturating_sub(got);
                 if left == 0 {
-                    if let Some(e) = self.groups[group].episode.as_mut() {
+                    if let Some(e) = self
+                        .groups
+                        .get_mut(group)
+                        .and_then(|gc| gc.episode.as_mut())
+                    {
                         e.waiting_work.remove(&to);
                     }
                     self.resume(to, now);
@@ -3551,5 +3633,102 @@ mod tests {
             assert_eq!(f.crashes_injected, 2, "{s}");
             assert_eq!(f.recoveries, 1, "{s}");
         }
+    }
+
+    #[test]
+    fn adaptive_stale_epoch_messages_are_dropped() {
+        // §S17 guard: once a switch (or any membership change) bumps the
+        // epoch, old-regime interrupts and instructions are dead on
+        // arrival — counted as dropped, never applied.
+        let acfg = dlb_core::AdaptiveConfig::paper(Strategy::Gddlb, 2);
+        let wl = uniform(40, 0.01);
+        let mut engine =
+            Engine::new(ClusterSpec::dedicated(4), &wl, Some(acfg.initial)).with_adaptive(acfg);
+        engine.membership_epoch = 2;
+        engine.on_deliver(1, Payload::Interrupt { group: 0, epoch: 1 }, 0.1);
+        let outcome = Arc::new(BalanceOutcome {
+            verdict: BalanceVerdict::BelowThreshold,
+            new_counts: vec![],
+            transfers: vec![],
+            moved: 0,
+            predicted_old: 0.0,
+            predicted_new: 0.0,
+        });
+        engine.on_deliver(
+            1,
+            Payload::Instruction {
+                group: 0,
+                outcome: Arc::clone(&outcome),
+                epoch: 1,
+                episode: 0,
+            },
+            0.2,
+        );
+        {
+            let rep = &engine.adaptive.as_ref().expect("adaptive engine").report;
+            assert_eq!(rep.stale_dropped, 2, "both stale messages dropped");
+            assert_eq!(rep.stale_applied, 0);
+        }
+        // Current-epoch messages pass the guard untouched.
+        engine.on_deliver(1, Payload::Interrupt { group: 0, epoch: 2 }, 0.3);
+        engine.on_deliver(
+            1,
+            Payload::Instruction {
+                group: 0,
+                outcome,
+                epoch: 2,
+                episode: 0,
+            },
+            0.4,
+        );
+        let rep = &engine.adaptive.as_ref().expect("adaptive engine").report;
+        assert_eq!(rep.stale_dropped, 2, "current-epoch messages are not stale");
+        assert_eq!(rep.stale_applied, 0);
+    }
+
+    #[test]
+    fn adaptive_without_drift_matches_static_run() {
+        // A stable run never clears the hysteresis gate: the adaptive
+        // wrapper must be timing-invisible — byte-identical dynamics to
+        // the static run it started on, plus the accounting block.
+        let wl = uniform(400, 0.01);
+        let mut cluster = ClusterSpec::dedicated(4);
+        cluster.loads[3] = LoadSpec::Constant { level: 4 };
+        let cfg = StrategyConfig::paper(Strategy::Gddlb, 2);
+        let stat = Engine::new(cluster.clone(), &wl, Some(cfg)).run();
+        let acfg = dlb_core::AdaptiveConfig::paper(Strategy::Gddlb, 2);
+        let adap = Engine::new(cluster, &wl, Some(cfg))
+            .with_adaptive(acfg)
+            .run();
+        assert_eq!(stat.total_time, adap.total_time);
+        assert_eq!(stat.stats, adap.stats);
+        assert_eq!(stat.sync_times, adap.sync_times);
+        assert_eq!(stat.per_proc, adap.per_proc);
+        let a = adap.adaptive.expect("adaptive run reports accounting");
+        assert_eq!(a.final_strategy, Strategy::Gddlb);
+        assert_eq!(a.mid_episode_switches, 0);
+        assert_eq!(a.stale_applied, 0);
+    }
+
+    #[test]
+    fn ff_fallback_reasons_partition_the_fallbacks() {
+        // The per-reason counters must account for every fallback: their
+        // sum (plus switch-forced replays) equals `episodes_fallback`.
+        let wl = uniform(2000, 0.01);
+        let mut cluster = ClusterSpec::dedicated(6);
+        cluster.loads[4] = LoadSpec::Constant { level: 3 };
+        let cfg = StrategyConfig::paper(Strategy::Gddlb, 2);
+        let (_, c) = Engine::new(cluster, &wl, Some(cfg))
+            .with_mode(EngineMode::Episode)
+            .with_faults(FaultPlan::crash(5, 0.5), FailurePolicy::default())
+            .run_counted();
+        assert_eq!(
+            c.episodes_fallback,
+            c.ff_fallback_foreign
+                + c.ff_fallback_fault
+                + c.ff_fallback_delay
+                + c.ff_fallback_switch,
+            "counters: {c:?}"
+        );
     }
 }

@@ -219,6 +219,9 @@ pub(super) struct FfScratch {
     aborted: bool,
     closed: Option<f64>,
     profs: Vec<PerfProfile>,
+    /// Why the replay bailed, for the per-reason fallback counters.
+    /// Only meaningful when `ff_run` returned `false`.
+    reason: FallbackReason,
 }
 
 impl<'w> Engine<'w> {
@@ -237,6 +240,18 @@ impl<'w> Engine<'w> {
         now: f64,
     ) -> bool {
         debug_assert!(self.groups[g].episode.is_none(), "episode already open");
+        // §S17: the first episode each group runs under a freshly switched
+        // strategy replays per-message — the switch re-seeded roles and
+        // membership, and the per-message path re-establishes the
+        // steady-state invariants the fast-forward assumes.
+        if let Some(a) = self.adaptive.as_mut() {
+            if a.replay_next.get(g).copied().unwrap_or(false) {
+                a.replay_next[g] = false;
+                self.counters.episodes_fallback += 1;
+                self.counters.ff_fallback_switch += 1;
+                return false;
+            }
+        }
         let mut s = std::mem::take(&mut self.ff);
         let ok = self.ff_run(&mut s, g, initiator, peers, now);
         if ok {
@@ -245,32 +260,16 @@ impl<'w> Engine<'w> {
             self.ff_commit(&mut s, g, t_close);
             self.ff = s;
             // Mirror `maybe_close_episode`'s tail: the close is an episode
-            // boundary, so first admit any parked rejoiners (§S14), then
-            // one drained member may start the next episode right at the
-            // close (possibly fast-forwarded again, recursively).
-            loop {
-                if self.groups[g].episode.is_some() {
-                    break;
-                }
-                let Some(&q) = self.groups[g].pending_joins.iter().next() else {
-                    break;
-                };
-                self.groups[g].pending_joins.remove(&q);
-                self.admit_rejoin(q, t_close);
-            }
-            while let Some(&p) = self.groups[g].pending_initiators.iter().next() {
-                if self.groups[g].episode.is_some() {
-                    break;
-                }
-                self.groups[g].pending_initiators.remove(&p);
-                if !self.active[p] || self.state[p] != ProcState::IdlePending {
-                    continue;
-                }
-                self.on_out_of_work(p, t_close);
-                break;
-            }
+            // boundary — rejoin admissions, the next initiator, and (§S17)
+            // a possible adaptive re-decision all hang off it.
+            self.episode_boundary_tail(g, t_close);
         } else {
             self.counters.episodes_fallback += 1;
+            match s.reason {
+                FallbackReason::Foreign => self.counters.ff_fallback_foreign += 1,
+                FallbackReason::Fault => self.counters.ff_fallback_fault += 1,
+                FallbackReason::Delay => self.counters.ff_fallback_delay += 1,
+            }
             self.ff_recycle(&mut s);
             self.ff = s;
         }
@@ -289,12 +288,14 @@ impl<'w> Engine<'w> {
         now: f64,
     ) -> bool {
         let p = self.cluster.processors();
+        s.reason = FallbackReason::Foreign;
 
         // --- preconditions -------------------------------------------
         if self.fault_active && !self.undetected.is_empty() {
             // A dead-but-undetected processor means a `handle_death` can
             // run at this very instant (we may be *inside* its wake-up
             // cascade) and mutate participant queues after our snapshot.
+            s.reason = FallbackReason::Fault;
             return false;
         }
 
@@ -493,6 +494,13 @@ impl<'w> Engine<'w> {
         if self.fault_active && now + self.policy.sync_timeout <= t_close {
             // The watchdog would fire inside the window (retransmission
             // round, retry accounting): per-message replay handles it.
+            // Blame the delay plan when one is actively stretching the
+            // window; otherwise it is generic fault machinery.
+            s.reason = if self.plan.delay_factor_at(now) > 1.0 {
+                FallbackReason::Delay
+            } else {
+                FallbackReason::Fault
+            };
             return false;
         }
         // Scan the real heap: every pending event at or before the close
@@ -508,14 +516,26 @@ impl<'w> Engine<'w> {
                     // when the commit bumps the epoch).
                     epoch != self.block_epoch[proc] || s.pidx[proc] != usize::MAX
                 }
-                EvKind::Watchdog { group, id } => self.groups[group]
-                    .episode
-                    .as_ref()
+                // `.get`: after a §S17 switch the group count may have
+                // shrunk, and a watchdog armed under the old regime can
+                // carry an out-of-range index — it is stale by definition.
+                EvKind::Watchdog { group, id } => self
+                    .groups
+                    .get(group)
+                    .and_then(|gc| gc.episode.as_ref())
                     .is_none_or(|e| e.id != id),
                 EvKind::EpisodeDone { .. } => true,
                 _ => false,
             };
             if !benign {
+                s.reason = match ev.kind {
+                    EvKind::Crash { .. }
+                    | EvKind::Recover { .. }
+                    | EvKind::JoinRetry { .. }
+                    | EvKind::Heartbeat
+                    | EvKind::Watchdog { .. } => FallbackReason::Fault,
+                    _ => FallbackReason::Foreign,
+                };
                 return false;
             }
         }
@@ -589,6 +609,7 @@ impl<'w> Engine<'w> {
             // (identical float ops to `Engine::send`) instead of aborting.
             if self.plan.link_cut(from, to, now) || self.plan.drops_message(s.msg_seq) {
                 s.aborted = true;
+                s.reason = FallbackReason::Fault;
                 return None;
             }
             let f = self.plan.delay_factor_at(now);
@@ -1212,7 +1233,10 @@ impl<'w> Engine<'w> {
                         ev.tie,
                         EvKind::Deliver {
                             to,
-                            payload: Payload::Interrupt { group: g },
+                            payload: Payload::Interrupt {
+                                group: g,
+                                epoch: self.membership_epoch,
+                            },
                         },
                     );
                 }

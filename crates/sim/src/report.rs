@@ -15,6 +15,49 @@ pub struct ProcSummary {
     pub work_done: f64,
 }
 
+/// One runtime strategy switch taken by the adaptive re-decision loop
+/// (§S17): at an episode boundary the observed rates and fault picture
+/// predicted `to` enough ahead of `from` to clear the hysteresis gate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SwitchRecord {
+    /// Simulated time of the handover.
+    pub at: f64,
+    /// Engine-global episode sequence number at the switch (all episodes
+    /// with id ≤ this ran under `from`; later ones under `to`).
+    pub episode: u64,
+    pub from: Strategy,
+    pub to: Strategy,
+    /// Model-predicted remaining time under the incumbent strategy.
+    pub predicted_current: f64,
+    /// Model-predicted remaining time under the newly chosen strategy.
+    pub predicted_new: f64,
+}
+
+/// Accounting of the adaptive re-decision loop (§S17); present only on
+/// [`RunReport`]s produced by an adaptive run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdaptiveReport {
+    /// Re-decisions evaluated (model consultations at episode
+    /// boundaries, whether or not they led to a switch).
+    pub decisions: u64,
+    /// Switches taken, in order.
+    pub switches: Vec<SwitchRecord>,
+    /// Old-regime messages dropped by the epoch guards after a switch
+    /// (stale interrupts and instructions).
+    pub stale_dropped: u64,
+    /// Invariant counter — old-epoch instructions that *acted* anyway.
+    /// Must be zero: the epoch guard runs before the act path.
+    pub stale_applied: u64,
+    /// Invariant counter — switches performed while any episode was
+    /// open. Must be zero: re-decision requires global quiescence.
+    pub mid_episode_switches: u64,
+    /// Boundary evaluations deferred (another group's episode still
+    /// open, a partition active, or fewer than two live processors).
+    pub deferred: u64,
+    /// Strategy in effect when the run completed.
+    pub final_strategy: Strategy,
+}
+
 /// Outcome of one simulated execution.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunReport {
@@ -33,6 +76,10 @@ pub struct RunReport {
     /// Fault-injection accounting; `None` when the run had no fault plan
     /// (the failure-aware machinery never engaged).
     pub faults: Option<FaultReport>,
+    /// Adaptive re-customization accounting (§S17); `None` unless the
+    /// run used [`crate::runner::run_dlb_adaptive`] or the engine's
+    /// `with_adaptive`.
+    pub adaptive: Option<AdaptiveReport>,
 }
 
 impl RunReport {
@@ -79,6 +126,7 @@ mod tests {
             sync_times: vec![],
             total_iters: 0,
             faults: None,
+            adaptive: None,
         }
     }
 

@@ -61,6 +61,47 @@ pub fn run_dlb_faulty(
         .run()
 }
 
+/// Run one workload under the §S17 adaptive policy: start on
+/// `acfg.initial`, re-consult the cost model at episode boundaries, and
+/// switch strategies mid-run when the predicted win clears the hysteresis
+/// gate. With an empty fault plan and a workload whose observed rates
+/// never destabilize, the run is identical to `run_dlb(acfg.initial)`
+/// modulo the (timing-neutral) adaptive accounting in the report.
+pub fn run_dlb_adaptive(
+    cluster: &ClusterSpec,
+    workload: &dyn LoopWorkload,
+    acfg: dlb_core::AdaptiveConfig,
+) -> RunReport {
+    run_dlb_adaptive_arc(&Arc::new(cluster.clone()), workload, acfg)
+}
+
+/// [`run_dlb_adaptive`] without any cluster deep-clone.
+pub fn run_dlb_adaptive_arc(
+    cluster: &Arc<ClusterSpec>,
+    workload: &dyn LoopWorkload,
+    acfg: dlb_core::AdaptiveConfig,
+) -> RunReport {
+    Engine::new(Arc::clone(cluster), workload, Some(acfg.initial))
+        .with_adaptive(acfg)
+        .run()
+}
+
+/// [`run_dlb_adaptive`] with fault injection: the adaptive re-decision
+/// loop folds the live fault picture (dead count, partition state, rejoin
+/// churn) into every re-decision.
+pub fn run_dlb_adaptive_faulty(
+    cluster: &ClusterSpec,
+    workload: &dyn LoopWorkload,
+    acfg: dlb_core::AdaptiveConfig,
+    plan: FaultPlan,
+    policy: FailurePolicy,
+) -> RunReport {
+    Engine::new(cluster.clone(), workload, Some(acfg.initial))
+        .with_faults(plan, policy)
+        .with_adaptive(acfg)
+        .run()
+}
+
 /// Ablation A1.3: run with *periodic* synchronization every `dt` seconds
 /// in addition to the receiver-initiated interrupts.
 pub fn run_dlb_periodic(

@@ -176,6 +176,7 @@ pub fn run_task_queue(
         sync_times: Vec::new(),
         total_iters: total,
         faults: None,
+        adaptive: None,
     }
 }
 

@@ -58,7 +58,8 @@ pub mod prelude {
     pub use dlb_apps::{MxmConfig, MxmData, TrfdConfig, TrfdData};
     pub use dlb_compile::{compile, compile_and_bind};
     pub use dlb_core::{
-        CostFnLoop, FoldedLoop, IndexedLoop, LoopWorkload, Strategy, StrategyConfig, UniformLoop,
+        AdaptiveConfig, CostFnLoop, FoldedLoop, IndexedLoop, LoopWorkload, Strategy,
+        StrategyConfig, UniformLoop,
     };
     pub use dlb_model::{choose_strategy, predict, predict_all, SystemModel};
     pub use now_fault::{FailurePolicy, FaultPlan};
@@ -66,7 +67,8 @@ pub mod prelude {
     pub use now_net::NetworkParams;
     pub use now_serve::{MemoConfig, RunKind, RunServer, RunSpec, ServeConfig, WorkloadSpec};
     pub use now_sim::{
-        run_all_strategies, run_all_strategies_arc, run_dlb, run_dlb_arc, run_dlb_faulty,
+        run_all_strategies, run_all_strategies_arc, run_dlb, run_dlb_adaptive,
+        run_dlb_adaptive_arc, run_dlb_adaptive_faulty, run_dlb_arc, run_dlb_faulty,
         run_dlb_periodic, run_no_dlb, run_no_dlb_arc, ClusterSpec, RunReport,
     };
     pub use pvm_rt::{run_loop, RowKernel};

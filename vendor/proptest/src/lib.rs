@@ -8,6 +8,7 @@
 //! reproduce; there is no shrinking.
 
 pub mod collection;
+pub mod option;
 pub mod rng;
 pub mod strategy;
 
@@ -16,21 +17,72 @@ pub use strategy::{any, Strategy};
 /// Number of random cases each `proptest!` test runs.
 pub const DEFAULT_CASES: u32 = 96;
 
+/// Per-block test configuration, set with the real-proptest syntax
+/// `#![proptest_config(ProptestConfig::with_cases(n))]` as the first
+/// item inside `proptest! { … }`.
+#[derive(Clone, Copy)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self {
+            cases: DEFAULT_CASES,
+        }
+    }
+}
+
 pub mod prelude {
     pub use crate::any;
     pub use crate::strategy::Strategy;
+    pub use crate::ProptestConfig;
     pub use crate::{prop_assert, prop_assert_eq, proptest};
 
     /// Mirror of proptest's `prelude::prop` module tree.
     pub mod prop {
         pub use crate::collection;
+        pub use crate::option;
     }
 }
 
 /// Define property tests: each `fn name(arg in strategy, …) { … }` body
-/// runs [`DEFAULT_CASES`] times with deterministically seeded samples.
+/// runs [`DEFAULT_CASES`] times (or the block's `proptest_config` case
+/// count) with deterministically seeded samples.
 #[macro_export]
 macro_rules! proptest {
+    (#![proptest_config($cfg:expr)]
+     $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cases__: $crate::ProptestConfig = $cfg;
+                for case__ in 0..cases__.cases {
+                    let mut rng__ = $crate::rng::Rng::for_case(stringify!($name), case__);
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut rng__);)*
+                    let result__: ::std::result::Result<(), ::std::string::String> =
+                        (|| {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    if let ::std::result::Result::Err(msg__) = result__ {
+                        panic!(
+                            "property `{}` failed on case {}: {}",
+                            stringify!($name),
+                            case__,
+                            msg__
+                        );
+                    }
+                }
+            }
+        )*
+    };
     ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
         $(
             $(#[$meta])*

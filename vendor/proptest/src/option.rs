@@ -1,0 +1,26 @@
+//! `Option` strategies, mirroring `proptest::option`.
+
+use crate::rng::Rng;
+use crate::strategy::Strategy;
+
+/// Strategy producing `Some(inner sample)` three times out of four and
+/// `None` otherwise (the upstream default weighting).
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+/// Mirror of `proptest::option::of`.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn sample(&self, rng: &mut Rng) -> Self::Value {
+        if rng.below(4) == 0 {
+            None
+        } else {
+            Some(self.inner.sample(rng))
+        }
+    }
+}

@@ -71,6 +71,23 @@ impl<S: Strategy + ?Sized> Strategy for &S {
     }
 }
 
+macro_rules! impl_tuple_strategy {
+    ($($s:ident),*) => {
+        impl<$($s: Strategy),*> Strategy for ($($s,)*) {
+            type Value = ($($s::Value,)*);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut Rng) -> Self::Value {
+                let ($($s,)*) = self;
+                ($($s.sample(rng),)*)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+
 /// Strategy producing any value of a primitive type.
 pub struct Any<T> {
     _marker: std::marker::PhantomData<T>,
